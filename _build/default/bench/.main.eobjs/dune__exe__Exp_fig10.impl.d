@@ -1,0 +1,1 @@
+bench/exp_fig10.ml: Accel_matmul Axi4mlir List Presets Printf Report Tabulate

@@ -1,0 +1,1 @@
+bench/exp_fig13.ml: Accel_matmul Axi4mlir List Perf_counters Presets Printf Report Tabulate Util

@@ -1,0 +1,1 @@
+bench/exp_fig14.ml: Accel_matmul Axi4mlir Heuristics List Presets Printf Report Tabulate Util

@@ -1,0 +1,1 @@
+bench/exp_fig16.ml: Axi4mlir Dma_library Interp List Manual_conv Perf_counters Presets Printf Report Resnet18 String Tabulate Util

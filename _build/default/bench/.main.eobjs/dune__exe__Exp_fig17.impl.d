@@ -1,0 +1,1 @@
+bench/exp_fig17.ml: Accel_matmul Axi4mlir Cost_model Cpu_reference Dma_library Heuristics List Perf_counters Presets Printf Report Tabulate Tinybert

@@ -1,0 +1,1 @@
+bench/exp_table1.ml: Accel_config Accel_matmul List Presets Printf Report Tabulate

@@ -1,0 +1,1 @@
+bench/report.ml: Accel_matmul Axi4mlir Cpu_reference Manual_matmul Printf String

@@ -1,0 +1,66 @@
+(* Ablation study over the code-generation choices DESIGN.md calls out:
+   the Sec. IV-B copy specialisation, the step-4 cache-hierarchy
+   tiling, and the Sec. V extensions (transfer coalescing and
+   double buffering), alone and composed. Not a paper figure — it
+   quantifies each design choice on a fixed configuration. *)
+
+let variants =
+  [
+    ("baseline (paper defaults)", fun o -> o);
+    ( "- copy specialisation",
+      fun o -> { o with Axi4mlir.copy_specialization = false } );
+    ("- cpu tiling", fun o -> { o with Axi4mlir.cpu_tiling = false });
+    ("+ coalesce transfers", fun o -> { o with Axi4mlir.coalesce_transfers = true });
+    ("+ double buffering", fun o -> { o with Axi4mlir.double_buffer = true });
+    ( "+ coalesce + double buffering",
+      fun o ->
+        { o with Axi4mlir.coalesce_transfers = true; double_buffer = true } );
+  ]
+
+let problems () =
+  if !Report.quick then [ (Accel_matmul.V3, 8, 64, "Ns") ]
+  else
+    [
+      (Accel_matmul.V3, 16, 128, "Ns");
+      (Accel_matmul.V3, 16, 128, "Cs");
+      (Accel_matmul.V3, 16, 512, "Ns");
+    ]
+
+let run () =
+  Report.header "Ablation: codegen options (generated driver, task clock and DMA transactions)";
+  List.iter
+    (fun (version, size, dims, flow) ->
+      Report.note "--- %s_%d, dims=%d, flow %s ---" (Report.version_name version) size dims
+        flow;
+      let accel = Presets.matmul ~version ~size ~flow () in
+      let bench = Axi4mlir.create accel in
+      let a, b, c = Axi4mlir.alloc_matmul_operands bench ~m:dims ~n:dims ~k:dims in
+      let t =
+        Tabulate.create
+          [
+            ("variant", Tabulate.Left);
+            ("task clock ms", Tabulate.Right);
+            ("DMA txns", Tabulate.Right);
+            ("vs baseline", Tabulate.Right);
+          ]
+      in
+      let base_cycles = ref 0.0 in
+      List.iter
+        (fun (name, tweak) ->
+          let options = tweak { Axi4mlir.default_codegen with flow = Some flow } in
+          let counters =
+            Report.generated_matmul_counters bench ~options ~m:dims ~n:dims ~k:dims ~a ~b
+              ~c ()
+          in
+          if name = "baseline (paper defaults)" then
+            base_cycles := counters.Perf_counters.cycles;
+          Tabulate.add_row t
+            [
+              name;
+              Tabulate.fmt_ms (Report.ms bench counters);
+              Printf.sprintf "%.0f" counters.Perf_counters.dma_transactions;
+              Tabulate.fmt_x (!base_cycles /. counters.Perf_counters.cycles);
+            ])
+        variants;
+      Tabulate.print t)
+    (problems ())

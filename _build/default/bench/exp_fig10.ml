@@ -1,0 +1,55 @@
+(* Fig. 10: runtime characterisation, CPU vs accelerator execution, for
+   square MatMul problems under the Nothing-Stationary flow.
+
+   The paper's observation to reproduce: offload only becomes relevant
+   (faster than the CPU) for dims >= 64 and accel_size >= 8; size-4
+   engines never win. *)
+
+let dims_sweep () = if !Report.quick then [ 16; 32; 64 ] else [ 16; 32; 64; 128; 256 ]
+
+let run () =
+  Report.header
+    "Fig. 10: CPU vs accelerator task clock (ms), square MatMul, Ns flow (v1 engines)";
+  let t =
+    Tabulate.create
+      ([ ("dims", Tabulate.Right); ("mlir_CPU", Tabulate.Right) ]
+      @ List.map (fun s -> (Printf.sprintf "v1_%d" s, Tabulate.Right)) Presets.table1_sizes)
+  in
+  let crossovers = ref [] in
+  List.iter
+    (fun dims ->
+      (* CPU baseline *)
+      let accel0 = Presets.matmul ~version:Accel_matmul.V1 ~size:4 () in
+      let bench = Axi4mlir.create accel0 in
+      let a, b, c = Axi4mlir.alloc_matmul_operands bench ~m:dims ~n:dims ~k:dims in
+      let cpu = Report.ms bench (Report.cpu_matmul_counters bench ~a ~b ~c) in
+      let accel_cells =
+        List.map
+          (fun size ->
+            if dims < size then "-"
+            else begin
+              let accel = Presets.matmul ~version:Accel_matmul.V1 ~size ~flow:"Ns" () in
+              let bench = Axi4mlir.create accel in
+              let a, b, c = Axi4mlir.alloc_matmul_operands bench ~m:dims ~n:dims ~k:dims in
+              let counters =
+                Report.generated_matmul_counters bench ~m:dims ~n:dims ~k:dims ~a ~b ~c ()
+              in
+              let t_accel = Report.ms bench counters in
+              if t_accel < cpu then crossovers := (size, dims) :: !crossovers;
+              Tabulate.fmt_ms t_accel
+            end)
+          Presets.table1_sizes
+      in
+      Tabulate.add_row t ((string_of_int dims :: [ Tabulate.fmt_ms cpu ]) @ accel_cells))
+    (dims_sweep ());
+  Tabulate.print t;
+  (* report the first winning dims per size *)
+  List.iter
+    (fun size ->
+      let wins = List.filter (fun (s, _) -> s = size) !crossovers in
+      match List.sort compare (List.map snd wins) with
+      | [] -> Report.note "accel_size %d: never faster than the CPU" size
+      | d :: _ -> Report.note "accel_size %d: faster than the CPU from dims >= %d" size d)
+    Presets.table1_sizes;
+  Report.note
+    "Paper shape: offload relevant only for dims >= 64 and accel_size >= 8; size 4 never wins."

@@ -1,0 +1,72 @@
+(* Fig. 11: manual Ns vs AXI4MLIR-generated flow strategies, BEFORE the
+   MemRef-copy specialisation (the bottlenecked first implementation).
+
+   The paper's shape: the generated code uses the generic element-wise
+   memref copies here, so generated Ns/As/Bs trail the manual driver;
+   Cs still manages to help. (Fig. 12 then diagnoses and fixes this.) *)
+
+let configs () =
+  if !Report.quick then [ (Accel_matmul.V3, 8, 64) ]
+  else
+    [
+      (Accel_matmul.V2, 8, 64);
+      (Accel_matmul.V2, 16, 128);
+      (Accel_matmul.V3, 8, 64);
+      (Accel_matmul.V3, 16, 128);
+      (Accel_matmul.V3, 16, 256);
+    ]
+
+let run () =
+  Report.header
+    "Fig. 11: manual Ns vs generated flows, generic (unspecialised) copies, task clock (ms)";
+  let t =
+    Tabulate.create
+      [
+        ("accel", Tabulate.Left);
+        ("dims", Tabulate.Right);
+        ("manual Ns", Tabulate.Right);
+        ("gen Ns", Tabulate.Right);
+        ("gen As", Tabulate.Right);
+        ("gen Bs", Tabulate.Right);
+        ("gen Cs", Tabulate.Right);
+      ]
+  in
+  List.iter
+    (fun (version, size, dims) ->
+      let accel = Presets.matmul ~version ~size () in
+      let bench = Axi4mlir.create accel in
+      let a, b, c = Axi4mlir.alloc_matmul_operands bench ~m:dims ~n:dims ~k:dims in
+      let manual =
+        Report.ms bench (Report.manual_matmul_counters bench accel ~flow:"Ns" ~a ~b ~c ())
+      in
+      let gen flow =
+        if List.mem flow (Presets.matmul_flows version) then begin
+          let options =
+            {
+              Axi4mlir.default_codegen with
+              flow = Some flow;
+              copy_specialization = false;
+            }
+          in
+          Tabulate.fmt_ms
+            (Report.ms bench
+               (Report.generated_matmul_counters bench ~options ~m:dims ~n:dims ~k:dims ~a
+                  ~b ~c ()))
+        end
+        else "-"
+      in
+      Tabulate.add_row t
+        [
+          Printf.sprintf "%s_%d" (Report.version_name version) size;
+          string_of_int dims;
+          Tabulate.fmt_ms manual;
+          gen "Ns";
+          gen "As";
+          gen "Bs";
+          gen "Cs";
+        ])
+    (configs ());
+  Tabulate.print t;
+  Report.note
+    "Paper shape: with generic copies the generated Ns/As/Bs are bottlenecked relative to \
+     manual Ns; stationary flows (especially Cs) still reduce time vs generated Ns."

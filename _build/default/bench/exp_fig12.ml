@@ -1,0 +1,59 @@
+(* Fig. 12: branch-instruction, cache-reference and task-clock counters
+   for the v3_16 accelerator at dims = 128, normalised to CPU-only
+   execution of the same problem — (a) without the MemRef-DMA copy
+   specialisation, (b) with it. *)
+
+let run_variant ~specialized =
+  let dims = 128 in
+  let accel = Presets.matmul ~version:Accel_matmul.V3 ~size:16 () in
+  let bench = Axi4mlir.create accel in
+  let a, b, c = Axi4mlir.alloc_matmul_operands bench ~m:dims ~n:dims ~k:dims in
+  let cpu = Report.cpu_matmul_counters bench ~a ~b ~c in
+  let norm (counters : Perf_counters.t) =
+    ( counters.Perf_counters.branches /. cpu.Perf_counters.branches,
+      Perf_counters.cache_references counters /. Perf_counters.cache_references cpu,
+      counters.Perf_counters.cycles /. cpu.Perf_counters.cycles )
+  in
+  let t =
+    Tabulate.create
+      [
+        ("driver", Tabulate.Left);
+        ("branches", Tabulate.Right);
+        ("cache refs", Tabulate.Right);
+        ("task clock", Tabulate.Right);
+      ]
+  in
+  let add name (b, r, cl) =
+    Tabulate.add_row t
+      [ name; Printf.sprintf "%.3f" b; Printf.sprintf "%.3f" r; Printf.sprintf "%.3f" cl ]
+  in
+  add "mlir_CPU" (1.0, 1.0, 1.0);
+  Tabulate.add_rule t;
+  add "manual Ns"
+    (norm (Report.manual_matmul_counters bench accel ~flow:"Ns" ~a ~b ~c ()));
+  List.iter
+    (fun flow ->
+      let options =
+        { Axi4mlir.default_codegen with flow = Some flow; copy_specialization = specialized }
+      in
+      add
+        (Printf.sprintf "gen %s" flow)
+        (norm
+           (Report.generated_matmul_counters bench ~options ~m:dims ~n:dims ~k:dims ~a ~b
+              ~c ())))
+    [ "Ns"; "As"; "Bs"; "Cs" ];
+  Tabulate.print t
+
+let run () =
+  Report.header
+    "Fig. 12a: counters normalised to CPU, v3_16, dims=128, WITHOUT copy specialisation";
+  run_variant ~specialized:false;
+  Report.note
+    "Paper shape: element-wise memref copies inflate the generated drivers' cache \
+     references and branches past the manual implementation.";
+  Report.header
+    "Fig. 12b: counters normalised to CPU, v3_16, dims=128, WITH copy specialisation";
+  run_variant ~specialized:true;
+  Report.note
+    "Paper shape: the memcpy-specialised copies remove the overhead; generated matches or \
+     beats manual on every counter."

@@ -1,0 +1,35 @@
+(* Shared helpers for the experiment harness. *)
+
+let quick = ref false
+(* --quick trims sweeps for smoke-testing the harness *)
+
+let header title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let note fmt = Printf.ksprintf (fun s -> Printf.printf "%s\n" s) fmt
+
+let ms (bench : Axi4mlir.t) counters = Axi4mlir.task_clock_ms bench counters
+
+(* Measure a thunk on a fresh run state. The simulator is deterministic,
+   so a single run replaces the paper's average of five. *)
+let measure = Axi4mlir.measure
+
+let speedup ~baseline ~candidate = baseline /. candidate
+
+let reduction ~baseline ~candidate = 1.0 -. (candidate /. baseline)
+
+(* CPU-only execution of a square matmul, sampled for large sizes. *)
+let cpu_matmul_counters (bench : Axi4mlir.t) ~a ~b ~c =
+  measure bench (fun () ->
+      Cpu_reference.matmul_sampled bench.Axi4mlir.soc ~a ~b ~c ~sample_rows:8)
+
+let generated_matmul_counters (bench : Axi4mlir.t) ?(options = Axi4mlir.default_codegen)
+    ~m ~n ~k ~a ~b ~c () =
+  let ir = Axi4mlir.compile_matmul bench ~options ~m ~n ~k () in
+  measure bench (fun () -> Axi4mlir.run_matmul bench ~options ir ~a ~b ~c)
+
+let manual_matmul_counters (bench : Axi4mlir.t) accel ~flow ?tiles ~a ~b ~c () =
+  measure bench (fun () ->
+      Manual_matmul.run bench.Axi4mlir.soc accel ~flow ?tiles ~a ~b ~c ())
+
+let version_name = Accel_matmul.version_to_string

@@ -1,0 +1,1 @@
+bin/axi4mlir_config.ml: Accel_config Accel_matmul Arg Cmd Cmdliner Config_parser Host_config List Presets Printf String Term

@@ -1,0 +1,1 @@
+bin/axi4mlir_opt.ml: Arg Axi4mlir Buffer Cmd Cmdliner Config_parser Dialects List Parser_ir Printer String Term

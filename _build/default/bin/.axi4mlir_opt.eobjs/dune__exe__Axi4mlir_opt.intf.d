@@ -1,0 +1,1 @@
+bin/axi4mlir_opt.mli:

@@ -1,0 +1,1 @@
+bin/axi4mlir_run.ml: Arg Axi4mlir Cmd Cmdliner Config_parser Dialects Dma_library Gold Interp List Memref_view Option Perf_counters Printf String Term

@@ -1,0 +1,81 @@
+(* axi4mlir-config: emit, validate and inspect accelerator
+   configuration files.
+
+     dune exec bin/axi4mlir_config.exe -- --list
+     dune exec bin/axi4mlir_config.exe -- --preset v3_16 --flow Cs -o v3_16.json
+     dune exec bin/axi4mlir_config.exe -- --check my_accel.json
+*)
+
+open Cmdliner
+
+let presets () =
+  List.concat_map
+    (fun version ->
+      List.map
+        (fun size ->
+          ( Printf.sprintf "%s_%d" (Accel_matmul.version_to_string version) size,
+            fun flow -> Presets.matmul ~version ~size ?flow () ))
+        Presets.table1_sizes)
+    [ Accel_matmul.V1; Accel_matmul.V2; Accel_matmul.V3; Accel_matmul.V4 ]
+  @ [ ("conv2d", fun flow -> Presets.conv ?flow ()) ]
+
+let run_tool list_presets preset flow output check =
+  match (list_presets, preset, check) with
+  | true, _, _ ->
+    List.iter
+      (fun (name, make) ->
+        let config = make None in
+        Printf.printf "%-8s %-20s flows: %s (default %s)\n" name
+          config.Accel_config.op_kind
+          (String.concat ", " (List.map fst config.Accel_config.opcode_flows))
+          config.Accel_config.selected_flow)
+      (presets ());
+    `Ok ()
+  | false, _, Some path ->
+    let _host, config = Config_parser.parse_file path in
+    Printf.printf "%s: valid (%s, %s flow, %d opcodes)\n" path
+      config.Accel_config.accel_name config.Accel_config.selected_flow
+      (List.length config.Accel_config.opcode_map);
+    `Ok ()
+  | false, Some name, None -> (
+    match List.assoc_opt name (presets ()) with
+    | None -> `Error (false, Printf.sprintf "unknown preset %s (try --list)" name)
+    | Some make ->
+      let config = make flow in
+      let text = Config_parser.to_string Host_config.pynq_z2 config in
+      (match output with
+      | None -> print_endline text
+      | Some path ->
+        let oc = open_out path in
+        output_string oc text;
+        output_char oc '\n';
+        close_out oc;
+        Printf.printf "wrote %s\n" path);
+      `Ok ())
+  | false, None, None -> `Error (true, "one of --list, --preset or --check is required")
+
+let list_presets = Arg.(value & flag & info [ "list" ] ~doc:"List available presets.")
+
+let preset =
+  Arg.(value & opt (some string) None & info [ "preset" ] ~docv:"NAME"
+         ~doc:"Emit a preset configuration (e.g. v3_16, conv2d).")
+
+let flow =
+  Arg.(value & opt (some string) None & info [ "flow" ] ~docv:"NAME"
+         ~doc:"Select the preset's default opcode flow.")
+
+let output =
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+         ~doc:"Write to FILE instead of stdout.")
+
+let check =
+  Arg.(value & opt (some string) None & info [ "check" ] ~docv:"FILE"
+         ~doc:"Parse and validate an existing configuration file.")
+
+let cmd =
+  let doc = "emit, validate and inspect AXI4MLIR accelerator configurations" in
+  Cmd.v
+    (Cmd.info "axi4mlir-config" ~doc)
+    Term.(ret (const run_tool $ list_presets $ preset $ flow $ output $ check))
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,126 @@
+(* axi4mlir-opt: the pass-driver tool.
+
+   Reads a module in the generic IR syntax (file or stdin), runs the
+   AXI4MLIR pipeline configured by an accelerator/host JSON file, and
+   prints the result.
+
+     dune exec bin/axi4mlir_opt.exe -- --config accel.json input.mlir
+     dune exec bin/axi4mlir_opt.exe -- --emit-matmul 64,64,64 --config accel.json -
+*)
+
+open Cmdliner
+
+let read_input = function
+  | "-" ->
+    let buf = Buffer.create 4096 in
+    (try
+       while true do
+         Buffer.add_channel buf stdin 1
+       done
+     with End_of_file -> ());
+    Buffer.contents buf
+  | path ->
+    let ic = open_in_bin path in
+    let text = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    text
+
+let parse_tiles = function
+  | None -> None
+  | Some text -> Some (List.map int_of_string (String.split_on_char ',' text))
+
+let run_tool config_path input emit_matmul flow tiles no_cpu_tiling no_copy_spec coalesce
+    double_buffer accel_only cpu_only pretty =
+  Dialects.register_all ();
+  let modul =
+    match (emit_matmul, input) with
+    | Some dims, _ -> (
+      match List.map int_of_string (String.split_on_char ',' dims) with
+      | [ m; n; k ] -> Axi4mlir.build_matmul_module ~m ~n ~k ()
+      | _ -> failwith "--emit-matmul expects M,N,K")
+    | None, Some path -> Parser_ir.parse_op (read_input path)
+    | None, None -> failwith "provide an input file (or '-') or --emit-matmul"
+  in
+  let result =
+    if cpu_only then Axi4mlir.compile_cpu modul
+    else begin
+      let config_path =
+        match config_path with
+        | Some p -> p
+        | None -> failwith "--config is required (except with --cpu)"
+      in
+      let host, accel = Config_parser.parse_file config_path in
+      let bench = Axi4mlir.create ~host accel in
+      let options =
+        {
+          Axi4mlir.flow;
+          tiles = parse_tiles tiles;
+          cpu_tiling = not no_cpu_tiling;
+          copy_specialization = not no_copy_spec;
+          coalesce_transfers = coalesce;
+          double_buffer;
+          to_runtime_calls = not accel_only;
+        }
+      in
+      Axi4mlir.compile bench ~options modul
+    end
+  in
+  print_string (if pretty then Printer.to_pretty result else Printer.to_generic result);
+  `Ok ()
+
+let config =
+  Arg.(value & opt (some string) None & info [ "config" ] ~docv:"FILE"
+         ~doc:"Accelerator/host configuration (JSON, Fig. 5 format).")
+
+let input =
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"INPUT"
+         ~doc:"Module in generic IR syntax; '-' reads stdin.")
+
+let emit_matmul =
+  Arg.(value & opt (some string) None & info [ "emit-matmul" ] ~docv:"M,N,K"
+         ~doc:"Ignore INPUT and start from a fresh linalg matmul module.")
+
+let flow =
+  Arg.(value & opt (some string) None & info [ "flow" ] ~docv:"NAME"
+         ~doc:"Override the configuration's selected opcode flow.")
+
+let tiles =
+  Arg.(value & opt (some string) None & info [ "tiles" ] ~docv:"TM,TN,TK"
+         ~doc:"Tile-size override for flexible engines.")
+
+let no_cpu_tiling =
+  Arg.(value & flag & info [ "no-cpu-tiling" ] ~doc:"Disable cache-hierarchy tiling.")
+
+let no_copy_spec =
+  Arg.(value & flag & info [ "no-copy-spec" ]
+         ~doc:"Disable the Sec. IV-B strided-copy specialisation.")
+
+let coalesce =
+  Arg.(value & flag & info [ "coalesce" ]
+         ~doc:"Enable Sec. V transfer coalescing.")
+
+let double_buffer =
+  Arg.(value & flag & info [ "double-buffer" ]
+         ~doc:"Enable the Sec. V double-buffering attribute.")
+
+let accel_only =
+  Arg.(value & flag & info [ "accel-only" ]
+         ~doc:"Stop at the accel dialect (Fig. 6b level) instead of runtime calls.")
+
+let cpu_only =
+  Arg.(value & flag & info [ "cpu" ]
+         ~doc:"Run the mlir_CPU lowering (linalg to loops) instead of offloading.")
+
+let pretty =
+  Arg.(value & flag & info [ "pretty" ] ~doc:"Human-oriented printing (not re-parseable).")
+
+let cmd =
+  let doc = "AXI4MLIR pass driver: compile linalg modules into accelerator host code" in
+  Cmd.v
+    (Cmd.info "axi4mlir-opt" ~doc)
+    Term.(
+      ret
+        (const run_tool $ config $ input $ emit_matmul $ flow $ tiles $ no_cpu_tiling
+       $ no_copy_spec $ coalesce $ double_buffer $ accel_only $ cpu_only $ pretty))
+
+let () = exit (Cmd.eval cmd)

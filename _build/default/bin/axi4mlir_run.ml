@@ -1,0 +1,115 @@
+(* axi4mlir-run: compile-and-execute tool.
+
+   Compiles a linalg module against an accelerator configuration, runs
+   it on the simulated SoC with deterministic random inputs, verifies
+   the result against the pure oracle (for the known op kinds) and
+   prints the performance counters.
+
+     dune exec bin/axi4mlir_run.exe -- --config accel.json --matmul 64,64,64
+     dune exec bin/axi4mlir_run.exe -- --config accel.json --matmul 64,64,64 --cpu
+*)
+
+open Cmdliner
+
+let run_tool config_path matmul conv flow tiles coalesce double_buffer cpu_only =
+  Dialects.register_all ();
+  let config_path =
+    match config_path with Some p -> p | None -> failwith "--config is required"
+  in
+  let host, accel = Config_parser.parse_file config_path in
+  let bench = Axi4mlir.create ~host accel in
+  let parse_ints text = List.map int_of_string (String.split_on_char ',' text) in
+  let options =
+    {
+      Axi4mlir.default_codegen with
+      flow;
+      tiles = Option.map parse_ints tiles;
+      coalesce_transfers = coalesce;
+      double_buffer;
+    }
+  in
+  let counters, diff =
+    match (matmul, conv) with
+    | Some dims, None -> (
+      match parse_ints dims with
+      | [ m; n; k ] ->
+        let a, b, c = Axi4mlir.alloc_matmul_operands bench ~m ~n ~k in
+        let gold =
+          Gold.matmul ~m ~n ~k (Memref_view.to_array a) (Memref_view.to_array b)
+        in
+        let counters =
+          if cpu_only then begin
+            let ir = Axi4mlir.compile_cpu (Axi4mlir.build_matmul_module ~m ~n ~k ()) in
+            Axi4mlir.measure bench (fun () -> Axi4mlir.run_matmul bench ir ~a ~b ~c)
+          end
+          else begin
+            let ir = Axi4mlir.compile_matmul bench ~options ~m ~n ~k () in
+            Axi4mlir.measure bench (fun () ->
+                Axi4mlir.run_matmul bench ~options ir ~a ~b ~c)
+          end
+        in
+        (counters, Gold.max_abs_diff gold (Memref_view.to_array c))
+      | _ -> failwith "--matmul expects M,N,K")
+    | None, Some dims -> (
+      match parse_ints dims with
+      | [ ic; ihw; oc; fhw ] ->
+        let i, w, o =
+          Axi4mlir.alloc_conv_operands bench ~n:1 ~ic ~ih:ihw ~iw:ihw ~oc ~fh:fhw ~fw:fhw
+        in
+        let gold =
+          Gold.conv2d ~n:1 ~ic ~ih:ihw ~iw:ihw ~oc ~fh:fhw ~fw:fhw
+            (Memref_view.to_array i) (Memref_view.to_array w)
+        in
+        let ir = Axi4mlir.build_conv_module ~n:1 ~ic ~ih:ihw ~iw:ihw ~oc ~fh:fhw ~fw:fhw () in
+        let compiled =
+          if cpu_only then Axi4mlir.compile_cpu ir else Axi4mlir.compile bench ~options ir
+        in
+        let counters =
+          Axi4mlir.measure bench (fun () ->
+              Axi4mlir.run_func bench ~copy_strategy:Dma_library.Specialized compiled
+                "conv_call"
+                [ Interp.M i; Interp.M w; Interp.M o ])
+        in
+        (counters, Gold.max_abs_diff gold (Memref_view.to_array o))
+      | _ -> failwith "--conv expects IC,IHW,OC,FHW")
+    | _ -> failwith "exactly one of --matmul or --conv is required"
+  in
+  Printf.printf "task clock   : %.3f ms\n" (Axi4mlir.task_clock_ms bench counters);
+  Printf.printf "counters     : %s\n" (Perf_counters.to_string counters);
+  Printf.printf "max |error|  : %g (%s)\n" diff (if diff < 1e-9 then "PASS" else "FAIL");
+  if diff < 1e-9 then `Ok () else `Error (false, "result mismatch")
+
+let config =
+  Arg.(value & opt (some string) None & info [ "config" ] ~docv:"FILE"
+         ~doc:"Accelerator/host configuration (JSON).")
+
+let matmul =
+  Arg.(value & opt (some string) None & info [ "matmul" ] ~docv:"M,N,K"
+         ~doc:"Run a matmul of this shape.")
+
+let conv =
+  Arg.(value & opt (some string) None & info [ "conv" ] ~docv:"IC,IHW,OC,FHW"
+         ~doc:"Run a conv2d of this shape (batch 1, square input/filter).")
+
+let flow =
+  Arg.(value & opt (some string) None & info [ "flow" ] ~docv:"NAME"
+         ~doc:"Override the configured opcode flow.")
+
+let tiles =
+  Arg.(value & opt (some string) None & info [ "tiles" ] ~docv:"TM,TN,TK"
+         ~doc:"Tile override for flexible engines.")
+
+let coalesce = Arg.(value & flag & info [ "coalesce" ] ~doc:"Coalesce DMA transfers.")
+let double_buffer = Arg.(value & flag & info [ "double-buffer" ] ~doc:"Ping-pong sends.")
+let cpu_only = Arg.(value & flag & info [ "cpu" ] ~doc:"CPU-only lowering instead.")
+
+let cmd =
+  let doc = "compile a linalg op for an AXI accelerator and run it on the simulated SoC" in
+  Cmd.v
+    (Cmd.info "axi4mlir-run" ~doc)
+    Term.(
+      ret
+        (const run_tool $ config $ matmul $ conv $ flow $ tiles $ coalesce $ double_buffer
+       $ cpu_only))
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/conv_driver.ml: Array Axi4mlir Dma_library Gold Interp List Memref_view Perf_counters Presets Printer Printf Resnet18 String Sys Tabulate

@@ -1,0 +1,1 @@
+examples/custom_accelerator.ml: Accel_config Accel_matmul Axi4mlir Config_parser Filename Gold Host_config List Memref_view Opcode Perf_counters Printf Sys Ty

@@ -1,0 +1,1 @@
+examples/design_space_exploration.ml: Accel_config Accel_matmul Array Axi4mlir Cost_model Heuristics List Perf_counters Presets Printf Sys Tabulate Util

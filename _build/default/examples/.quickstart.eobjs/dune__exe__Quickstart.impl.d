@@ -1,0 +1,1 @@
+examples/quickstart.ml: Accel_config Array Axi4mlir Config_parser Gold Host_config Memref_view Perf_counters Printer Printf

@@ -1,0 +1,1 @@
+examples/tinybert_layers.ml: Accel_config Accel_matmul Axi4mlir Cpu_reference Dma_library Heuristics List Perf_counters Presets Printf Tabulate Tinybert

@@ -1,0 +1,1 @@
+examples/tinybert_layers.mli:

@@ -1,0 +1,90 @@
+(* Design-space exploration with a runtime-configurable accelerator
+   (the paper's Sec. IV-C workflow): for one problem shape, sweep every
+   dataflow and feasible tile shape of the flexible v4 engine, compare
+   the analytic cost estimate against measured simulation, and report
+   the winner.
+
+     dune exec examples/design_space_exploration.exe -- [M N K]   *)
+
+let measure_config bench ~m ~n ~k ~flow ~tiles:(tm, tn, tk) =
+  let options =
+    { Axi4mlir.default_codegen with flow = Some flow; tiles = Some [ tm; tn; tk ] }
+  in
+  let a, b, c = Axi4mlir.alloc_matmul_operands bench ~m ~n ~k in
+  let ir = Axi4mlir.compile_matmul bench ~options ~m ~n ~k () in
+  let counters = Axi4mlir.measure bench (fun () -> Axi4mlir.run_matmul bench ~options ir ~a ~b ~c) in
+  counters.Perf_counters.cycles
+
+let () =
+  let m, n, k =
+    match Array.to_list Sys.argv with
+    | [ _; m; n; k ] -> (int_of_string m, int_of_string n, int_of_string k)
+    | _ -> (32, 256, 512)
+  in
+  let accel = Presets.matmul ~version:Accel_matmul.V4 ~size:16 () in
+  let bench = Axi4mlir.create accel in
+  Printf.printf "Exploring %dx%dx%d on %s (buffers: %d elements/operand)\n\n" m n k
+    accel.Accel_config.accel_name accel.Accel_config.buffer_capacity_elems;
+
+  let candidates = Heuristics.candidate_tiles accel ~m ~n ~k in
+  Printf.printf "%d feasible tile shapes x 4 flows\n\n" (List.length candidates);
+
+  (* Sweep a manageable subset: every flow with the predicted-best five
+     tile shapes for that flow. *)
+  let flows = [ "Ns"; "As"; "Bs"; "Cs" ] in
+  let best_measured = ref ("", (0, 0, 0), infinity) in
+  let rows = ref [] in
+  List.iter
+    (fun flow ->
+      let scored =
+        List.map
+          (fun (tm, tn, tk) ->
+            ( (tm, tn, tk),
+              Heuristics.estimate_cycles accel ~cost:Cost_model.default ~flow ~m ~n ~k ~tm
+                ~tn ~tk ))
+          candidates
+      in
+      let top =
+        Util.list_take 5 (List.sort (fun (_, a) (_, b) -> compare a b) scored)
+      in
+      List.iter
+        (fun ((tm, tn, tk), predicted) ->
+          let measured = measure_config bench ~m ~n ~k ~flow ~tiles:(tm, tn, tk) in
+          if measured < (let _, _, best = !best_measured in best) then
+            best_measured := (flow, (tm, tn, tk), measured);
+          rows := (flow, (tm, tn, tk), predicted, measured) :: !rows)
+        top)
+    flows;
+
+  let t =
+    Tabulate.create
+      [
+        ("flow", Tabulate.Left);
+        ("tM,tN,tK", Tabulate.Left);
+        ("predicted ms", Tabulate.Right);
+        ("measured ms", Tabulate.Right);
+        ("pred/meas", Tabulate.Right);
+      ]
+  in
+  List.iter
+    (fun (flow, (tm, tn, tk), predicted, measured) ->
+      Tabulate.add_row t
+        [
+          flow;
+          Printf.sprintf "%d,%d,%d" tm tn tk;
+          Tabulate.fmt_ms (predicted /. 650_000.0);
+          Tabulate.fmt_ms (measured /. 650_000.0);
+          Printf.sprintf "%.2f" (predicted /. measured);
+        ])
+    (List.sort compare (List.rev !rows));
+  Tabulate.print ~title:"Per-configuration results (top-5 predicted per flow)" t;
+
+  let flow, (tm, tn, tk), measured = !best_measured in
+  Printf.printf "\nMeasured best: flow %s with tiles tM=%d tN=%d tK=%d (%.3f ms)\n" flow tm
+    tn tk
+    (measured /. 650_000.0);
+  match Heuristics.best accel ~m ~n ~k with
+  | Some choice ->
+    Printf.printf "Heuristic pick: flow %s with tiles tM=%d tN=%d tK=%d\n"
+      choice.Heuristics.flow choice.Heuristics.tm choice.Heuristics.tn choice.Heuristics.tk
+  | None -> print_endline "Heuristic found no feasible configuration"

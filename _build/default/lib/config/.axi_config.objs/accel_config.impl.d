@@ -1,0 +1,1 @@
+lib/config/accel_config.ml: Accel_conv Accel_matmul Json List Opcode Printf Result Soc String Ty

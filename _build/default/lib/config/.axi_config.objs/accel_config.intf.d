@@ -1,0 +1,1 @@
+lib/config/accel_config.mli: Accel_device Accel_matmul Dma_engine Json Opcode Soc Ty

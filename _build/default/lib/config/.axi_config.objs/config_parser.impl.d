@@ -1,0 +1,1 @@
+lib/config/config_parser.ml: Accel_config Host_config Json

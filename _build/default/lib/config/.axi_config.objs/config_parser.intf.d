@@ -1,0 +1,1 @@
+lib/config/config_parser.mli: Accel_config Host_config

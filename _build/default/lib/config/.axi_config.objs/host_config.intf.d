@@ -1,0 +1,1 @@
+lib/config/host_config.mli: Cache Json

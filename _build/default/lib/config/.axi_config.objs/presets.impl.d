@@ -1,0 +1,1 @@
+lib/config/presets.ml: Accel_config Accel_conv Accel_matmul Isa List Opcode Printf Ty

@@ -1,0 +1,1 @@
+lib/config/presets.mli: Accel_config Accel_matmul

@@ -1,0 +1,1 @@
+lib/config/trait.ml: Accel_config Affine_map Attribute Ir List Opcode Printf Result String

@@ -1,0 +1,1 @@
+lib/config/trait.mli: Accel_config Attribute Ir Opcode

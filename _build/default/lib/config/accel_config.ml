@@ -1,0 +1,219 @@
+type dma_config = {
+  dma_id : int;
+  input_address : int;
+  input_buffer_size : int;
+  output_address : int;
+  output_buffer_size : int;
+}
+
+type engine_kind = Matmul_engine of Accel_matmul.version * int | Conv_engine
+
+type t = {
+  accel_name : string;
+  engine : engine_kind;
+  op_kind : string;
+  data_type : Ty.dtype;
+  accel_dims : int list;
+  flexible : bool;
+  buffer_capacity_elems : int;
+  frequency_mhz : float;
+  ops_per_cycle : float;
+  dma : dma_config;
+  opcode_map : Opcode.map;
+  opcode_flows : (string * Opcode.flow) list;
+  selected_flow : string;
+  init_opcodes : string list;
+}
+
+let n_args t =
+  match t.op_kind with
+  | "matmul" | "conv_2d_nchw_fchw" -> 3
+  | other -> failwith (Printf.sprintf "Accel_config: unknown op kind %s" other)
+
+let flow_exn t name =
+  match List.assoc_opt name t.opcode_flows with
+  | Some f -> f
+  | None ->
+    failwith
+      (Printf.sprintf "Accel_config %s: no flow named %s (available: %s)" t.accel_name
+         name
+         (String.concat ", " (List.map fst t.opcode_flows)))
+
+let selected_flow_exn t = flow_exn t t.selected_flow
+
+let iteration_dims t =
+  match t.op_kind with
+  | "matmul" -> 3
+  | "conv_2d_nchw_fchw" -> 7
+  | other -> failwith (Printf.sprintf "Accel_config: unknown op kind %s" other)
+
+let ( let* ) r f = Result.bind r f
+
+let validate t =
+  let* () =
+    match t.op_kind with
+    | "matmul" | "conv_2d_nchw_fchw" -> Ok ()
+    | other -> Error (Printf.sprintf "unknown op kind %s" other)
+  in
+  let* () =
+    if List.length t.accel_dims = iteration_dims t then Ok ()
+    else
+      Error
+        (Printf.sprintf "accel_dims must have %d entries for %s" (iteration_dims t)
+           t.op_kind)
+  in
+  let* () = Opcode.validate_map ~n_args:(n_args t) t.opcode_map in
+  let rec check_flows = function
+    | [] -> Ok ()
+    | (name, flow) :: rest ->
+      let* () =
+        Result.map_error
+          (fun e -> Printf.sprintf "flow %s: %s" name e)
+          (Opcode.validate_flow t.opcode_map flow)
+      in
+      check_flows rest
+  in
+  let* () = check_flows t.opcode_flows in
+  let* () =
+    if List.mem_assoc t.selected_flow t.opcode_flows then Ok ()
+    else Error (Printf.sprintf "selected flow %s is not defined" t.selected_flow)
+  in
+  let* () =
+    let missing =
+      List.filter (fun k -> Opcode.find t.opcode_map k = None) t.init_opcodes
+    in
+    if missing = [] then Ok ()
+    else Error (Printf.sprintf "undefined init opcodes: %s" (String.concat ", " missing))
+  in
+  let* () =
+    match t.engine with
+    | Matmul_engine (version, size) ->
+      let cap = Accel_matmul.buffer_capacity_elems version ~size in
+      if t.buffer_capacity_elems <= cap then Ok ()
+      else
+        Error
+          (Printf.sprintf "buffer_capacity_elems %d exceeds the %s_%d engine's %d"
+             t.buffer_capacity_elems
+             (Accel_matmul.version_to_string version)
+             size cap)
+    | Conv_engine ->
+      if t.buffer_capacity_elems <= Accel_conv.buffer_capacity_elems then Ok ()
+      else Error "buffer_capacity_elems exceeds the conv engine's capacity"
+  in
+  if t.dma.input_buffer_size <= 0 || t.dma.output_buffer_size <= 0 then
+    Error "DMA buffer sizes must be positive"
+  else Ok ()
+
+let make_device t =
+  match t.engine with
+  | Matmul_engine (version, size) -> Accel_matmul.create ~version ~size
+  | Conv_engine -> Accel_conv.create ~ops_per_cycle:t.ops_per_cycle ()
+
+let attach soc t =
+  Soc.attach_engine soc ~dma_id:t.dma.dma_id ~device:(make_device t)
+    ~in_capacity_words:(t.dma.input_buffer_size / 4)
+    ~out_capacity_words:(t.dma.output_buffer_size / 4)
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let engine_of_json json =
+  match Json.to_str (Json.member "engine" json) with
+  | "conv" -> Conv_engine
+  | v -> (
+    match Accel_matmul.version_of_string v with
+    | Some version -> Matmul_engine (version, Json.to_int (Json.member "size" json))
+    | None -> failwith (Printf.sprintf "Accel_config: unknown engine %s" v))
+
+let dma_of_json json =
+  {
+    dma_id = Json.to_int (Json.member "id" json);
+    input_address = Json.to_int (Json.member "input_address" json);
+    input_buffer_size = Json.to_int (Json.member "input_buffer_size" json);
+    output_address = Json.to_int (Json.member "output_address" json);
+    output_buffer_size = Json.to_int (Json.member "output_buffer_size" json);
+  }
+
+let of_json json =
+  let data_type_name = Json.to_str (Json.member "data_type" json) in
+  let data_type =
+    match Ty.dtype_of_string data_type_name with
+    | Some d -> d
+    | None -> failwith (Printf.sprintf "Accel_config: unknown data type %s" data_type_name)
+  in
+  let config =
+    {
+      accel_name = Json.to_str (Json.member "name" json);
+      engine = engine_of_json json;
+      op_kind = Json.to_str (Json.member "operation" json);
+      data_type;
+      accel_dims = List.map Json.to_int (Json.to_list (Json.member "dims" json));
+      flexible =
+        (match Json.member_opt "flexible" json with
+        | Some v -> Json.to_bool v
+        | None -> false);
+      buffer_capacity_elems = Json.to_int (Json.member "buffer_elems" json);
+      frequency_mhz = Json.to_float (Json.member "frequency_mhz" json);
+      ops_per_cycle = Json.to_float (Json.member "ops_per_cycle" json);
+      dma = dma_of_json (Json.member "dma" json);
+      opcode_map = Opcode.parse_map (Json.to_str (Json.member "opcode_map" json));
+      opcode_flows =
+        List.map
+          (fun (name, v) -> (name, Opcode.parse_flow (Json.to_str v)))
+          (Json.to_obj (Json.member "opcode_flows" json));
+      selected_flow = Json.to_str (Json.member "flow" json);
+      init_opcodes =
+        Opcode.flow_opcodes (Opcode.parse_flow (Json.to_str (Json.member "init_opcodes" json)));
+    }
+  in
+  (match validate config with
+  | Ok () -> ()
+  | Error msg -> failwith (Printf.sprintf "Accel_config %s: %s" config.accel_name msg));
+  config
+
+let to_json t =
+  let engine_fields =
+    match t.engine with
+    | Matmul_engine (version, size) ->
+      [
+        ("engine", Json.String (Accel_matmul.version_to_string version));
+        ("size", Json.Int size);
+      ]
+    | Conv_engine -> [ ("engine", Json.String "conv") ]
+  in
+  Json.Obj
+    (( ("name", Json.String t.accel_name) :: engine_fields )
+    @ [
+        ("operation", Json.String t.op_kind);
+        ("data_type", Json.String (Ty.dtype_to_string t.data_type));
+        ("dims", Json.List (List.map (fun d -> Json.Int d) t.accel_dims));
+        ("flexible", Json.Bool t.flexible);
+        ("buffer_elems", Json.Int t.buffer_capacity_elems);
+        ("frequency_mhz", Json.Float t.frequency_mhz);
+        ("ops_per_cycle", Json.Float t.ops_per_cycle);
+        ( "dma",
+          Json.Obj
+            [
+              ("id", Json.Int t.dma.dma_id);
+              ("input_address", Json.Int t.dma.input_address);
+              ("input_buffer_size", Json.Int t.dma.input_buffer_size);
+              ("output_address", Json.Int t.dma.output_address);
+              ("output_buffer_size", Json.Int t.dma.output_buffer_size);
+            ] );
+        ("opcode_map", Json.String (Opcode.map_to_string t.opcode_map));
+        ( "opcode_flows",
+          Json.Obj
+            (List.map
+               (fun (name, flow) -> (name, Json.String (Opcode.flow_to_string flow)))
+               t.opcode_flows) );
+        ("flow", Json.String t.selected_flow);
+        ( "init_opcodes",
+          Json.String
+            (Opcode.flow_to_string (List.map (fun k -> Opcode.Op k) t.init_opcodes)) );
+      ])
+
+let with_flow t name =
+  let updated = { t with selected_flow = name } in
+  ignore (flow_exn t name);
+  updated

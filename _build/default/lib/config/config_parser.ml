@@ -1,0 +1,27 @@
+let parse_string text =
+  let json = Json.of_string text in
+  let host = Host_config.of_json (Json.member "cpu" json) in
+  let accel = Accel_config.of_json (Json.member "accelerator" json) in
+  (host, accel)
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let text =
+    try really_input_string ic (in_channel_length ic)
+    with exn ->
+      close_in ic;
+      raise exn
+  in
+  close_in ic;
+  parse_string text
+
+let to_string host accel =
+  Json.to_string ~indent:2
+    (Json.Obj
+       [ ("cpu", Host_config.to_json host); ("accelerator", Accel_config.to_json accel) ])
+
+let write_file path host accel =
+  let oc = open_out_bin path in
+  output_string oc (to_string host accel);
+  output_char oc '\n';
+  close_out oc

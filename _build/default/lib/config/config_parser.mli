@@ -1,0 +1,14 @@
+(** Configuration-file front end (step 2 of the compiler flow,
+    Fig. 4): parses the JSON file of Fig. 5 into validated host and
+    accelerator descriptions, and can serialise them back. *)
+
+val parse_string : string -> Host_config.t * Accel_config.t
+(** Raises [Json.Parse_error], [Json.Type_error],
+    [Opcode.Syntax_error] or [Failure] with field-qualified messages. *)
+
+val parse_file : string -> Host_config.t * Accel_config.t
+
+val to_string : Host_config.t -> Accel_config.t -> string
+(** Pretty-printed JSON, parseable by {!parse_string}. *)
+
+val write_file : string -> Host_config.t -> Accel_config.t -> unit

@@ -1,0 +1,53 @@
+type t = {
+  cpu_name : string;
+  frequency_mhz : float;
+  caches : Cache.geometry list;
+}
+
+let pynq_z2 =
+  {
+    cpu_name = "cortex-a9";
+    frequency_mhz = 650.0;
+    caches = [ Cache.cortex_a9_l1; Cache.cortex_a9_l2 ];
+  }
+
+let geometry_of_json json =
+  {
+    Cache.size_bytes = 1024 * Json.to_int (Json.member "size_kb" json);
+    line_bytes =
+      (match Json.member_opt "line_bytes" json with
+      | Some v -> Json.to_int v
+      | None -> 32);
+    assoc = Json.to_int (Json.member "assoc" json);
+  }
+
+let of_json json =
+  {
+    cpu_name =
+      (match Json.member_opt "name" json with Some v -> Json.to_str v | None -> "cpu");
+    frequency_mhz = Json.to_float (Json.member "frequency_mhz" json);
+    caches = List.map geometry_of_json (Json.to_list (Json.member "caches" json));
+  }
+
+let to_json t =
+  Json.Obj
+    [
+      ("name", Json.String t.cpu_name);
+      ("frequency_mhz", Json.Float t.frequency_mhz);
+      ( "caches",
+        Json.List
+          (List.map
+             (fun (g : Cache.geometry) ->
+               Json.Obj
+                 [
+                   ("size_kb", Json.Int (g.size_bytes / 1024));
+                   ("line_bytes", Json.Int g.line_bytes);
+                   ("assoc", Json.Int g.assoc);
+                 ])
+             t.caches) );
+    ]
+
+let last_level_cache_bytes t =
+  match List.rev t.caches with [] -> 0 | g :: _ -> g.Cache.size_bytes
+
+let l1_bytes t = match t.caches with [] -> 0 | g :: _ -> g.Cache.size_bytes

@@ -1,0 +1,176 @@
+open Opcode
+
+let lit v = Send_literal v
+
+(* Opcode maps per Table I. Argument numbering follows the
+   linalg.generic operand order: 0 = A, 1 = B, 2 = C. *)
+
+let reset_entry = { key = "reset"; actions = [ lit Isa.reset ] }
+
+let v1_map =
+  [
+    reset_entry;
+    { key = "sAsBcCrC"; actions = [ lit Isa.mm_fused; Send 0; Send 1; Recv 2 ] };
+  ]
+
+let v2_map =
+  [
+    reset_entry;
+    { key = "sA"; actions = [ lit Isa.mm_load_a; Send 0 ] };
+    { key = "sB"; actions = [ lit Isa.mm_load_b; Send 1 ] };
+    { key = "cCrC"; actions = [ lit Isa.mm_compute_drain; Recv 2 ] };
+  ]
+
+let v3_map =
+  [
+    reset_entry;
+    { key = "sA"; actions = [ lit Isa.mm_load_a; Send 0 ] };
+    { key = "sB"; actions = [ lit Isa.mm_load_b; Send 1 ] };
+    { key = "cC"; actions = [ lit Isa.mm_compute ] };
+    { key = "rC"; actions = [ lit Isa.mm_drain; Recv 2 ] };
+  ]
+
+(* v4 adds the runtime tile configuration opcodes; the host-code
+   generator folds send_dim at init scope to the planned tile sizes. *)
+let v4_map =
+  v3_map
+  @ [
+      { key = "cfgM"; actions = [ lit Isa.mm_set_tm; Send_dim (0, 0) ] };
+      { key = "cfgN"; actions = [ lit Isa.mm_set_tn; Send_dim (1, 1) ] };
+      { key = "cfgK"; actions = [ lit Isa.mm_set_tk; Send_dim (0, 1) ] };
+    ]
+
+let parse f = Opcode.parse_flow f
+
+let v1_flows = [ ("Ns", parse "(sAsBcCrC)") ]
+
+let v2_flows =
+  [
+    ("Ns", parse "(sA sB cCrC)");
+    ("As", parse "(sA (sB cCrC))");
+    ("Bs", parse "(sB (sA cCrC))");
+  ]
+
+let v34_flows =
+  [
+    ("Ns", parse "(sA sB cC rC)");
+    ("As", parse "(sA (sB cC rC))");
+    ("Bs", parse "(sB (sA cC rC))");
+    ("Cs", parse "((sA sB cC) rC)");
+  ]
+
+let map_for = function
+  | Accel_matmul.V1 -> v1_map
+  | Accel_matmul.V2 -> v2_map
+  | Accel_matmul.V3 -> v3_map
+  | Accel_matmul.V4 -> v4_map
+
+let flows_for = function
+  | Accel_matmul.V1 -> v1_flows
+  | Accel_matmul.V2 -> v2_flows
+  | Accel_matmul.V3 | Accel_matmul.V4 -> v34_flows
+
+let matmul_flows version = List.map fst (flows_for version)
+
+let init_for = function
+  | Accel_matmul.V1 | Accel_matmul.V2 | Accel_matmul.V3 -> [ "reset" ]
+  | Accel_matmul.V4 -> [ "reset"; "cfgM"; "cfgN"; "cfgK" ]
+
+let possible_reuse = function
+  | Accel_matmul.V1 -> "Nothing"
+  | Accel_matmul.V2 -> "Inputs"
+  | Accel_matmul.V3 -> "Ins/Out"
+  | Accel_matmul.V4 -> "Ins/Out (flex size)"
+
+let opcode_summary = function
+  | Accel_matmul.V1 -> "sAsBcCrC"
+  | Accel_matmul.V2 -> "sA, sB, cCrC"
+  | Accel_matmul.V3 -> "sA, sB, cC, rC"
+  | Accel_matmul.V4 -> "sA, sB, cC, rC"
+
+let table1_sizes = [ 4; 8; 16 ]
+
+(* The paper's Fig. 6a DMA parameters: 64 KiB input and output windows. *)
+let dma_config ~dma_id =
+  {
+    Accel_config.dma_id;
+    input_address = 0x42;
+    input_buffer_size = 0xFF00;
+    output_address = 0xFF42;
+    output_buffer_size = 0xFF00;
+  }
+
+let matmul ~version ~size ?(flow = "Ns") () =
+  let flows = flows_for version in
+  if not (List.mem_assoc flow flows) then
+    failwith
+      (Printf.sprintf "Presets.matmul: flow %s is not supported by %s accelerators" flow
+         (Accel_matmul.version_to_string version));
+  let config =
+    {
+      Accel_config.accel_name =
+        Printf.sprintf "%s_%d" (Accel_matmul.version_to_string version) size;
+      engine = Accel_config.Matmul_engine (version, size);
+      op_kind = "matmul";
+      data_type = Ty.F32;
+      accel_dims = [ size; size; size ];
+      flexible = (version = Accel_matmul.V4);
+      buffer_capacity_elems = Accel_matmul.buffer_capacity_elems version ~size;
+      frequency_mhz = 200.0;
+      ops_per_cycle = Accel_matmul.ops_per_cycle_for_size size;
+      dma = dma_config ~dma_id:0;
+      opcode_map = map_for version;
+      opcode_flows = flows;
+      selected_flow = flow;
+      init_opcodes = init_for version;
+    }
+  in
+  (match Accel_config.validate config with
+  | Ok () -> ()
+  | Error msg -> failwith (Printf.sprintf "Presets.matmul: invalid preset: %s" msg));
+  config
+
+let conv_map =
+  [
+    reset_entry;
+    { key = "cfgF"; actions = [ lit Isa.cv_set_fhw; Send_dim (1, 2) ] };
+    { key = "cfgC"; actions = [ lit Isa.cv_set_ic; Send_dim (0, 1) ] };
+    { key = "sW"; actions = [ lit Isa.cv_load_w; Send 1 ] };
+    { key = "sI"; actions = [ lit Isa.cv_patch; Send 0 ] };
+    { key = "rO"; actions = [ lit Isa.cv_drain; Recv 2 ] };
+  ]
+
+let conv_flows =
+  [
+    ("Ws", parse "(sW ((sI rO)))");
+    ("Os", parse "(sW ((sI)) rO)");
+    ("Ns", parse "(sW sI rO)");
+  ]
+
+let conv ?(flow = "Ws") () =
+  if not (List.mem_assoc flow conv_flows) then
+    failwith (Printf.sprintf "Presets.conv: unknown flow %s" flow);
+  let config =
+    {
+      Accel_config.accel_name = "conv2d";
+      engine = Accel_config.Conv_engine;
+      op_kind = "conv_2d_nchw_fchw";
+      data_type = Ty.F32;
+      (* (n, f, oh, ow, c, fh, fw): host loops of 1 over n/f/oh/ow; the
+         engine absorbs c, fh, fw up to its buffer capacity. *)
+      accel_dims = [ 1; 1; 1; 1; 0; 0; 0 ];
+      flexible = true;
+      buffer_capacity_elems = Accel_conv.buffer_capacity_elems;
+      frequency_mhz = 200.0;
+      ops_per_cycle = Accel_conv.default_ops_per_cycle;
+      dma = dma_config ~dma_id:0;
+      opcode_map = conv_map;
+      opcode_flows = conv_flows;
+      selected_flow = flow;
+      init_opcodes = [ "reset"; "cfgF"; "cfgC" ];
+    }
+  in
+  (match Accel_config.validate config with
+  | Ok () -> ()
+  | Error msg -> failwith (Printf.sprintf "Presets.conv: invalid preset: %s" msg));
+  config

@@ -1,0 +1,32 @@
+(** Ready-made accelerator configurations for the paper's evaluation
+    (Table I MatMul engines and the Sec. IV-D Conv2D engine), including
+    their opcode maps and named dataflows.
+
+    MatMul flow names follow the paper: ["Ns"] (nothing stationary),
+    ["As"]/["Bs"] (input stationary), ["Cs"] (output stationary).
+    Conv flow names: ["Ws"] (weights stationary per output channel,
+    per-pixel receive — the Fig. 15b structure), ["Os"] (weights
+    stationary, whole output slice received once per channel), and
+    ["Ns"] (no reuse). *)
+
+val matmul : version:Accel_matmul.version -> size:int -> ?flow:string -> unit -> Accel_config.t
+(** A Table I configuration. Default flow: the richest the version
+    supports is NOT assumed — it defaults to ["Ns"], matching the
+    paper's baselines. Raises [Failure] when [flow] is not available on
+    the version. *)
+
+val conv : ?flow:string -> unit -> Accel_config.t
+(** The Conv2D engine; default flow ["Ws"]. *)
+
+val matmul_flows : Accel_matmul.version -> string list
+(** Flow names supported by a version: v1 has only Ns; v2 adds As/Bs;
+    v3 and v4 add Cs. *)
+
+val possible_reuse : Accel_matmul.version -> string
+(** Table I "Possible Reuse" column text. *)
+
+val opcode_summary : Accel_matmul.version -> string
+(** Table I "Opcode(s)" column text. *)
+
+val table1_sizes : int list
+(** The evaluated accelerator sizes: [[4; 8; 16]]. *)

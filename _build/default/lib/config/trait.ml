@@ -1,0 +1,112 @@
+type t = {
+  dma_init_config : Accel_config.dma_config;
+  init_opcodes : string list;
+  accel_dim : int list;
+  permutation : int list;
+  opcode_map : Opcode.map;
+  opcode_flow : Opcode.flow;
+  cpu_tile : int list;
+  double_buffer : bool;
+}
+
+let dma_to_attr (d : Accel_config.dma_config) =
+  Attribute.Dict
+    [
+      ("id", Attribute.Int d.dma_id);
+      ("inputAddress", Attribute.Int d.input_address);
+      ("inputBufferSize", Attribute.Int d.input_buffer_size);
+      ("outputAddress", Attribute.Int d.output_address);
+      ("outputBufferSize", Attribute.Int d.output_buffer_size);
+    ]
+
+let dma_of_attr attr =
+  let dict = Attribute.get_dict attr in
+  let field name =
+    match List.assoc_opt name dict with
+    | Some (Attribute.Int v) -> v
+    | _ -> invalid_arg (Printf.sprintf "Trait: dma_init_config missing field %s" name)
+  in
+  {
+    Accel_config.dma_id = field "id";
+    input_address = field "inputAddress";
+    input_buffer_size = field "inputBufferSize";
+    output_address = field "outputAddress";
+    output_buffer_size = field "outputBufferSize";
+  }
+
+let to_attrs t =
+  let n = List.length t.accel_dim in
+  [
+    ("dma_init_config", dma_to_attr t.dma_init_config);
+    ( "init_opcodes",
+      Attribute.Opcode_flow (List.map (fun k -> Opcode.Op k) t.init_opcodes) );
+    ("accel_dim", Attribute.Affine (Affine_map.constant_results ~n_dims:n t.accel_dim));
+    ("permutation_map", Attribute.Affine (Affine_map.permutation t.permutation));
+    ("opcode_map", Attribute.Opcode_map t.opcode_map);
+    ("opcode_flow", Attribute.Opcode_flow t.opcode_flow);
+    ("cpu_tile_sizes", Attribute.Ints t.cpu_tile);
+    ("double_buffer", Attribute.Bool t.double_buffer);
+  ]
+
+let attach op t =
+  List.fold_left (fun op (k, v) -> Ir.set_attr op k v) op (to_attrs t)
+
+let of_op op =
+  match Ir.attr op "opcode_flow" with
+  | None -> None
+  | Some flow_attr ->
+    let accel_dim_map = Attribute.get_affine (Ir.attr_exn op "accel_dim") in
+    let accel_dim =
+      List.map
+        (function
+          | Affine_map.Cst c -> c
+          | _ -> invalid_arg "Trait: accel_dim must map to constants")
+        accel_dim_map.Affine_map.exprs
+    in
+    Some
+      {
+        dma_init_config = dma_of_attr (Ir.attr_exn op "dma_init_config");
+        init_opcodes =
+          Opcode.flow_opcodes
+            (Attribute.get_opcode_flow (Ir.attr_exn op "init_opcodes"));
+        accel_dim;
+        permutation =
+          Affine_map.projected_dims
+            (Attribute.get_affine (Ir.attr_exn op "permutation_map"));
+        opcode_map = Attribute.get_opcode_map (Ir.attr_exn op "opcode_map");
+        opcode_flow = Attribute.get_opcode_flow flow_attr;
+        cpu_tile = Attribute.get_ints (Ir.attr_exn op "cpu_tile_sizes");
+        double_buffer =
+          (match Ir.attr op "double_buffer" with
+          | Some (Attribute.Bool b) -> b
+          | Some _ | None -> false);
+      }
+
+let ( let* ) r f = Result.bind r f
+
+let validate t ~n_dims ~n_args =
+  let* () =
+    if List.length t.accel_dim = n_dims then Ok ()
+    else Error (Printf.sprintf "accel_dim must have %d entries" n_dims)
+  in
+  let* () =
+    if List.length t.cpu_tile = n_dims then Ok ()
+    else Error (Printf.sprintf "cpu_tile_sizes must have %d entries" n_dims)
+  in
+  let* () =
+    if List.sort compare t.permutation = List.init n_dims (fun i -> i) then Ok ()
+    else Error "permutation_map is not a permutation of the iteration dims"
+  in
+  let* () = Opcode.validate_map ~n_args t.opcode_map in
+  let* () = Opcode.validate_flow t.opcode_map t.opcode_flow in
+  let* () =
+    let missing = List.filter (fun k -> Opcode.find t.opcode_map k = None) t.init_opcodes in
+    if missing = [] then Ok ()
+    else Error (Printf.sprintf "undefined init opcodes: %s" (String.concat ", " missing))
+  in
+  let host_loops = List.length (List.filter (fun d -> d > 0) t.accel_dim) in
+  if Opcode.flow_depth t.opcode_flow > max host_loops 1 then
+    Error
+      (Printf.sprintf "opcode_flow depth %d exceeds the %d host loops"
+         (Opcode.flow_depth t.opcode_flow) host_loops)
+  else Ok ()

@@ -1,0 +1,41 @@
+(** The AXI4MLIR [linalg.generic] trait extension (paper Fig. 6a):
+    the attribute bundle the Match_annotate pass attaches to an
+    offloadable operation, consumed by the host-code generation pass.
+
+    Attribute encoding on the op:
+    - [dma_init_config]: dictionary of the five DMA parameters;
+    - [init_opcodes]: an {!Opcode.flow} of opcodes sent once per kernel;
+    - [accel_dim]: affine map to constants, e.g.
+      [affine_map<(m, n, k) -> (16, 16, 16)>]; a 0 entry means the
+      accelerator absorbs that dimension (no host loop);
+    - [permutation_map]: affine permutation giving the loop order;
+    - [opcode_map] / [opcode_flow]: the Fig. 7/8 attributes;
+    - [cpu_tile_sizes]: dense ints — the cache-level tile per dimension
+      (0 = untiled), our encoding of the paper's step-4 host tiling;
+    - [double_buffer]: bool — the Sec. V double-buffering attribute. *)
+
+type t = {
+  dma_init_config : Accel_config.dma_config;
+  init_opcodes : string list;
+  accel_dim : int list;
+  permutation : int list;  (** loop order, outer to inner, as dim indices *)
+  opcode_map : Opcode.map;
+  opcode_flow : Opcode.flow;
+  cpu_tile : int list;
+  double_buffer : bool;
+      (** Sec. V extension attribute: request ping-pong (asynchronous)
+          input transfers from the runtime. *)
+}
+
+val to_attrs : t -> (string * Attribute.t) list
+val attach : Ir.op -> t -> Ir.op
+
+val of_op : Ir.op -> t option
+(** Decode from an annotated op; [None] when the op has no
+    [opcode_flow] attribute. Raises [Invalid_argument] on a malformed
+    trait. *)
+
+val validate : t -> n_dims:int -> n_args:int -> (unit, string) result
+(** Arity and consistency checks: permutation over [n_dims], accel_dim
+    arity, flow depth at most the number of host loops, opcodes
+    defined. *)

@@ -1,0 +1,131 @@
+type t = {
+  soc : Soc.t;
+  host : Host_config.t;
+  accel : Accel_config.t;
+  engine : Dma_engine.t;
+}
+
+let create ?(host = Host_config.pynq_z2) accel =
+  Dialects.register_all ();
+  let soc = Soc.create ~cache_geometries:host.Host_config.caches () in
+  let engine = Accel_config.attach soc accel in
+  { soc; host; accel; engine }
+
+let alloc_view t ~label shape =
+  let n = List.fold_left ( * ) 1 shape in
+  let buf = Sim_memory.alloc t.soc.Soc.memory ~label n in
+  Gold.fill_deterministic ~seed:(Hashtbl.hash label) buf.Sim_memory.data;
+  Memref_view.of_buffer buf shape
+
+let alloc_zero t ~label shape =
+  let n = List.fold_left ( * ) 1 shape in
+  let buf = Sim_memory.alloc t.soc.Soc.memory ~label n in
+  Memref_view.of_buffer buf shape
+
+let alloc_matmul_operands t ~m ~n ~k =
+  ( alloc_view t ~label:"A" [ m; k ],
+    alloc_view t ~label:"B" [ k; n ],
+    alloc_zero t ~label:"C" [ m; n ] )
+
+let alloc_conv_operands ?(stride = 1) t ~n ~ic ~ih ~iw ~oc ~fh ~fw =
+  let oh = Gold.conv_out ih ~fhw:fh ~stride and ow = Gold.conv_out iw ~fhw:fw ~stride in
+  ( alloc_view t ~label:"I" [ n; ic; ih; iw ],
+    alloc_view t ~label:"W" [ oc; ic; fh; fw ],
+    alloc_zero t ~label:"O" [ n; oc; oh; ow ] )
+
+let build_matmul_module ?(func_name = "matmul_call") ~m ~n ~k () =
+  let a_ty = Ty.memref [ m; k ] Ty.F32 in
+  let b_ty = Ty.memref [ k; n ] Ty.F32 in
+  let c_ty = Ty.memref [ m; n ] Ty.F32 in
+  let f =
+    Func.func_op ~name:func_name ~args:[ a_ty; b_ty; c_ty ] (fun b args ->
+        match args with
+        | [ a; bv; c ] ->
+          ignore (Linalg.matmul b ~a ~b:bv ~c);
+          Func.return_op b []
+        | _ -> assert false)
+  in
+  Ir.module_op [ f ]
+
+let build_conv_module ?(func_name = "conv_call") ?(stride = 1) ~n ~ic ~ih ~iw ~oc ~fh ~fw () =
+  let oh = Gold.conv_out ih ~fhw:fh ~stride and ow = Gold.conv_out iw ~fhw:fw ~stride in
+  let i_ty = Ty.memref [ n; ic; ih; iw ] Ty.F32 in
+  let w_ty = Ty.memref [ oc; ic; fh; fw ] Ty.F32 in
+  let o_ty = Ty.memref [ n; oc; oh; ow ] Ty.F32 in
+  let f =
+    Func.func_op ~name:func_name ~args:[ i_ty; w_ty; o_ty ] (fun b args ->
+        match args with
+        | [ input; filter; output ] ->
+          ignore (Linalg.conv_2d_nchw_fchw ~stride b ~input ~filter ~output);
+          Func.return_op b []
+        | _ -> assert false)
+  in
+  Ir.module_op [ f ]
+
+type codegen_options = {
+  flow : string option;
+  tiles : int list option;
+  cpu_tiling : bool;
+  copy_specialization : bool;
+  coalesce_transfers : bool;
+  double_buffer : bool;
+  to_runtime_calls : bool;
+}
+
+let default_codegen =
+  {
+    flow = None;
+    tiles = None;
+    cpu_tiling = true;
+    copy_specialization = true;
+    coalesce_transfers = false;
+    double_buffer = false;
+    to_runtime_calls = true;
+  }
+
+let pipeline_of t options =
+  let match_options =
+    {
+      Match_annotate.flow = options.flow;
+      tile_override = options.tiles;
+      cpu_tiling = options.cpu_tiling;
+      double_buffer = options.double_buffer;
+      on_skip = Some (fun reason -> failwith ("AXI4MLIR: cannot offload: " ^ reason));
+    }
+  in
+  Pipeline.make ~accel:t.accel ~host:t.host ~options:match_options
+    ~copy_specialization:options.copy_specialization
+    ~coalesce_transfers:options.coalesce_transfers
+    ~to_runtime_calls:options.to_runtime_calls ()
+
+let compile t ?(options = default_codegen) m = Pipeline.run (pipeline_of t options) m
+
+let compile_matmul t ?(options = default_codegen) ~m ~n ~k () =
+  compile t ~options (build_matmul_module ~m ~n ~k ())
+
+let compile_cpu m = Pipeline.run_cpu m
+
+let sole_func_name m =
+  match List.filter Func.is_func (Ir.module_body m) with
+  | [ f ] -> Func.name_of f
+  | fs ->
+    failwith (Printf.sprintf "expected exactly one function in the module, found %d"
+                (List.length fs))
+
+let run_func t ?copy_strategy m name args =
+  let interp = Interp.create ?copy_strategy t.soc m in
+  ignore (Interp.invoke interp name args)
+
+let run_matmul t ?(options = default_codegen) m ~a ~b ~c =
+  let copy_strategy =
+    if options.copy_specialization then Dma_library.Specialized else Dma_library.Generic
+  in
+  run_func t ~copy_strategy m (sole_func_name m) [ Interp.M a; Interp.M b; Interp.M c ]
+
+let measure t thunk =
+  Soc.reset_run_state t.soc;
+  thunk ();
+  Perf_counters.copy t.soc.Soc.counters
+
+let task_clock_ms t counters =
+  Perf_counters.task_clock_ms counters ~cpu_freq_mhz:t.host.Host_config.frequency_mhz

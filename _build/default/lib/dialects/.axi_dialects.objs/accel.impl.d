@@ -1,0 +1,1 @@
+lib/dialects/accel.ml: Arith Attribute Builder Ir Lazy List Printf Ty Verifier

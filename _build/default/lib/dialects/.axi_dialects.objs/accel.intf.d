@@ -1,0 +1,1 @@
+lib/dialects/accel.mli: Builder Ir

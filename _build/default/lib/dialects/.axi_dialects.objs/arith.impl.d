@@ -1,0 +1,1 @@
+lib/dialects/arith.ml: Attribute Builder Ir Lazy List Printf Ty Verifier

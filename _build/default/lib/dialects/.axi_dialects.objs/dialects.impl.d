@@ -1,0 +1,1 @@
+lib/dialects/dialects.ml: Accel Arith Func Linalg Memref_d Scf

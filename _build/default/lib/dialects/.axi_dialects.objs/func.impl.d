@@ -1,0 +1,1 @@
+lib/dialects/func.ml: Attribute Builder Ir Lazy List Ty Verifier

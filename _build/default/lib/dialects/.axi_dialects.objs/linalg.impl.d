@@ -1,0 +1,1 @@
+lib/dialects/linalg.ml: Affine_map Arith Array Attribute Builder Ir Lazy List Printf Ty Util Verifier

@@ -1,0 +1,1 @@
+lib/dialects/linalg.mli: Affine_map Builder Ir

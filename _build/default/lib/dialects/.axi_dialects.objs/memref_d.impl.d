@@ -1,0 +1,1 @@
+lib/dialects/memref_d.ml: Attribute Builder Ir Lazy List Printf Ty Verifier

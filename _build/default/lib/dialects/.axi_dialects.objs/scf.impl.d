@@ -1,0 +1,1 @@
+lib/dialects/scf.ml: Arith Attribute Builder Hashtbl Ir Lazy List Ty Verifier

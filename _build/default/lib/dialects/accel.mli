@@ -1,0 +1,69 @@
+(** The [accel] dialect (paper Sec. III-C, Fig. 9): operations that
+    abstract host–accelerator transactions — DMA initialisation, staged
+    sends into the DMA memory-mapped region, and receives.
+
+    Offsets are [i32] values measured in 32-bit words within the DMA
+    region. Send-like ops {e stage} their payload at the given offset
+    and return the next free offset; the op that carries
+    [flush = true] additionally programs the DMA engine to transmit
+    everything staged so far (one [dma_start_send]/[dma_wait] pair),
+    which is how the paper batches an opcode's actions into a single
+    transfer. [accel.recv] first waits for the accelerator's output and
+    then copies it back into a memref, accumulating when
+    [mode = "accumulate"]. *)
+
+val dma_init :
+  Builder.t ->
+  dma_id:int ->
+  input_address:int ->
+  input_buffer_size:int ->
+  output_address:int ->
+  output_buffer_size:int ->
+  unit
+(** [accel.dma_init] with five constant operands (Fig. 6a's
+    [dma_init_config] values). Emits the needed [arith.constant]s. *)
+
+val dma_free : Builder.t -> unit
+
+val send_literal : ?flush:bool -> Builder.t -> literal:Ir.value -> offset:Ir.value -> Ir.value
+(** [accel.sendLiteral(%lit, %offset) : i32, i32 -> i32]. *)
+
+val send : ?flush:bool -> Builder.t -> src:Ir.value -> offset:Ir.value -> Ir.value
+(** [accel.send(%tile, %offset) : memref, i32 -> i32]. Copies the tile
+    into the DMA region. Defaults to [flush:true] — a data send ends an
+    opcode's staging batch unless stated otherwise. *)
+
+val send_dim :
+  ?flush:bool ->
+  ?static_extent:int ->
+  Builder.t ->
+  src:Ir.value ->
+  dim:int ->
+  offset:Ir.value ->
+  Ir.value
+(** [accel.sendDim]: stage the extent of dimension [dim] of [src].
+    [static_extent] records the compiler-resolved tile extent when it
+    differs from the full memref extent (e.g. runtime-configurable tile
+    sizes sent at kernel initialisation); execution prefers it over the
+    operand's type. *)
+
+val send_dim_extent : Ir.op -> int
+(** The extent an [accel.sendDim] transmits: [static_extent] when
+    present, otherwise the operand memref's extent at [dim]. *)
+
+val send_idx : ?flush:bool -> Builder.t -> idx:Ir.value -> offset:Ir.value -> Ir.value
+(** [accel.sendIdx]: stage the value of a loop index. *)
+
+type recv_mode = Store | Accumulate
+
+val recv : Builder.t -> mode:recv_mode -> dst:Ir.value -> offset:Ir.value -> Ir.value
+(** [accel.recv {mode}(%tile, %offset) : memref, i32 -> i32]. *)
+
+val recv_mode_of : Ir.op -> recv_mode
+val is_flush : Ir.op -> bool
+val is_accel : Ir.op -> bool
+
+val op_names : string list
+(** All accel op names (for matching in passes). *)
+
+val register : unit -> unit

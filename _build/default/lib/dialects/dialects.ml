@@ -1,0 +1,7 @@
+let register_all () =
+  Func.register ();
+  Arith.register ();
+  Memref_d.register ();
+  Scf.register ();
+  Linalg.register ();
+  Accel.register ()

@@ -1,0 +1,6 @@
+(** Umbrella for the dialect libraries. *)
+
+val register_all : unit -> unit
+(** Register the verifiers of every dialect ([func], [arith], [memref],
+    [scf], [linalg], [accel]). Idempotent; call before running
+    {!Verifier.verify} or a pass pipeline. *)

@@ -1,0 +1,28 @@
+(** The [scf] dialect: structured control flow ([scf.for] loops). *)
+
+val for_ :
+  Builder.t ->
+  lb:Ir.value ->
+  ub:Ir.value ->
+  step:Ir.value ->
+  (Builder.t -> Ir.value -> unit) ->
+  unit
+(** Emit [scf.for %iv = %lb to %ub step %step { ... }]. The callback
+    receives the induction variable; a terminating [scf.yield] is
+    appended automatically. *)
+
+val for_range :
+  Builder.t -> lb:int -> ub:int -> step:int -> (Builder.t -> Ir.value -> unit) -> unit
+(** {!for_} over constant bounds; emits the [arith.constant]s. *)
+
+val induction_var : Ir.op -> Ir.value
+(** The induction variable of an [scf.for]. *)
+
+val loop_body : Ir.op -> Ir.op list
+(** Body ops of an [scf.for], excluding the terminating [scf.yield]. *)
+
+val static_bounds : Ir.op -> Ir.op -> (int * int * int) option
+(** [static_bounds func_op for_op]: (lb, ub, step) when all three loop
+    operands are [arith.constant]s defined in the function. *)
+
+val register : unit -> unit

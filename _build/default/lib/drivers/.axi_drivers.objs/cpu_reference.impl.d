@@ -1,0 +1,1 @@
+lib/drivers/cpu_reference.ml: Gold List Memref_view Perf_counters Sim_memory Soc

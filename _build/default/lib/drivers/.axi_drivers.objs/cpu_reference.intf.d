@@ -1,0 +1,1 @@
+lib/drivers/cpu_reference.mli: Memref_view Soc

@@ -1,0 +1,1 @@
+lib/drivers/gold.ml: Array Float

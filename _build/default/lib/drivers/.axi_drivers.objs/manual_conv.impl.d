@@ -1,0 +1,1 @@
+lib/drivers/manual_conv.ml: Accel_config Dma_engine Dma_library Isa List Memref_view Printf Soc

@@ -1,0 +1,1 @@
+lib/drivers/manual_conv.mli: Accel_config Memref_view Soc

@@ -1,0 +1,1 @@
+lib/drivers/manual_matmul.ml: Accel_config Accel_matmul Dma_engine Dma_library Isa List Memref_view Presets Printf Soc

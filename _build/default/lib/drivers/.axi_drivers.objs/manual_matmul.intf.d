@@ -1,0 +1,1 @@
+lib/drivers/manual_matmul.mli: Accel_config Memref_view Soc

@@ -1,0 +1,35 @@
+(** Pure functional oracles (no SoC, no cost accounting): the ground
+    truth every execution path — CPU lowering, manual drivers,
+    generated drivers at both lowering levels — is tested against. *)
+
+val matmul : m:int -> n:int -> k:int -> float array -> float array -> float array
+(** Row-major [C = A(m,k) x B(k,n)] (fresh C, zero-initialised). *)
+
+val matmul_acc : m:int -> n:int -> k:int -> float array -> float array -> float array -> unit
+(** [C += A x B] in place. *)
+
+val conv2d :
+  ?stride:int ->
+  n:int ->
+  ic:int ->
+  ih:int ->
+  iw:int ->
+  oc:int ->
+  fh:int ->
+  fw:int ->
+  float array ->
+  float array ->
+  float array
+(** NCHW input (n,ic,ih,iw) * FCHW filter (oc,ic,fh,fw) -> output
+    (n, oc, (ih-fh)/s+1, (iw-fw)/s+1), valid padding, stride [s]
+    (default 1). *)
+
+val conv_out : int -> fhw:int -> stride:int -> int
+(** Output edge of a valid, strided convolution. *)
+
+val fill_deterministic : ?seed:int -> float array -> unit
+(** Deterministic pseudo-random contents in [-1, 1) (xorshift; no
+    dependence on global RNG state). *)
+
+val max_abs_diff : float array -> float array -> float
+(** Raises [Invalid_argument] on length mismatch. *)

@@ -1,0 +1,18 @@
+(** Hand-written layer-specific Conv2D driver baseline (paper
+    Sec. IV-D): weights stationary per output channel, bare-array
+    copies, one DMA transfer per opcode. *)
+
+val run :
+  Soc.t ->
+  Accel_config.t ->
+  ?flow:string ->
+  ?stride:int ->
+  input:Memref_view.t ->
+  filter:Memref_view.t ->
+  output:Memref_view.t ->
+  unit ->
+  unit
+(** [O += conv2d(I, W)] (NCHW / FCHW, valid padding, spatial stride s) on the
+    conv engine. Flows: ["Ws"] (per-pixel receive, default), ["Rs"]
+    (one receive per output row — the natural hand-optimised batching)
+    or ["Os"] (whole output slice received once per channel). *)

@@ -1,0 +1,25 @@
+(** Hand-written optimised driver baselines ("cpp_MANUAL", paper
+    Sec. IV-A): one driver per dataflow, written the way the
+    SECDA-TFLite baselines are — bare-array (memcpy-style) copies, the
+    fewest DMA transfers the flow permits, tiling by the accelerator
+    size only (no CPU cache-level tiling), and the natural stationary
+    loop order for the flow. *)
+
+type tile_sizes = { tm : int; tn : int; tk : int }
+
+val run :
+  Soc.t ->
+  Accel_config.t ->
+  flow:string ->
+  ?tiles:tile_sizes ->
+  a:Memref_view.t ->
+  b:Memref_view.t ->
+  c:Memref_view.t ->
+  unit ->
+  unit
+(** Execute [C += A x B] on the configured accelerator with the given
+    flow (["Ns"], ["As"], ["Bs"], ["Cs"] as supported by the engine
+    version). [tiles] overrides the square accelerator-size tiles
+    (flexible engines only). The accelerator must already be attached
+    to the SoC ({!Accel_config.attach}). Raises [Failure] on
+    flow/version mismatches or non-divisible problem sizes. *)

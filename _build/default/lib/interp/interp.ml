@@ -1,0 +1,321 @@
+type value = I of int | F of float | M of Memref_view.t
+
+exception Runtime_error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Runtime_error s)) fmt
+
+type t = {
+  soc : Soc.t;
+  copy_strategy : Dma_library.strategy;
+  funcs : (string, Ir.op) Hashtbl.t;
+  libs : (int, Dma_library.t) Hashtbl.t;  (* one DMA library per engine id *)
+  mutable current_lib : int option;  (* engine of the kernel being driven *)
+  last_env : (int, value) Hashtbl.t;  (* retained for test inspection *)
+}
+
+let create ?(copy_strategy = Dma_library.Generic) soc module_op =
+  let funcs = Hashtbl.create 8 in
+  List.iter
+    (fun (o : Ir.op) -> if Func.is_func o then Hashtbl.replace funcs (Func.name_of o) o)
+    (Ir.module_body module_op);
+  {
+    soc;
+    copy_strategy;
+    funcs;
+    libs = Hashtbl.create 4;
+    current_lib = None;
+    last_env = Hashtbl.create 64;
+  }
+
+let lib t =
+  match t.current_lib with
+  | Some id -> (
+    match Hashtbl.find_opt t.libs id with
+    | Some l -> l
+    | None -> error "internal: missing DMA library for engine %d" id)
+  | None -> error "DMA library used before dma_init"
+
+let init_lib t ~double_buffer ~dma_id =
+  (* One initialisation per engine; a later dma_init for the same id
+     (e.g. a second kernel on the same accelerator) just reselects it. *)
+  if not (Hashtbl.mem t.libs dma_id) then
+    Hashtbl.replace t.libs dma_id
+      (Dma_library.init ~double_buffer t.soc ~dma_id ~strategy:t.copy_strategy);
+  t.current_lib <- Some dma_id
+
+(* ------------------------------------------------------------------ *)
+(* Environment                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type frame = { env : (int, value) Hashtbl.t }
+
+let bind frame (v : Ir.value) rtv = Hashtbl.replace frame.env v.vid rtv
+
+let lookup frame (v : Ir.value) =
+  match Hashtbl.find_opt frame.env v.vid with
+  | Some rtv -> rtv
+  | None -> error "use of unbound value %%v%d (of type %s)" v.vid (Ty.to_string v.vty)
+
+let as_int frame v =
+  match lookup frame v with
+  | I n -> n
+  | F _ | M _ -> error "expected an integer value"
+
+let as_float frame v =
+  match lookup frame v with
+  | F f -> f
+  | I _ | M _ -> error "expected a float value"
+
+let as_view frame v =
+  match lookup frame v with
+  | M view -> view
+  | I _ | F _ -> error "expected a memref value"
+
+(* ------------------------------------------------------------------ *)
+(* Runtime-library call dispatch                                       *)
+(* ------------------------------------------------------------------ *)
+
+let double_buffer_of (o : Ir.op) =
+  match Ir.attr o "double_buffer" with
+  | Some (Attribute.Bool b) -> b
+  | Some _ | None -> false
+
+let runtime_call t frame (o : Ir.op) callee =
+  let bind_result rtv =
+    match o.Ir.results with
+    | [] -> ()
+    | [ r ] -> bind frame r rtv
+    | _ -> error "runtime calls return at most one value"
+  in
+  let arg n = List.nth o.Ir.operands n in
+  (* No dispatch cost here: the library entry points account for their
+     own call overhead, exactly as when the manual drivers call them. *)
+  if callee = Runtime_abi.dma_init then
+    init_lib t ~double_buffer:(double_buffer_of o) ~dma_id:(as_int frame (arg 0))
+  else if callee = Runtime_abi.dma_free then Dma_library.free (lib t)
+  else if callee = Runtime_abi.stage_literal then begin
+    let word = as_int frame (arg 0) in
+    let offset = as_int frame (arg 1) in
+    bind_result (I (Dma_library.stage_literal (lib t) word ~offset))
+  end
+  else if callee = Runtime_abi.dma_flush_send then Dma_library.flush_send (lib t)
+  else if callee = Runtime_abi.dma_start_recv then
+    Dma_engine.start_recv (Dma_library.engine (lib t)) ~len_words:(as_int frame (arg 0))
+  else if callee = Runtime_abi.dma_wait_recv then begin
+    let data = Dma_engine.wait_recv (Dma_library.engine (lib t)) in
+    (* Stash for the following copy_from call. *)
+    Hashtbl.replace frame.env (-1) (M (Memref_view.of_buffer
+      { Sim_memory.base = 0; data; label = "dma-recv" } [ Array.length data ]))
+  end
+  else if
+    callee = Runtime_abi.copy_to_dma_region || callee = Runtime_abi.copy_to_dma_region_spec
+  then begin
+    let view = as_view frame (arg 0) in
+    let offset = as_int frame (arg 1) in
+    let strategy =
+      if callee = Runtime_abi.copy_to_dma_region_spec then Dma_library.Specialized
+      else Dma_library.Generic
+    in
+    bind_result (I (Dma_library.copy_to_dma_region_with (lib t) strategy view ~offset))
+  end
+  else if
+    List.mem callee
+      [
+        Runtime_abi.copy_from_dma_region;
+        Runtime_abi.copy_from_dma_region_accumulate;
+        Runtime_abi.copy_from_dma_region_spec;
+        Runtime_abi.copy_from_dma_region_accumulate_spec;
+      ]
+  then begin
+    let view = as_view frame (arg 0) in
+    let data =
+      match Hashtbl.find_opt frame.env (-1) with
+      | Some (M recv_view) -> recv_view.Memref_view.buf.Sim_memory.data
+      | _ -> error "copy_from_dma_region without a preceding dma_wait_recv"
+    in
+    let accumulate =
+      callee = Runtime_abi.copy_from_dma_region_accumulate
+      || callee = Runtime_abi.copy_from_dma_region_accumulate_spec
+    in
+    let strategy =
+      if
+        callee = Runtime_abi.copy_from_dma_region_spec
+        || callee = Runtime_abi.copy_from_dma_region_accumulate_spec
+      then Dma_library.Specialized
+      else Dma_library.Generic
+    in
+    Dma_library.copy_from_data_with (lib t) strategy view ~accumulate data;
+    Hashtbl.remove frame.env (-1);
+    bind_result (I 0)
+  end
+  else error "call to unknown runtime symbol %s" callee
+
+(* ------------------------------------------------------------------ *)
+(* Accel dialect execution                                             *)
+(* ------------------------------------------------------------------ *)
+
+let accel_op t frame (o : Ir.op) =
+  let bind_result rtv =
+    match o.Ir.results with [ r ] -> bind frame r rtv | _ -> ()
+  in
+  let arg n = List.nth o.Ir.operands n in
+  let flush_after () = if Accel.is_flush o then Dma_library.flush_send (lib t) in
+  match o.name with
+  | "accel.dma_init" ->
+    init_lib t ~double_buffer:(double_buffer_of o) ~dma_id:(as_int frame (arg 0))
+  | "accel.dma_free" -> Dma_library.free (lib t)
+  | "accel.sendLiteral" ->
+    let word = as_int frame (arg 0) in
+    let offset = as_int frame (arg 1) in
+    bind_result (I (Dma_library.stage_literal (lib t) word ~offset));
+    flush_after ()
+  | "accel.sendDim" ->
+    let extent = Accel.send_dim_extent o in
+    let offset = as_int frame (arg 1) in
+    bind_result (I (Dma_library.stage_literal (lib t) extent ~offset));
+    flush_after ()
+  | "accel.sendIdx" ->
+    let idx = as_int frame (arg 0) in
+    let offset = as_int frame (arg 1) in
+    bind_result (I (Dma_library.stage_literal (lib t) idx ~offset));
+    flush_after ()
+  | "accel.send" ->
+    let view = as_view frame (arg 0) in
+    let offset = as_int frame (arg 1) in
+    bind_result
+      (I (Dma_library.copy_to_dma_region_with (lib t) t.copy_strategy view ~offset));
+    flush_after ()
+  | "accel.recv" ->
+    let view = as_view frame (arg 0) in
+    let accumulate = Accel.recv_mode_of o = Accel.Accumulate in
+    Dma_library.flush_send (lib t);
+    let n = Memref_view.num_elements view in
+    Dma_engine.start_recv (Dma_library.engine (lib t)) ~len_words:n;
+    let data = Dma_engine.wait_recv (Dma_library.engine (lib t)) in
+    Dma_library.copy_from_data_with (lib t) t.copy_strategy view ~accumulate data;
+    bind_result (I 0)
+  | other -> error "unsupported accel op %s" other
+
+(* ------------------------------------------------------------------ *)
+(* Core execution                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let rec exec_op t frame (o : Ir.op) =
+  match o.name with
+  | "arith.constant" -> (
+    Soc.alu t.soc 1;
+    match Ir.attr_exn o "value" with
+    | Attribute.Int n -> bind frame (Ir.result o) (I n)
+    | Attribute.Float f -> bind frame (Ir.result o) (F f)
+    | Attribute.Bool b -> bind frame (Ir.result o) (I (if b then 1 else 0))
+    | a -> error "invalid constant %s" (Attribute.to_string a))
+  | "arith.addi" | "arith.subi" | "arith.muli" -> (
+    Soc.alu t.soc 1;
+    let a = as_int frame (List.nth o.operands 0) in
+    let b = as_int frame (List.nth o.operands 1) in
+    let r =
+      match o.name with
+      | "arith.addi" -> a + b
+      | "arith.subi" -> a - b
+      | _ -> a * b
+    in
+    bind frame (Ir.result o) (I r))
+  | "arith.addf" | "arith.mulf" ->
+    Soc.fpu t.soc 1;
+    let a = as_float frame (List.nth o.operands 0) in
+    let b = as_float frame (List.nth o.operands 1) in
+    let r = if o.name = "arith.addf" then a +. b else a *. b in
+    bind frame (Ir.result o) (F r)
+  | "arith.index_cast" ->
+    Soc.alu t.soc 1;
+    bind frame (Ir.result o) (I (as_int frame (List.nth o.operands 0)))
+  | "memref.alloc" ->
+    let m = Ty.memref_of (Ir.result o).vty in
+    let buf =
+      Sim_memory.alloc t.soc.Soc.memory ~label:"alloc" (Ty.num_elements m)
+    in
+    Soc.alu t.soc 20;
+    bind frame (Ir.result o) (M (Memref_view.of_buffer buf m.Ty.shape))
+  | "memref.dealloc" -> Soc.alu t.soc 5
+  | "memref.subview" ->
+    let src = as_view frame (List.hd o.operands) in
+    let offsets = List.map (as_int frame) (List.tl o.operands) in
+    let sizes = Attribute.get_ints (Ir.attr_exn o "static_sizes") in
+    Soc.alu t.soc (2 * List.length sizes);
+    bind frame (Ir.result o) (M (Memref_view.subview src ~offsets ~sizes))
+  | "memref.load" ->
+    let view = as_view frame (List.hd o.operands) in
+    let indices = List.map (as_int frame) (List.tl o.operands) in
+    let li = Memref_view.linear_index view indices in
+    let v = Soc.memref_scalar_access t.soc view.Memref_view.buf li in
+    bind frame (Ir.result o) (F v)
+  | "memref.store" -> (
+    match o.operands with
+    | value :: dst :: indices ->
+      let view = as_view frame dst in
+      let li = Memref_view.linear_index view (List.map (as_int frame) indices) in
+      ignore (Soc.memref_scalar_access t.soc view.Memref_view.buf li);
+      Sim_memory.set view.Memref_view.buf li (as_float frame value)
+    | _ -> error "malformed memref.store")
+  | "scf.for" -> (
+    match o.operands with
+    | [ lb; ub; step ] ->
+      let lb = as_int frame lb and ub = as_int frame ub and step = as_int frame step in
+      if step <= 0 then error "scf.for with non-positive step %d" step;
+      let block = Ir.single_block o in
+      let iv = match block.bargs with [ iv ] -> iv | _ -> error "malformed scf.for" in
+      let i = ref lb in
+      while !i < ub do
+        Soc.loop_iteration t.soc;
+        bind frame iv (I !i);
+        List.iter (exec_op t frame) block.body;
+        i := !i + step
+      done
+    | _ -> error "malformed scf.for")
+  | "scf.yield" -> ()
+  | "func.call" -> (
+    let callee =
+      match Ir.attr o "callee" with
+      | Some (Attribute.Str s) -> s
+      | _ -> error "func.call without callee"
+    in
+    if List.mem callee Runtime_abi.all then runtime_call t frame o callee
+    else
+      match Hashtbl.find_opt t.funcs callee with
+      | Some f ->
+        Soc.call_overhead t.soc;
+        let args = List.map (lookup frame) o.operands in
+        let results = exec_func t f args in
+        List.iter2 (bind frame) o.results results
+      | None -> error "call to undefined function %s" callee)
+  | "func.return" -> ()
+  | name when Accel.is_accel o -> (ignore name; accel_op t frame o)
+  | "linalg.generic" ->
+    error "linalg.generic reached the interpreter: run a lowering pipeline first"
+  | other -> error "unsupported operation %s" other
+
+and exec_func t (f : Ir.op) args =
+  let block = Func.body_of f in
+  if List.length block.bargs <> List.length args then
+    error "function %s expects %d arguments, got %d" (Func.name_of f)
+      (List.length block.bargs) (List.length args);
+  let frame = { env = Hashtbl.create 64 } in
+  List.iter2 (bind frame) block.bargs args;
+  List.iter (exec_op t frame) block.body;
+  let results =
+    match List.rev block.body with
+    | last :: _ when last.Ir.name = "func.return" -> List.map (lookup frame) last.operands
+    | _ -> []
+  in
+  (* Retain the outermost frame's bindings for test inspection. *)
+  Hashtbl.reset t.last_env;
+  Hashtbl.iter (Hashtbl.replace t.last_env) frame.env;
+  results
+
+let invoke t name args =
+  match Hashtbl.find_opt t.funcs name with
+  | Some f -> exec_func t f args
+  | None -> error "no function named %s" name
+
+let view_of_alloc t (v : Ir.value) =
+  match Hashtbl.find_opt t.last_env v.vid with Some (M view) -> Some view | _ -> None

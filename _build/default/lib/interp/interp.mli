@@ -1,0 +1,44 @@
+(** Host-code interpreter: executes a module's functions against the
+    simulated {!Soc}, so that the {e generated} driver code is what
+    actually drives the DMA engines and accelerator models, and every
+    interpreted operation charges the CPU cost model (arithmetic,
+    branches, cache accesses, loop overhead).
+
+    Two levels of the lowering are executable:
+    - the [accel] dialect (ops dispatch straight onto {!Dma_library});
+    - the runtime-call level ([func.call]s to the {!Runtime_abi}
+      symbols, as produced by [Lower_accel_to_runtime]), where the
+      ["_spec"] callees select the specialised copies chosen at compile
+      time.
+
+    Both levels must produce identical results and DMA traffic — an
+    invariant the test suite checks.
+
+    Multiple accelerators are supported: each [dma_init] (distinguished
+    by its engine id, as in the paper's [dma_init_config]) creates or
+    reselects the DMA library for that engine, so a module can drive,
+    say, a MatMul engine and a Conv2D engine in one function. *)
+
+type value =
+  | I of int  (** index or i32 *)
+  | F of float
+  | M of Memref_view.t
+
+exception Runtime_error of string
+
+type t
+
+val create : ?copy_strategy:Dma_library.strategy -> Soc.t -> Ir.op -> t
+(** [create soc module_op]. [copy_strategy] selects the host-side copy
+    implementation used when interpreting at the [accel]-dialect level
+    (the runtime-call level encodes the choice in callee names).
+    Default: [Generic]. *)
+
+val invoke : t -> string -> value list -> value list
+(** Call a function by name. Memref arguments must be bound to views of
+    buffers allocated in the SoC's memory. Raises {!Runtime_error} on
+    type/arity mismatches or protocol errors. *)
+
+val view_of_alloc : t -> Ir.value -> Memref_view.t option
+(** Look up the view bound to a value in the last invocation (for
+    tests inspecting allocations). *)

@@ -1,0 +1,1 @@
+lib/ir/attribute.ml: Affine_map Buffer Float List Opcode Printf String Ty

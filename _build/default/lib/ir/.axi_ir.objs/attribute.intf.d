@@ -1,0 +1,1 @@
+lib/ir/attribute.mli: Affine_map Opcode Ty

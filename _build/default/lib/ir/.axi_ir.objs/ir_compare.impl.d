@@ -1,0 +1,1 @@
+lib/ir/ir_compare.ml: Attribute Hashtbl Ir List Printf Ty

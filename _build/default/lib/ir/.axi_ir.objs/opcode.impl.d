@@ -1,0 +1,1 @@
+lib/ir/opcode.ml: List Printf Result String

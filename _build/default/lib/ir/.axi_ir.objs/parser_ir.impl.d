@@ -1,0 +1,1 @@
+lib/ir/parser_ir.ml: Affine_map Attribute Buffer Hashtbl Ir List Opcode Printf String Ty Util

@@ -1,0 +1,1 @@
+lib/ir/parser_ir.mli: Attribute Ir Ty

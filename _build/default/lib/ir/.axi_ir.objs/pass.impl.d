@@ -1,0 +1,1 @@
+lib/ir/pass.ml: Ir List Printer Printf Verifier

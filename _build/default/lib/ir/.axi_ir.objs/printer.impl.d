@@ -1,0 +1,1 @@
+lib/ir/printer.ml: Attribute Buffer Hashtbl Ir List Printf String Ty

@@ -1,0 +1,1 @@
+lib/ir/verifier.ml: Hashtbl Ir Printf Result

@@ -1,0 +1,77 @@
+type expr = Dim of int | Cst of int | Add of expr * expr | Mul of expr * expr
+
+type t = { n_dims : int; exprs : expr list }
+
+let rec check_expr n_dims = function
+  | Dim i ->
+    if i < 0 || i >= n_dims then
+      invalid_arg (Printf.sprintf "Affine_map: d%d out of range for %d dims" i n_dims)
+  | Cst _ -> ()
+  | Add (a, b) | Mul (a, b) ->
+    check_expr n_dims a;
+    check_expr n_dims b
+
+let make ~n_dims exprs =
+  List.iter (check_expr n_dims) exprs;
+  { n_dims; exprs }
+
+let identity n = { n_dims = n; exprs = List.init n (fun i -> Dim i) }
+
+let projection ~n_dims dims = make ~n_dims (List.map (fun i -> Dim i) dims)
+
+let permutation perm =
+  let n = List.length perm in
+  let sorted = List.sort compare perm in
+  if sorted <> List.init n (fun i -> i) then
+    invalid_arg "Affine_map.permutation: not a permutation";
+  projection ~n_dims:n perm
+
+let constant_results ~n_dims csts = make ~n_dims (List.map (fun c -> Cst c) csts)
+
+let dim_of_expr = function Dim i -> Some i | Cst _ | Add _ | Mul _ -> None
+
+let is_projection t =
+  let dims = List.filter_map dim_of_expr t.exprs in
+  List.length dims = List.length t.exprs
+  && List.length (List.sort_uniq compare dims) = List.length dims
+
+let is_permutation t = is_projection t && List.length t.exprs = t.n_dims
+
+let projected_dims t =
+  if not (is_projection t) then invalid_arg "Affine_map.projected_dims: not a projection";
+  List.filter_map dim_of_expr t.exprs
+
+let rec eval_expr values = function
+  | Dim i -> values.(i)
+  | Cst c -> c
+  | Add (a, b) -> eval_expr values a + eval_expr values b
+  | Mul (a, b) -> eval_expr values a * eval_expr values b
+
+let eval t values =
+  if Array.length values <> t.n_dims then
+    invalid_arg "Affine_map.eval: wrong number of dimension values";
+  List.map (eval_expr values) t.exprs
+
+let n_results t = List.length t.exprs
+
+let compose_permutation t order =
+  if not (is_permutation t) then
+    invalid_arg "Affine_map.compose_permutation: not a permutation map";
+  List.map (fun i -> List.nth order i) (projected_dims t)
+
+let rec expr_to_string names = function
+  | Dim i -> List.nth names i
+  | Cst c -> string_of_int c
+  | Add (a, b) -> Printf.sprintf "%s + %s" (expr_to_string names a) (expr_to_string names b)
+  | Mul (a, b) -> Printf.sprintf "%s * %s" (expr_to_string names a) (expr_to_string names b)
+
+let to_string ?dim_names t =
+  let names =
+    match dim_names with
+    | Some names when List.length names = t.n_dims -> names
+    | Some _ | None -> List.init t.n_dims (fun i -> Printf.sprintf "d%d" i)
+  in
+  Printf.sprintf "affine_map<(%s) -> (%s)>" (String.concat ", " names)
+    (String.concat ", " (List.map (expr_to_string names) t.exprs))
+
+let equal a b = a = b

@@ -1,0 +1,56 @@
+(** Affine maps, the MLIR mechanism the paper reuses for
+    [indexing_maps], [permutation_map] and [accel_dim].
+
+    A map [(d0, ..., d{n-1}) -> (e0, ..., e{m-1})] takes [n_dims] loop
+    indices to a list of affine expressions over them. Symbols are not
+    needed by AXI4MLIR and are omitted. *)
+
+type expr =
+  | Dim of int  (** [d i] *)
+  | Cst of int
+  | Add of expr * expr
+  | Mul of expr * expr
+
+type t = { n_dims : int; exprs : expr list }
+
+val make : n_dims:int -> expr list -> t
+(** Checks that every [Dim i] satisfies [0 <= i < n_dims]. *)
+
+val identity : int -> t
+(** [(d0, ..., dn-1) -> (d0, ..., dn-1)]. *)
+
+val projection : n_dims:int -> int list -> t
+(** [projection ~n_dims [i; j]] is [(d0, ...) -> (di, dj)]. *)
+
+val permutation : int list -> t
+(** [permutation [2; 0; 1]] is [(d0, d1, d2) -> (d2, d0, d1)]: result
+    position [p] reads source dimension [perm.(p)]. Raises
+    [Invalid_argument] if the list is not a permutation of [0..n-1]. *)
+
+val constant_results : n_dims:int -> int list -> t
+(** Map to constants, used for [accel_dim = map<(m, n, k) -> (4, 4, 4)>]. *)
+
+val is_permutation : t -> bool
+val is_projection : t -> bool
+(** True when every result is a distinct [Dim]. *)
+
+val projected_dims : t -> int list
+(** For a projection, the list of source dims in result order.
+    Raises [Invalid_argument] otherwise. *)
+
+val eval : t -> int array -> int list
+(** Evaluate at concrete dimension values. The array length must be
+    [n_dims]. *)
+
+val n_results : t -> int
+
+val compose_permutation : t -> int list -> int list
+(** [compose_permutation perm_map order]: given a permutation map and the
+    canonical dim order [0..n-1], return the permuted loop order. *)
+
+val to_string : ?dim_names:string list -> t -> string
+(** E.g. [affine_map<(d0, d1, d2) -> (d0, d2)>], or with
+    [~dim_names:["m"; "n"; "k"]], [affine_map<(m, n, k) -> (m, k)>]. *)
+
+val expr_to_string : string list -> expr -> string
+val equal : t -> t -> bool

@@ -1,0 +1,94 @@
+(** Core IR data structures: SSA values, operations with nested regions,
+    blocks, and traversal helpers.
+
+    This mirrors MLIR's meta-IR at the granularity AXI4MLIR needs:
+    operations are uninterpreted records carrying a dialect-qualified
+    name (["arith.addf"], ["accel.send"], ...), SSA operands/results,
+    attributes and regions. Dialects (in [axi_dialects]) provide typed
+    constructors and verifiers over this representation. *)
+
+type value = private { vid : int; vty : Ty.t }
+(** An SSA value. Identity is by [vid]; values are created only through
+    {!fresh_value} so ids are globally unique. *)
+
+type op = {
+  name : string;  (** dialect-qualified operation name *)
+  operands : value list;
+  results : value list;
+  attrs : (string * Attribute.t) list;
+  regions : region list;
+}
+
+and block = { bargs : value list; body : op list }
+
+and region = block list
+
+val fresh_value : Ty.t -> value
+(** Allocate a value with a fresh id. *)
+
+val value_counter : unit -> int
+(** Current high-water mark of allocated value ids (for diagnostics). *)
+
+val op :
+  ?operands:value list ->
+  ?results:value list ->
+  ?attrs:(string * Attribute.t) list ->
+  ?regions:region list ->
+  string ->
+  op
+(** Build an operation. *)
+
+val block : ?args:value list -> op list -> block
+val region : block list -> region
+
+(** {1 Attribute access} *)
+
+val attr : op -> string -> Attribute.t option
+val attr_exn : op -> string -> Attribute.t
+(** Raises [Not_found_attr] (as [Invalid_argument]) with the op name and
+    attribute key when missing. *)
+
+val set_attr : op -> string -> Attribute.t -> op
+val remove_attr : op -> string -> op
+val has_attr : op -> string -> bool
+
+(** {1 Common projections} *)
+
+val result : op -> value
+(** Sole result. Raises [Invalid_argument] if the op does not have
+    exactly one result. *)
+
+val single_block : op -> block
+(** The single block of the op's single region. Raises
+    [Invalid_argument] otherwise. *)
+
+val single_region_block : region -> block
+(** The single block of a region. *)
+
+(** {1 Traversal} *)
+
+val walk : (op -> unit) -> op -> unit
+(** Pre-order visit of an op and every op nested in its regions. *)
+
+val walk_block : (op -> unit) -> block -> unit
+
+val map_nested : (op -> op) -> op -> op
+(** Rebuild an op bottom-up: nested ops are transformed first, then the
+    (region-updated) op itself is passed to the function. *)
+
+val find_ops : (op -> bool) -> op -> op list
+(** All (nested) ops satisfying the predicate, in pre-order. *)
+
+val count_ops : (op -> bool) -> op -> int
+
+(** {1 Module and function helpers} *)
+
+val module_op : op list -> op
+(** Wrap top-level ops in a [builtin.module]. *)
+
+val is_module : op -> bool
+val module_body : op -> op list
+(** Ops of a [builtin.module]. Raises [Invalid_argument] otherwise. *)
+
+val with_module_body : op -> op list -> op
+(** Replace the body of a module op. *)

@@ -1,0 +1,13 @@
+(** Structural comparison of IR, modulo SSA value identities.
+
+    Two ops are structurally equal when they have the same name,
+    attributes and region shapes, and their value uses correspond under
+    a consistent bijection of value ids — the right notion of equality
+    for parser round-trips and pass idempotence checks, where fresh
+    values are allocated on every construction. *)
+
+val equal_op : Ir.op -> Ir.op -> bool
+
+val diff_op : Ir.op -> Ir.op -> string option
+(** [None] when equal; otherwise a human-readable description of the
+    first structural difference found (for test failure messages). *)

@@ -1,0 +1,352 @@
+type action =
+  | Send of int
+  | Send_literal of int
+  | Send_dim of int * int
+  | Send_idx of int * int
+  | Recv of int
+
+type entry = { key : string; actions : action list }
+type map = entry list
+
+type flow_elem = Op of string | Scope of flow_elem list
+type flow = flow_elem list
+
+exception Syntax_error of string
+
+(* ------------------------------------------------------------------ *)
+(* Lexing helpers shared by both parsers                               *)
+(* ------------------------------------------------------------------ *)
+
+type scanner = { src : string; mutable pos : int }
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Syntax_error s)) fmt
+
+let peek sc = if sc.pos < String.length sc.src then Some sc.src.[sc.pos] else None
+
+let advance sc = sc.pos <- sc.pos + 1
+
+let rec skip_ws sc =
+  match peek sc with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+    advance sc;
+    skip_ws sc
+  | Some _ | None -> ()
+
+let expect sc c =
+  skip_ws sc;
+  match peek sc with
+  | Some c' when c' = c -> advance sc
+  | Some c' -> fail "expected '%c' at offset %d, found '%c'" c sc.pos c'
+  | None -> fail "expected '%c', found end of input" c
+
+let accept sc c =
+  skip_ws sc;
+  match peek sc with
+  | Some c' when c' = c ->
+    advance sc;
+    true
+  | Some _ | None -> false
+
+let is_id_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true
+  | _ -> false
+
+let scan_id sc =
+  skip_ws sc;
+  let start = sc.pos in
+  let rec go () =
+    match peek sc with
+    | Some c when is_id_char c ->
+      advance sc;
+      go ()
+    | Some _ | None -> ()
+  in
+  go ();
+  if sc.pos = start then fail "expected identifier at offset %d" start;
+  String.sub sc.src start (sc.pos - start)
+
+let scan_int sc =
+  skip_ws sc;
+  let start = sc.pos in
+  let negative = accept sc '-' in
+  let digits_start = sc.pos in
+  let hex =
+    match (peek sc, sc.pos + 1 < String.length sc.src) with
+    | Some '0', true when sc.src.[sc.pos + 1] = 'x' || sc.src.[sc.pos + 1] = 'X' ->
+      advance sc;
+      advance sc;
+      true
+    | _ -> false
+  in
+  let is_digit c =
+    if hex then
+      (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+    else c >= '0' && c <= '9'
+  in
+  let rec go () =
+    match peek sc with
+    | Some c when is_digit c ->
+      advance sc;
+      go ()
+    | Some _ | None -> ()
+  in
+  go ();
+  if sc.pos = digits_start || (hex && sc.pos = digits_start + 2) then
+    fail "expected integer at offset %d" start;
+  let text = String.sub sc.src digits_start (sc.pos - digits_start) in
+  let v =
+    match int_of_string_opt text with
+    | Some v -> v
+    | None -> fail "invalid integer literal %s" text
+  in
+  if negative then -v else v
+
+let at_end sc =
+  skip_ws sc;
+  sc.pos >= String.length sc.src
+
+(* Strip an optional `keyword<` ... `>` wrapper around the payload. *)
+let strip_wrapper keyword src =
+  let trimmed = String.trim src in
+  let prefix = keyword ^ "<" in
+  if String.length trimmed >= String.length prefix
+     && String.sub trimmed 0 (String.length prefix) = prefix
+  then
+    if trimmed.[String.length trimmed - 1] = '>' then
+      String.sub trimmed (String.length prefix)
+        (String.length trimmed - String.length prefix - 1)
+    else fail "missing closing '>' on %s<...>" keyword
+  else trimmed
+
+(* ------------------------------------------------------------------ *)
+(* opcode_map parsing (Fig. 7)                                         *)
+(* ------------------------------------------------------------------ *)
+
+let parse_action sc =
+  let name = scan_id sc in
+  expect sc '(';
+  let action =
+    match name with
+    | "send" ->
+      let n = scan_int sc in
+      Send n
+    | "send_literal" ->
+      let v = scan_int sc in
+      Send_literal v
+    | "send_dim" ->
+      let n = scan_int sc in
+      expect sc ',';
+      let d = scan_int sc in
+      Send_dim (n, d)
+    | "send_idx" ->
+      let n = scan_int sc in
+      expect sc ',';
+      let d = scan_int sc in
+      Send_idx (n, d)
+    | "recv" ->
+      let n = scan_int sc in
+      Recv n
+    | other -> fail "unknown action '%s'" other
+  in
+  expect sc ')';
+  action
+
+let parse_entry sc =
+  let key = scan_id sc in
+  expect sc '=';
+  expect sc '[';
+  let rec actions acc =
+    let a = parse_action sc in
+    if accept sc ',' then actions (a :: acc) else List.rev (a :: acc)
+  in
+  let acts =
+    if accept sc ']' then []
+    else begin
+      let l = actions [] in
+      expect sc ']';
+      l
+    end
+  in
+  { key; actions = acts }
+
+let parse_map src =
+  let payload = strip_wrapper "opcode_map" src in
+  let sc = { src = payload; pos = 0 } in
+  if at_end sc then []
+  else begin
+    let rec entries acc =
+      let e = parse_entry sc in
+      if accept sc ',' then entries (e :: acc) else List.rev (e :: acc)
+    in
+    let result = entries [] in
+    if not (at_end sc) then fail "trailing content in opcode_map at offset %d" sc.pos;
+    result
+  end
+
+(* ------------------------------------------------------------------ *)
+(* opcode_flow parsing (Fig. 8)                                        *)
+(* ------------------------------------------------------------------ *)
+
+let parse_flow src =
+  let payload = strip_wrapper "opcode_flow" src in
+  let sc = { src = payload; pos = 0 } in
+  let rec parse_elems stop_at_paren acc =
+    skip_ws sc;
+    match peek sc with
+    | None ->
+      if stop_at_paren then fail "unbalanced '(' in opcode_flow" else List.rev acc
+    | Some ')' ->
+      if stop_at_paren then begin
+        advance sc;
+        List.rev acc
+      end
+      else fail "unbalanced ')' in opcode_flow at offset %d" sc.pos
+    | Some '(' ->
+      advance sc;
+      let inner = parse_elems true [] in
+      parse_elems stop_at_paren (Scope inner :: acc)
+    | Some c when is_id_char c ->
+      let id = scan_id sc in
+      parse_elems stop_at_paren (Op id :: acc)
+    | Some c -> fail "unexpected '%c' in opcode_flow at offset %d" c sc.pos
+  in
+  parse_elems false []
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let action_to_string = function
+  | Send n -> Printf.sprintf "send(%d)" n
+  | Send_literal v -> Printf.sprintf "send_literal(0x%X)" v
+  | Send_dim (n, d) -> Printf.sprintf "send_dim(%d, %d)" n d
+  | Send_idx (n, d) -> Printf.sprintf "send_idx(%d, %d)" n d
+  | Recv n -> Printf.sprintf "recv(%d)" n
+
+let entry_to_string e =
+  Printf.sprintf "%s = [%s]" e.key
+    (String.concat ", " (List.map action_to_string e.actions))
+
+let map_to_string m =
+  Printf.sprintf "opcode_map<%s>" (String.concat ", " (List.map entry_to_string m))
+
+let rec flow_elem_to_string = function
+  | Op key -> key
+  | Scope elems -> Printf.sprintf "(%s)" (String.concat " " (List.map flow_elem_to_string elems))
+
+let flow_to_string f =
+  Printf.sprintf "opcode_flow<%s>" (String.concat " " (List.map flow_elem_to_string f))
+
+(* ------------------------------------------------------------------ *)
+(* Validation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let ( let* ) r f = Result.bind r f
+
+let rec check_all f = function
+  | [] -> Ok ()
+  | x :: rest ->
+    let* () = f x in
+    check_all f rest
+
+let validate_action ~n_args a =
+  let check_arg n =
+    if n < 0 || n >= n_args then
+      Error (Printf.sprintf "argument index %d out of range [0, %d)" n n_args)
+    else Ok ()
+  in
+  match a with
+  | Send n | Recv n -> check_arg n
+  | Send_literal v ->
+    if v < 0 || v > 0xFFFFFFFF then
+      Error (Printf.sprintf "literal 0x%X does not fit an unsigned 32-bit word" v)
+    else Ok ()
+  | Send_dim (n, d) | Send_idx (n, d) ->
+    let* () = check_arg n in
+    if d < 0 then Error (Printf.sprintf "negative dimension index %d" d) else Ok ()
+
+let validate_map ~n_args m =
+  let* () =
+    check_all
+      (fun e ->
+        if e.key = "" then Error "empty opcode key"
+        else check_all (validate_action ~n_args) e.actions)
+      m
+  in
+  let keys = List.map (fun e -> e.key) m in
+  if List.length (List.sort_uniq compare keys) <> List.length keys then
+    Error "duplicate opcode keys in opcode_map"
+  else Ok ()
+
+let find m key = List.find_opt (fun e -> e.key = key) m
+
+let rec flow_opcodes_of_elems elems =
+  List.concat_map (function Op k -> [ k ] | Scope inner -> flow_opcodes_of_elems inner) elems
+
+let flow_opcodes f = flow_opcodes_of_elems f
+
+let validate_flow m f =
+  let keys = flow_opcodes f in
+  let* () =
+    check_all
+      (fun k ->
+        match find m k with
+        | Some _ -> Ok ()
+        | None -> Error (Printf.sprintf "opcode '%s' is not defined in the opcode_map" k))
+      keys
+  in
+  let* () =
+    if List.length (List.sort_uniq compare keys) <> List.length keys then
+      Error "an opcode appears more than once in the opcode_flow"
+    else Ok ()
+  in
+  let rec no_empty_scope = function
+    | [] -> Ok ()
+    | Op _ :: rest -> no_empty_scope rest
+    | Scope [] :: _ -> Error "empty scope '()' in opcode_flow"
+    | Scope inner :: rest ->
+      let* () = no_empty_scope inner in
+      no_empty_scope rest
+  in
+  if f = [] then Error "empty opcode_flow" else no_empty_scope f
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The top-level of the flow counts as depth 0 when it only contains a
+   single scope (the common `(...)` wrapper); opcodes written at the top
+   level without parentheses sit in an implicit depth-1 scope. *)
+let flow_depth f =
+  (* Depth of the whole flow = deepest scope nesting reached by any
+     opcode; a bare top-level opcode counts as depth 1. *)
+  let rec opcode_depth current = function
+    | Op _ -> max current 1
+    | Scope inner ->
+      List.fold_left (fun acc e -> max acc (opcode_depth (current + 1) e)) (current + 1) inner
+  in
+  List.fold_left (fun acc e -> max acc (opcode_depth 0 e)) 0 f
+
+let flow_placements f =
+  let rec go depth acc = function
+    | [] -> acc
+    | Op k :: rest -> go depth ((k, max depth 1) :: acc) rest
+    | Scope inner :: rest ->
+      let acc = go (depth + 1) acc inner in
+      go depth acc rest
+  in
+  List.rev (go 0 [] f)
+
+let actions_of_flow m f =
+  List.concat_map
+    (fun k -> match find m k with Some e -> e.actions | None -> [])
+    (flow_opcodes f)
+
+let sends_of_actions actions =
+  List.filter_map (function Send n -> Some n | _ -> None) actions
+
+let recvs_of_actions actions =
+  List.filter_map (function Recv n -> Some n | _ -> None) actions
+
+let equal_map a b = a = b
+let equal_flow a b = a = b

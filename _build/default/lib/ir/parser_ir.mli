@@ -1,0 +1,20 @@
+(** Parser for the generic operation form produced by
+    {!Printer.to_generic}.
+
+    Fresh SSA values are allocated for every value name encountered, so
+    a parsed module is structurally equal to — but shares no value ids
+    with — the module that was printed. The round-trip law is
+    [to_generic (parse (to_generic m)) = to_generic m]. *)
+
+exception Parse_error of string
+(** Message includes line and column. *)
+
+val parse_op : string -> Ir.op
+(** Parse a single top-level operation (typically a
+    [builtin.module]). *)
+
+val parse_type : string -> Ty.t
+(** Parse a type in isolation (exposed for tests). *)
+
+val parse_attribute : string -> Attribute.t
+(** Parse an attribute in isolation (exposed for tests). *)

@@ -1,0 +1,24 @@
+type t = { pass_name : string; run : Ir.op -> Ir.op }
+
+let make pass_name run = { pass_name; run }
+
+type options = { verify_each : bool; dump_each : bool }
+
+let default_options = { verify_each = true; dump_each = false }
+
+exception Pass_failure of string * string
+
+let run_pipeline ?(options = default_options) passes root =
+  List.fold_left
+    (fun ir pass ->
+      let ir = pass.run ir in
+      if options.dump_each then
+        Printf.eprintf "// ----- IR after %s -----\n%s\n" pass.pass_name
+          (Printer.to_generic ir);
+      if options.verify_each then begin
+        match Verifier.verify ir with
+        | Ok () -> ()
+        | Error msg -> raise (Pass_failure (pass.pass_name, msg))
+      end;
+      ir)
+    root passes

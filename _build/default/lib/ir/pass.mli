@@ -1,0 +1,20 @@
+(** Pass manager: named module-to-module transformations with optional
+    inter-pass verification and IR dumping, mirroring MLIR's
+    [PassManager]. *)
+
+type t = { pass_name : string; run : Ir.op -> Ir.op }
+
+val make : string -> (Ir.op -> Ir.op) -> t
+
+type options = {
+  verify_each : bool;  (** run {!Verifier.verify} after every pass *)
+  dump_each : bool;  (** print generic IR after every pass to stderr *)
+}
+
+val default_options : options
+(** [verify_each = true], [dump_each = false]. *)
+
+exception Pass_failure of string * string
+(** [(pass name, message)] — raised when post-pass verification fails. *)
+
+val run_pipeline : ?options:options -> t list -> Ir.op -> Ir.op

@@ -1,0 +1,64 @@
+let registry : (string, Ir.op -> (unit, string) result) Hashtbl.t = Hashtbl.create 64
+
+let register_op_verifier name f = Hashtbl.replace registry name f
+
+let ( let* ) r f = Result.bind r f
+
+(* SSA check: walk the op tree keeping the set of visible value ids.
+   Values defined in enclosing scopes are visible in nested regions
+   (MLIR's default region semantics, which all our dialects use). *)
+let check_ssa root =
+  let defined : (int, unit) Hashtbl.t = Hashtbl.create 256 in
+  let define (v : Ir.value) =
+    if Hashtbl.mem defined v.vid then
+      Error (Printf.sprintf "value %%v%d defined twice" v.vid)
+    else begin
+      Hashtbl.add defined v.vid ();
+      Ok ()
+    end
+  in
+  let rec check_all f = function
+    | [] -> Ok ()
+    | x :: rest ->
+      let* () = f x in
+      check_all f rest
+  in
+  let rec check_op (o : Ir.op) =
+    let* () =
+      check_all
+        (fun (v : Ir.value) ->
+          if Hashtbl.mem defined v.vid then Ok ()
+          else Error (Printf.sprintf "op %s: use of undefined value %%v%d" o.name v.vid))
+        o.operands
+    in
+    (* Regions see enclosing definitions but results only become visible
+       after the op, so verify regions before defining results. *)
+    let* () = check_all check_region o.regions in
+    check_all define o.results
+  and check_region blocks = check_all check_block blocks
+  and check_block (b : Ir.block) =
+    let* () = check_all define b.bargs in
+    check_all check_op b.body
+  in
+  check_op root
+
+let verify root =
+  let* () = check_ssa root in
+  let failure = ref None in
+  (try
+     Ir.walk
+       (fun o ->
+         match Hashtbl.find_opt registry o.name with
+         | None -> ()
+         | Some f -> (
+           match f o with
+           | Ok () -> ()
+           | Error msg ->
+             failure := Some (Printf.sprintf "op %s: %s" o.name msg);
+             raise Exit))
+       root
+   with Exit -> ());
+  match !failure with None -> Ok () | Some msg -> Error msg
+
+let verify_exn root =
+  match verify root with Ok () -> () | Error msg -> failwith ("IR verification failed: " ^ msg)

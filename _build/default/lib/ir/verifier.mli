@@ -1,0 +1,16 @@
+(** IR verification.
+
+    Structural SSA checks (definitions dominate uses, unique
+    definitions) plus a registry of per-operation verifiers that dialect
+    libraries populate for their ops. *)
+
+val register_op_verifier : string -> (Ir.op -> (unit, string) result) -> unit
+(** Register a verifier for an op name. Registering twice replaces the
+    previous verifier (used by tests). *)
+
+val verify : Ir.op -> (unit, string) result
+(** Verify an op tree: SSA structure first, then every registered
+    per-op verifier (pre-order). The error message names the failing op. *)
+
+val verify_exn : Ir.op -> unit
+(** Raises [Failure] with the verification error. *)

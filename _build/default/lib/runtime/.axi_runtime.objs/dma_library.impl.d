@@ -1,0 +1,1 @@
+lib/runtime/dma_library.ml: Array Axi_word Cost_model Dma_engine Isa List Memref_view Sim_memory Soc Util

@@ -1,0 +1,1 @@
+lib/runtime/dma_library.mli: Dma_engine Memref_view Soc

@@ -1,0 +1,1 @@
+lib/runtime/memref_view.ml: Array List Printf Sim_memory

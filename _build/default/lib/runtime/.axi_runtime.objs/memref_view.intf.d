@@ -1,0 +1,1 @@
+lib/runtime/memref_view.mli: Sim_memory

@@ -1,0 +1,209 @@
+type strategy = Generic | Specialized | Bare
+
+type t = {
+  soc : Soc.t;
+  engine : Dma_engine.t;
+  strategy : strategy;
+  double_buffer : bool;
+}
+
+(* One-time cost of bringing up the DMA driver: opening /dev/mem,
+   mmap-ing the input/output windows, first-touch page faults and
+   descriptor-ring initialisation. Measured Linux userspace DMA stacks
+   spend hundreds of microseconds here, which is what makes offload
+   irrelevant for small problems (Fig. 10's crossover). *)
+let init_cycles = 400_000.0
+
+let init ?(double_buffer = false) soc ~dma_id ~strategy =
+  let engine = Soc.engine soc dma_id in
+  soc.Soc.counters.cycles <- soc.Soc.counters.cycles +. init_cycles;
+  { soc; engine; strategy; double_buffer }
+
+let free t = t.soc.Soc.counters.cycles <- t.soc.Soc.counters.cycles +. 500.0
+
+let soc t = t.soc
+let strategy t = t.strategy
+let engine t = t.engine
+
+let stage_literal t literal ~offset =
+  Soc.alu t.soc 1;
+  Soc.uncached_store_words t.soc 1;
+  Dma_engine.stage t.engine ~offset (Axi_word.Inst literal);
+  offset + 1
+
+(* ------------------------------------------------------------------ *)
+(* Host-side copies                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Generic rank-N element-wise copy: mirrors the recursive MemRef copy
+   the paper describes (Sec. IV-B) — per element it reloads size/stride
+   metadata, computes a strided address, loads the element through the
+   cache and stores it to the uncached DMA region. *)
+let generic_copy_out t view ~offset =
+  let soc = t.soc in
+  let cost = soc.Soc.cost in
+  Soc.call_overhead soc;
+  let off = ref offset in
+  Memref_view.iter_linear view (fun li ->
+      Soc.charge_l1_hits soc (int_of_float cost.Cost_model.memref_metadata_accesses);
+      Soc.alu soc (int_of_float cost.Cost_model.elementwise_element_overhead_cycles);
+      Soc.branch soc 1;
+      let v = Soc.cached_read soc view.Memref_view.buf li in
+      Soc.uncached_store_words soc 1;
+      Dma_engine.stage t.engine ~offset:!off (Axi_word.Data v);
+      incr off);
+  !off
+
+(* Specialised copy: memcpy each maximal contiguous run with vectorised
+   loads; requires unit innermost stride (checked by the caller). *)
+let specialized_copy_out t view ~offset =
+  let soc = t.soc in
+  let cost = soc.Soc.cost in
+  let run = Memref_view.contiguous_run view in
+  let chunk_elems = cost.Cost_model.vector_chunk_bytes / 4 in
+  Soc.call_overhead soc;
+  let off = ref offset in
+  let run_pos = ref 0 in
+  Memref_view.iter_linear view (fun li ->
+      if !run_pos = 0 then begin
+        (* Start of a run: one memcpy call covering [run] elements. *)
+        soc.Soc.counters.cycles <-
+          soc.Soc.counters.cycles +. cost.Cost_model.memcpy_row_setup_cycles;
+        soc.Soc.counters.instructions <- soc.Soc.counters.instructions +. 6.0;
+        Soc.branch soc 1;
+        Soc.vector_read_range soc view.Memref_view.buf li run;
+        Soc.branch soc (Util.ceil_div run (chunk_elems * 4));
+        Soc.uncached_store_words soc run
+      end;
+      let v = Sim_memory.get view.Memref_view.buf li in
+      Dma_engine.stage t.engine ~offset:!off (Axi_word.Data v);
+      incr off;
+      run_pos := (!run_pos + 1) mod run);
+  !off
+
+(* Bare strided loop over a C array: pointer bump + load + store, one
+   branch per element; no descriptor traffic, no memcpy call setup. *)
+let bare_copy_out t view ~offset =
+  let soc = t.soc in
+  Soc.call_overhead soc;
+  let off = ref offset in
+  Memref_view.iter_linear view (fun li ->
+      Soc.alu soc 2;
+      Soc.branch soc 1;
+      let v = Soc.cached_read soc view.Memref_view.buf li in
+      Soc.uncached_store_words soc 1;
+      Dma_engine.stage t.engine ~offset:!off (Axi_word.Data v);
+      incr off);
+  !off
+
+let bare_copy_in t view ~accumulate data =
+  let soc = t.soc in
+  Soc.call_overhead soc;
+  let i = ref 0 in
+  Memref_view.iter_linear view (fun li ->
+      Soc.alu soc 2;
+      Soc.branch soc 1;
+      Soc.uncached_load_words soc 1;
+      let v = data.(!i) in
+      if accumulate then begin
+        let old = Soc.cached_read soc view.Memref_view.buf li in
+        Soc.fpu soc 1;
+        Soc.cached_write soc view.Memref_view.buf li (old +. v)
+      end
+      else Soc.cached_write soc view.Memref_view.buf li v;
+      incr i)
+
+let can_specialize view =
+  match List.rev view.Memref_view.strides with last :: _ -> last = 1 | [] -> true
+
+let copy_to_dma_region_with t strategy view ~offset =
+  match strategy with
+  | Generic -> generic_copy_out t view ~offset
+  | Bare -> bare_copy_out t view ~offset
+  | Specialized ->
+    if can_specialize view then specialized_copy_out t view ~offset
+    else generic_copy_out t view ~offset
+
+let copy_to_dma_region t view ~offset = copy_to_dma_region_with t t.strategy view ~offset
+
+let flush_send t =
+  if t.double_buffer then Dma_engine.send_staged_async t.engine
+  else Dma_engine.send_staged t.engine
+
+(* Copies from the DMA output region back into a memref. [data] holds
+   the received words in row-major order. *)
+let generic_copy_in t view ~accumulate data =
+  let soc = t.soc in
+  let cost = soc.Soc.cost in
+  Soc.call_overhead soc;
+  let i = ref 0 in
+  Memref_view.iter_linear view (fun li ->
+      Soc.charge_l1_hits soc (int_of_float cost.Cost_model.memref_metadata_accesses);
+      Soc.alu soc (int_of_float cost.Cost_model.elementwise_element_overhead_cycles);
+      Soc.branch soc 1;
+      Soc.uncached_load_words soc 1;
+      let v = data.(!i) in
+      if accumulate then begin
+        let old = Soc.cached_read soc view.Memref_view.buf li in
+        Soc.fpu soc 1;
+        Soc.cached_write soc view.Memref_view.buf li (old +. v);
+        (* the write hits the line just loaded *)
+        soc.Soc.counters.cycles <- soc.Soc.counters.cycles -. 0.0
+      end
+      else Soc.cached_write soc view.Memref_view.buf li v;
+      incr i)
+
+let specialized_copy_in t view ~accumulate data =
+  let soc = t.soc in
+  let cost = soc.Soc.cost in
+  let run = Memref_view.contiguous_run view in
+  let chunk_elems = cost.Cost_model.vector_chunk_bytes / 4 in
+  Soc.call_overhead soc;
+  let i = ref 0 in
+  let run_pos = ref 0 in
+  Memref_view.iter_linear view (fun li ->
+      if !run_pos = 0 then begin
+        soc.Soc.counters.cycles <-
+          soc.Soc.counters.cycles +. cost.Cost_model.memcpy_row_setup_cycles;
+        soc.Soc.counters.instructions <- soc.Soc.counters.instructions +. 6.0;
+        Soc.branch soc 1;
+        Soc.uncached_load_words soc run;
+        if accumulate then begin
+          Soc.vector_read_range soc view.Memref_view.buf li run;
+          (* vectorised adds: 4 lanes per FPU op *)
+          let vadds = Util.ceil_div run chunk_elems in
+          soc.Soc.counters.cycles <-
+            soc.Soc.counters.cycles +. float_of_int vadds *. cost.Cost_model.fpu_cycles;
+          soc.Soc.counters.flops <- soc.Soc.counters.flops +. float_of_int run
+        end;
+        Soc.vector_write_range soc view.Memref_view.buf li run;
+        Soc.branch soc (Util.ceil_div run (chunk_elems * 4))
+      end;
+      let v = data.(!i) in
+      let v = if accumulate then Sim_memory.get view.Memref_view.buf li +. v else v in
+      Sim_memory.set view.Memref_view.buf li v;
+      incr i;
+      run_pos := (!run_pos + 1) mod run)
+
+let copy_from_data_with t strategy view ~accumulate data =
+  match strategy with
+  | Generic -> generic_copy_in t view ~accumulate data
+  | Bare -> bare_copy_in t view ~accumulate data
+  | Specialized ->
+    if can_specialize view then specialized_copy_in t view ~accumulate data
+    else generic_copy_in t view ~accumulate data
+
+let manual_strategy view =
+  if can_specialize view && Memref_view.contiguous_run view >= 4 then Specialized else Bare
+
+let recv_into t view ~accumulate =
+  flush_send t;
+  let n = Memref_view.num_elements view in
+  Dma_engine.start_recv t.engine ~len_words:n;
+  let data = Dma_engine.wait_recv t.engine in
+  copy_from_data_with t t.strategy view ~accumulate data
+
+let send_reset t =
+  let offset = stage_literal t Isa.reset ~offset:0 in
+  ignore offset;
+  flush_send t

@@ -1,0 +1,93 @@
+(** The custom AXI DMA runtime library (paper Sec. III-A, Fig. 9).
+
+    This is the layer the generated host code (and the hand-written
+    baselines) call into:
+
+    - {!init}/{!free}: one-time DMA engine setup ([mmap]ing the
+      memory-mapped input/output regions);
+    - {!stage_literal}/{!copy_to_dma_region}: stage opcode words and
+      memref tiles into the input region at a word offset, returning
+      the next free offset (the offset chaining of Fig. 6b that batches
+      an opcode's actions into a single transfer);
+    - {!flush_send}: [dma_start_send] + [dma_wait_send_completion] over
+      everything staged;
+    - {!recv_into}: flush any staged words, then
+      [dma_start_recv] + wait and copy the accelerator's output back
+      into a memref, optionally accumulating.
+
+    Two host-side copy implementations are provided, selected by
+    {!strategy}: the {e generic} rank-N element-wise copy (loads the
+    memref struct's size/stride fields per element, one scalar cache
+    access per element) and the {e specialised} copy of Sec. IV-B,
+    which memcpys each maximal contiguous run with vectorised accesses
+    (one cache reference per 16-byte chunk). The specialised copy
+    requires a unit innermost stride and degrades gracefully — runs of
+    length 1 (e.g. 1x1 convolution patches) pay the per-run setup for
+    every element, reproducing the paper's fHW==1 slowdown. *)
+
+type strategy =
+  | Generic  (** always element-wise through the memref descriptor *)
+  | Specialized  (** memcpy contiguous runs when the innermost stride is 1 *)
+  | Bare
+      (** a hand-written strided C loop over a bare array: no memref
+          metadata loads and no per-run memcpy setup. This is what the
+          manual baselines fall back to when runs are too short to
+          vectorise (e.g. 1x1-convolution patches); generated code
+          cannot use it — the compiler only has the generic and
+          specialised library entry points. *)
+
+type t
+
+val init : ?double_buffer:bool -> Soc.t -> dma_id:int -> strategy:strategy -> t
+(** Look up the DMA engine registered under [dma_id] and charge the
+    one-time initialisation cost. With [double_buffer], flushes use the
+    engine's asynchronous (ping-pong) sends, overlapping streaming with
+    the host's preparation of the next tile (the paper's Sec. V
+    double-buffering attribute). *)
+
+val init_cycles : float
+(** The one-time driver bring-up cost charged by {!init} (exposed so
+    multi-kernel experiments can amortise it correctly). *)
+
+val manual_strategy : Memref_view.t -> strategy
+(** What a hand-written driver does for this view: [Specialized] when
+    the contiguous runs are at least a vector chunk long, [Bare]
+    otherwise. *)
+
+val free : t -> unit
+val soc : t -> Soc.t
+val strategy : t -> strategy
+val engine : t -> Dma_engine.t
+
+val stage_literal : t -> int -> offset:int -> int
+(** Stage one instruction word; returns [offset + 1]. *)
+
+val copy_to_dma_region : t -> Memref_view.t -> offset:int -> int
+(** Stage a tile's elements (row-major); returns the next offset. *)
+
+val can_specialize : Memref_view.t -> bool
+(** Whether the view's innermost stride is 1 (the specialisation
+    precondition the Copy_specialization pass checks). *)
+
+val copy_to_dma_region_with :
+  t -> strategy -> Memref_view.t -> offset:int -> int
+(** As {!copy_to_dma_region} with an explicit per-call strategy (used
+    by the interpreter to honour the callee chosen at compile time). *)
+
+val copy_from_data_with :
+  t -> strategy -> Memref_view.t -> accumulate:bool -> float array -> unit
+(** Copy already-received words into a view with an explicit strategy
+    (the granular half of {!recv_into}). *)
+
+val flush_send : t -> unit
+(** Transmit everything staged since the last flush (no-op when nothing
+    is staged). *)
+
+val recv_into : t -> Memref_view.t -> accumulate:bool -> unit
+(** Flush staged words, receive [num_elements] words from the
+    accelerator and copy them into the view ([+=] when
+    [accumulate]). *)
+
+val send_reset : t -> unit
+(** Stage and flush the reset opcode ({!Isa.reset}) — the common
+    [init_opcodes] flow. *)

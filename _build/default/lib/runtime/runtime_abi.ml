@@ -1,0 +1,28 @@
+let dma_init = "dma_init"
+let dma_free = "dma_free"
+let stage_literal = "stage_literal"
+let copy_to_dma_region = "copy_to_dma_region"
+let dma_flush_send = "dma_flush_send"
+let dma_start_recv = "dma_start_recv"
+let dma_wait_recv = "dma_wait_recv"
+let copy_from_dma_region = "copy_from_dma_region"
+let copy_from_dma_region_accumulate = "copy_from_dma_region_accumulate"
+let copy_to_dma_region_spec = "copy_to_dma_region_spec"
+let copy_from_dma_region_spec = "copy_from_dma_region_spec"
+let copy_from_dma_region_accumulate_spec = "copy_from_dma_region_accumulate_spec"
+
+let all =
+  [
+    dma_init;
+    dma_free;
+    stage_literal;
+    copy_to_dma_region;
+    dma_flush_send;
+    dma_start_recv;
+    dma_wait_recv;
+    copy_from_dma_region;
+    copy_from_dma_region_accumulate;
+    copy_to_dma_region_spec;
+    copy_from_dma_region_spec;
+    copy_from_dma_region_accumulate_spec;
+  ]

@@ -1,0 +1,24 @@
+(** Symbol names of the DMA runtime library as seen from generated IR.
+
+    [Lower_accel_to_runtime] emits [func.call]s to these names; the
+    interpreter dispatches them onto {!Dma_library}. Keeping the table
+    here gives both sides a single source of truth. *)
+
+val dma_init : string  (* (id, inAddr, inSize, outAddr, outSize) -> () *)
+val dma_free : string  (* () -> () *)
+val stage_literal : string  (* (word i32, offset i32) -> i32 *)
+val copy_to_dma_region : string  (* (memref, offset i32) -> i32 *)
+val dma_flush_send : string  (* () -> (): start_send + wait over staged words *)
+val dma_start_recv : string  (* (len i32) -> () *)
+val dma_wait_recv : string  (* () -> () *)
+val copy_from_dma_region : string  (* (memref, offset i32) -> i32, store mode *)
+val copy_from_dma_region_accumulate : string  (* accumulate mode *)
+
+(* "_spec" variants: the strided-copy specialisation of Sec. IV-B,
+   selected by the Copy_specialization pass when the memref layout has a
+   unit innermost stride. *)
+val copy_to_dma_region_spec : string
+val copy_from_dma_region_spec : string
+val copy_from_dma_region_accumulate_spec : string
+
+val all : string list

@@ -1,0 +1,1 @@
+lib/sim/accel_conv.ml: Accel_device Array Axi_word Isa Printf Queue

@@ -1,0 +1,1 @@
+lib/sim/accel_conv.mli: Accel_device

@@ -1,0 +1,1 @@
+lib/sim/accel_device.ml: Axi_word

@@ -1,0 +1,1 @@
+lib/sim/accel_device.mli: Axi_word

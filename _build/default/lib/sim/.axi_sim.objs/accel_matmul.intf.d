@@ -1,0 +1,1 @@
+lib/sim/accel_matmul.mli: Accel_device

@@ -1,0 +1,1 @@
+lib/sim/axi_word.ml: Printf

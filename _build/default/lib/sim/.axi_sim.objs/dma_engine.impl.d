@@ -1,0 +1,1 @@
+lib/sim/dma_engine.ml: Accel_device Array Axi_word Cost_model Float Perf_counters Printf

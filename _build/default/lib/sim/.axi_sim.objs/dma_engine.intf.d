@@ -1,0 +1,1 @@
+lib/sim/dma_engine.mli: Accel_device Axi_word Cost_model Perf_counters

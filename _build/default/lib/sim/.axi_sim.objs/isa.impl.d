@@ -1,0 +1,1 @@
+lib/sim/isa.ml: Printf

@@ -1,0 +1,1 @@
+lib/sim/perf_counters.mli:

@@ -1,0 +1,1 @@
+lib/sim/soc.ml: Cache Cost_model Dma_engine List Perf_counters Printf Sim_memory Util

@@ -1,0 +1,1 @@
+lib/sim/soc.mli: Accel_device Cache Cost_model Dma_engine Perf_counters Sim_memory

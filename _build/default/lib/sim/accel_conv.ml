@@ -1,0 +1,91 @@
+let default_ops_per_cycle = 64.0
+let buffer_capacity_elems = 8192
+
+type state = {
+  mutable fhw : int;
+  mutable ic : int;
+  w : float array;
+  patch : float array;
+  pending : float Queue.t;  (** computed but not yet released *)
+  out : float Queue.t;
+}
+
+let slice_len st = st.ic * st.fhw * st.fhw
+
+let reset st =
+  st.fhw <- 0;
+  st.ic <- 0;
+  Array.fill st.w 0 (Array.length st.w) 0.0;
+  Queue.clear st.pending;
+  Queue.clear st.out
+
+let check_config st =
+  if st.fhw <= 0 || st.ic <= 0 then
+    failwith "conv accelerator: fHW/iC not configured before data transfer";
+  if slice_len st > buffer_capacity_elems then
+    failwith
+      (Printf.sprintf "conv accelerator: slice iC=%d fHW=%d exceeds capacity %d" st.ic
+         st.fhw buffer_capacity_elems)
+
+let create ?(ops_per_cycle = default_ops_per_cycle) () =
+  let st =
+    {
+      fhw = 0;
+      ic = 0;
+      w = Array.make buffer_capacity_elems 0.0;
+      patch = Array.make buffer_capacity_elems 0.0;
+      pending = Queue.create ();
+      out = Queue.create ();
+    }
+  in
+  let consume words =
+    let cycles = ref 0.0 in
+    let pos = ref 0 in
+    let next () =
+      if !pos >= Array.length words then failwith "conv accelerator: truncated transaction";
+      let w = words.(!pos) in
+      incr pos;
+      w
+    in
+    let read_payload dst n =
+      check_config st;
+      for i = 0 to n - 1 do
+        dst.(i) <- Axi_word.expect_data (next ())
+      done
+    in
+    while !pos < Array.length words do
+      let code = Axi_word.expect_inst (next ()) in
+      if code = Isa.reset then reset st
+      else if code = Isa.cv_set_fhw then st.fhw <- Axi_word.expect_inst (next ())
+      else if code = Isa.cv_set_ic then st.ic <- Axi_word.expect_inst (next ())
+      else if code = Isa.cv_load_w then read_payload st.w (slice_len st)
+      else if code = Isa.cv_patch then begin
+        let n = slice_len st in
+        read_payload st.patch n;
+        let acc = ref 0.0 in
+        for i = 0 to n - 1 do
+          acc := !acc +. (st.w.(i) *. st.patch.(i))
+        done;
+        Queue.push !acc st.pending;
+        cycles := !cycles +. (2.0 *. float_of_int n /. ops_per_cycle)
+      end
+      else if code = Isa.cv_drain then
+        Queue.transfer st.pending st.out
+      else failwith (Printf.sprintf "conv accelerator: unsupported instruction %s" (Isa.name code))
+    done;
+    !cycles
+  in
+  let drain n =
+    if Queue.length st.out < n then
+      failwith
+        (Printf.sprintf "conv accelerator: host requested %d output words, %d available" n
+           (Queue.length st.out));
+    Array.init n (fun _ -> Queue.pop st.out)
+  in
+  {
+    Accel_device.device_name = "conv2d";
+    consume;
+    drain;
+    available = (fun () -> Queue.length st.out);
+    reset_device = (fun () -> reset st);
+  }

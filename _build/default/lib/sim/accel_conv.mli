@@ -1,0 +1,20 @@
+(** Functional + timing model of the Conv2D accelerator (paper
+    Sec. IV-D).
+
+    The engine holds one weight slice W(oc, :, :, :) stationary and
+    computes one output element per input patch: the host configures
+    the filter edge (fHW) and input-channel count (iC), loads
+    [iC * fHW * fHW] weight elements, then streams input patches of the
+    same length; each patch instruction queues one output element
+    (the inner product). The [cv_drain] instruction releases queued
+    elements to the output stream. *)
+
+val default_ops_per_cycle : float
+(** MAC-array throughput (64 OPs/cycle — comparable to the v3_16
+    engine, as both come from the same HLS library). *)
+
+val buffer_capacity_elems : int
+(** Weight/patch buffer capacity (8192 f32 elements: enough for every
+    ResNet18 layer, e.g. iC=512 with a 3x3 filter needs 4608). *)
+
+val create : ?ops_per_cycle:float -> unit -> Accel_device.t

@@ -1,0 +1,7 @@
+type t = {
+  device_name : string;
+  consume : Axi_word.t array -> float;
+  drain : int -> float array;
+  available : unit -> int;
+  reset_device : unit -> unit;
+}

@@ -1,0 +1,18 @@
+(** Common interface between the DMA engine and accelerator models.
+
+    A device consumes inbound AXI-S transactions (decoding its
+    micro-ISA), accumulates compute time in its own clock domain, and
+    queues output elements for the host to drain. *)
+
+type t = {
+  device_name : string;
+  consume : Axi_word.t array -> float;
+      (** Process one inbound transaction; returns accelerator cycles
+          spent on any compute the transaction triggered. Raises
+          [Failure] on words the device's ISA cannot decode. *)
+  drain : int -> float array;
+      (** Remove [n] elements from the output queue. Raises [Failure]
+          when fewer are available (host/driver protocol bug). *)
+  available : unit -> int;  (** queued output elements *)
+  reset_device : unit -> unit;
+}

@@ -1,0 +1,176 @@
+type version = V1 | V2 | V3 | V4
+
+let version_of_string = function
+  | "v1" -> Some V1
+  | "v2" -> Some V2
+  | "v3" -> Some V3
+  | "v4" -> Some V4
+  | _ -> None
+
+let version_to_string = function V1 -> "v1" | V2 -> "v2" | V3 -> "v3" | V4 -> "v4"
+
+(* Table I design points; other sizes scale like the MAC array area
+   (quadratic in the edge) anchored at the 16-lane design. *)
+let ops_per_cycle_for_size size =
+  match size with
+  | 4 -> 10.0
+  | 8 -> 60.0
+  | 16 -> 112.0
+  | s -> 112.0 *. float_of_int (s * s) /. float_of_int (16 * 16)
+
+let v4_capacity = 4096
+
+let buffer_capacity_elems version ~size =
+  match version with V1 | V2 | V3 -> size * size | V4 -> v4_capacity
+
+type state = {
+  version : version;
+  size : int;
+  capacity : int;
+  mutable tm : int;
+  mutable tn : int;
+  mutable tk : int;
+  a : float array;
+  b : float array;
+  c : float array;
+  out : float Queue.t;
+}
+
+let fail_op st code =
+  failwith
+    (Printf.sprintf "%s_%d accelerator: unsupported instruction %s"
+       (version_to_string st.version) st.size (Isa.name code))
+
+let check_dims st =
+  if st.tm * st.tk > st.capacity || st.tk * st.tn > st.capacity
+     || st.tm * st.tn > st.capacity
+  then
+    failwith
+      (Printf.sprintf "%s_%d accelerator: tile %dx%dx%d exceeds buffer capacity %d"
+         (version_to_string st.version) st.size st.tm st.tn st.tk st.capacity);
+  let ok d = d > 0 && d mod st.size = 0 in
+  if not (ok st.tm && ok st.tn && ok st.tk) then
+    failwith
+      (Printf.sprintf "%s_%d accelerator: tile dims %dx%dx%d must be positive multiples of %d"
+         (version_to_string st.version) st.size st.tm st.tn st.tk st.size)
+
+let clear_c st = Array.fill st.c 0 (st.tm * st.tn) 0.0
+
+let reset st =
+  st.tm <- st.size;
+  st.tn <- st.size;
+  st.tk <- st.size;
+  Array.fill st.a 0 (Array.length st.a) 0.0;
+  Array.fill st.b 0 (Array.length st.b) 0.0;
+  Array.fill st.c 0 (Array.length st.c) 0.0;
+  Queue.clear st.out
+
+(* One tile MAC pass: C += A x B. Returns accelerator cycles. *)
+let compute st =
+  for m = 0 to st.tm - 1 do
+    for n = 0 to st.tn - 1 do
+      let acc = ref st.c.((m * st.tn) + n) in
+      for k = 0 to st.tk - 1 do
+        acc := !acc +. (st.a.((m * st.tk) + k) *. st.b.((k * st.tn) + n))
+      done;
+      st.c.((m * st.tn) + n) <- !acc
+    done
+  done;
+  2.0 *. float_of_int (st.tm * st.tn * st.tk) /. ops_per_cycle_for_size st.size
+
+let drain_c st =
+  for i = 0 to (st.tm * st.tn) - 1 do
+    Queue.push st.c.(i) st.out
+  done;
+  clear_c st
+
+let create ~version ~size =
+  let capacity = buffer_capacity_elems version ~size in
+  let st =
+    {
+      version;
+      size;
+      capacity;
+      tm = size;
+      tn = size;
+      tk = size;
+      a = Array.make capacity 0.0;
+      b = Array.make capacity 0.0;
+      c = Array.make capacity 0.0;
+      out = Queue.create ();
+    }
+  in
+  let consume words =
+    let cycles = ref 0.0 in
+    let pos = ref 0 in
+    let next () =
+      if !pos >= Array.length words then
+        failwith
+          (Printf.sprintf "%s_%d accelerator: truncated transaction"
+             (version_to_string version) size);
+      let w = words.(!pos) in
+      incr pos;
+      w
+    in
+    let read_payload dst n =
+      check_dims st;
+      for i = 0 to n - 1 do
+        dst.(i) <- Axi_word.expect_data (next ())
+      done
+    in
+    let read_dim () = Axi_word.expect_inst (next ()) in
+    while !pos < Array.length words do
+      let code = Axi_word.expect_inst (next ()) in
+      if code = Isa.reset then reset st
+      else if code = Isa.mm_set_tm && version = V4 then begin
+        st.tm <- read_dim ();
+        check_dims st
+      end
+      else if code = Isa.mm_set_tn && version = V4 then begin
+        st.tn <- read_dim ();
+        check_dims st
+      end
+      else if code = Isa.mm_set_tk && version = V4 then begin
+        st.tk <- read_dim ();
+        check_dims st
+      end
+      else if code = Isa.mm_fused && version = V1 then begin
+        read_payload st.a (st.tm * st.tk);
+        read_payload st.b (st.tk * st.tn);
+        cycles := !cycles +. compute st;
+        drain_c st
+      end
+      else if code = Isa.mm_load_a && version <> V1 then
+        read_payload st.a (st.tm * st.tk)
+      else if code = Isa.mm_load_b && version <> V1 then
+        read_payload st.b (st.tk * st.tn)
+      else if code = Isa.mm_load_b_compute_drain && version = V2 then begin
+        read_payload st.b (st.tk * st.tn);
+        cycles := !cycles +. compute st;
+        drain_c st
+      end
+      else if code = Isa.mm_compute_drain && version = V2 then begin
+        cycles := !cycles +. compute st;
+        drain_c st
+      end
+      else if code = Isa.mm_compute && (version = V3 || version = V4) then
+        cycles := !cycles +. compute st
+      else if code = Isa.mm_drain && (version = V3 || version = V4) then drain_c st
+      else fail_op st code
+    done;
+    !cycles
+  in
+  let drain n =
+    if Queue.length st.out < n then
+      failwith
+        (Printf.sprintf "%s_%d accelerator: host requested %d output words, %d available"
+           (version_to_string version) size n (Queue.length st.out));
+    Array.init n (fun _ -> Queue.pop st.out)
+  in
+  {
+    Accel_device.device_name = Printf.sprintf "%s_%d" (version_to_string version) size;
+    consume;
+    drain;
+    available = (fun () -> Queue.length st.out);
+    reset_device = (fun () -> reset st);
+  }

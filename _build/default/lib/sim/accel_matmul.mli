@@ -1,0 +1,36 @@
+(** Functional + timing models of the tile-based MatMul accelerators of
+    Table I.
+
+    All versions compute [C(tM,tN) += A(tM,tK) * B(tK,tN)] over f32
+    tiles held in internal buffers; they differ in which micro-ISA
+    instructions they accept, and therefore in the data reuse a driver
+    can exploit:
+
+    - {!V1}: one fused [sAsBcCrC] instruction; nothing stationary.
+    - {!V2}: separate A/B loads and a fused compute+drain; an input can
+      stay stationary.
+    - {!V3}: split compute and drain; inputs or the output can be
+      stationary.
+    - {!V4}: as V3, plus runtime-configurable (possibly non-square)
+      tile sizes in multiples of the base [size], bounded by the
+      per-operand buffer capacity.
+
+    Compute throughput follows Table I ({!ops_per_cycle_for_size}). *)
+
+type version = V1 | V2 | V3 | V4
+
+val version_of_string : string -> version option
+val version_to_string : version -> string
+
+val ops_per_cycle_for_size : int -> float
+(** Table I: size 4 -> 10, 8 -> 60, 16 -> 112 OPs/cycle. Other sizes
+    interpolate quadratically from the 16-lane design point. *)
+
+val buffer_capacity_elems : version -> size:int -> int
+(** Per-operand internal buffer capacity in f32 elements. Fixed-size
+    versions hold exactly one [size x size] tile; V4 has 4096 elements
+    per operand (enough for, e.g., a 32 x 64 tile). *)
+
+val create : version:version -> size:int -> Accel_device.t
+(** Build a device. [size] is the supported tile edge (the divisibility
+    granularity for V4). *)

@@ -1,0 +1,13 @@
+type t = Inst of int | Data of float
+
+let to_string = function
+  | Inst i -> Printf.sprintf "inst:0x%X" i
+  | Data f -> Printf.sprintf "data:%g" f
+
+let expect_inst = function
+  | Inst i -> i
+  | Data f -> failwith (Printf.sprintf "AXI stream desync: expected instruction, got data %g" f)
+
+let expect_data = function
+  | Data f -> f
+  | Inst i -> failwith (Printf.sprintf "AXI stream desync: expected data, got instruction 0x%X" i)

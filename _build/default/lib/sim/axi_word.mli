@@ -1,0 +1,17 @@
+(** Words on the AXI-Stream link.
+
+    Real hardware streams untyped 32-bit beats; the accelerator's
+    decoder knows from its micro-ISA state whether the next beat is an
+    instruction or data. We keep the distinction in the type so decoder
+    bugs surface as errors instead of silent float/int punning. *)
+
+type t =
+  | Inst of int  (** an opcode literal, dimension, or index word *)
+  | Data of float  (** one f32 element *)
+
+val to_string : t -> string
+
+val expect_inst : t -> int
+(** Raises [Failure] when the word is data (decoder desync). *)
+
+val expect_data : t -> float

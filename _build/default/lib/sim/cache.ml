@@ -1,0 +1,104 @@
+type geometry = { size_bytes : int; line_bytes : int; assoc : int }
+
+let cortex_a9_l1 = { size_bytes = 32 * 1024; line_bytes = 32; assoc = 4 }
+let cortex_a9_l2 = { size_bytes = 512 * 1024; line_bytes = 32; assoc = 8 }
+
+type level = {
+  geom : geometry;
+  n_sets : int;
+  tags : int array;  (* n_sets * assoc; -1 = invalid *)
+  ages : int array;  (* LRU timestamps *)
+  mutable clock : int;
+}
+
+type t = { levels : level list }
+
+let make_level geom =
+  if not (Util.is_pow2 geom.line_bytes) || not (Util.is_pow2 geom.size_bytes) then
+    invalid_arg "Cache: geometry sizes must be powers of two";
+  if geom.size_bytes mod (geom.line_bytes * geom.assoc) <> 0 then
+    invalid_arg "Cache: size must be a multiple of line_bytes * assoc";
+  let n_sets = geom.size_bytes / (geom.line_bytes * geom.assoc) in
+  {
+    geom;
+    n_sets;
+    tags = Array.make (n_sets * geom.assoc) (-1);
+    ages = Array.make (n_sets * geom.assoc) 0;
+    clock = 0;
+  }
+
+let create geoms = { levels = List.map make_level geoms }
+
+let geometries t = List.map (fun l -> l.geom) t.levels
+
+type access_result = { level_hit : int; lookups : int }
+
+(* Probe one level: returns true on hit; installs the line and updates
+   LRU either way. *)
+let probe level addr =
+  let line = addr / level.geom.line_bytes in
+  let set = line mod level.n_sets in
+  let tag = line / level.n_sets in
+  let base = set * level.geom.assoc in
+  level.clock <- level.clock + 1;
+  let hit_way = ref (-1) in
+  for way = 0 to level.geom.assoc - 1 do
+    if level.tags.(base + way) = tag then hit_way := way
+  done;
+  if !hit_way >= 0 then begin
+    level.ages.(base + !hit_way) <- level.clock;
+    true
+  end
+  else begin
+    (* Evict the LRU way. *)
+    let victim = ref 0 in
+    for way = 1 to level.geom.assoc - 1 do
+      if level.ages.(base + way) < level.ages.(base + !victim) then victim := way
+    done;
+    level.tags.(base + !victim) <- tag;
+    level.ages.(base + !victim) <- level.clock;
+    false
+  end
+
+let access t addr =
+  let rec go levels n =
+    match levels with
+    | [] -> { level_hit = n; lookups = n - 1 }
+    | level :: rest -> if probe level addr then { level_hit = n; lookups = n } else go rest (n + 1)
+  in
+  go t.levels 1
+
+let access_range t ~addr ~bytes ~touched =
+  if bytes > 0 then begin
+    let line_bytes =
+      match t.levels with [] -> 64 | level :: _ -> level.geom.line_bytes
+    in
+    let first = addr / line_bytes in
+    let last = (addr + bytes - 1) / line_bytes in
+    for line = first to last do
+      let r = access t (line * line_bytes) in
+      touched r.level_hit
+    done
+  end
+
+let flush t =
+  List.iter
+    (fun level ->
+      Array.fill level.tags 0 (Array.length level.tags) (-1);
+      Array.fill level.ages 0 (Array.length level.ages) 0;
+      level.clock <- 0)
+    t.levels
+
+let resident t ~level addr =
+  match List.nth_opt t.levels (level - 1) with
+  | None -> false
+  | Some l ->
+    let line = addr / l.geom.line_bytes in
+    let set = line mod l.n_sets in
+    let tag = line / l.n_sets in
+    let base = set * l.geom.assoc in
+    let found = ref false in
+    for way = 0 to l.geom.assoc - 1 do
+      if l.tags.(base + way) = tag then found := true
+    done;
+    !found

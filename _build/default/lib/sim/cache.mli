@@ -1,0 +1,43 @@
+(** Set-associative LRU cache hierarchy simulator.
+
+    Drives the [cache_references]/miss counters and the memory-access
+    component of the cycle model. Levels are inclusive; a fill installs
+    the line in every level. Write misses allocate (write-allocate,
+    write-back; write-back traffic is not modelled). *)
+
+type geometry = { size_bytes : int; line_bytes : int; assoc : int }
+(** One cache level. [size_bytes] must be a multiple of
+    [line_bytes * assoc]; all three must be powers of two. *)
+
+val cortex_a9_l1 : geometry
+(** 32 KiB, 32-byte lines, 4-way. *)
+
+val cortex_a9_l2 : geometry
+(** 512 KiB, 32-byte lines, 8-way. *)
+
+type t
+
+val create : geometry list -> t
+(** Hierarchy ordered from L1 outward. The list may be empty (all
+    accesses become DRAM accesses). *)
+
+val geometries : t -> geometry list
+
+type access_result = {
+  level_hit : int;  (** 1-based level that hit; [levels + 1] means DRAM *)
+  lookups : int;  (** number of cache levels probed *)
+}
+
+val access : t -> int -> access_result
+(** Look up a byte address, updating LRU state and filling on miss. *)
+
+val access_range : t -> addr:int -> bytes:int -> touched:(int -> unit) -> unit
+(** Probe every line overlapped by [addr, addr+bytes); calls [touched]
+    with each access's hit level (for cost accounting). *)
+
+val flush : t -> unit
+(** Invalidate everything. *)
+
+val resident : t -> level:int -> int -> bool
+(** Whether the line containing the address is present at the 1-based
+    level (probe without state change; for tests). *)

@@ -1,0 +1,51 @@
+type t = {
+  cpu_freq_mhz : float;
+  accel_freq_mhz : float;
+  bus_words_per_cpu_cycle : float;
+  dma_program_cycles : float;
+  dma_wait_cycles : float;
+  alu_cycles : float;
+  fpu_cycles : float;
+  branch_cycles : float;
+  loop_overhead_cycles : float;
+  l1_hit_cycles : float;
+  l2_hit_cycles : float;
+  dram_cycles : float;
+  uncached_store_cycles : float;
+  uncached_load_cycles : float;
+  memcpy_row_setup_cycles : float;
+  vector_chunk_bytes : int;
+  elementwise_element_overhead_cycles : float;
+  memref_metadata_accesses : float;
+}
+
+(* PYNQ-Z2: Cortex-A9 @ 650 MHz; accelerators @ 200 MHz; AXI-S DMA on
+   the 32-bit high-performance port, streaming roughly one word per
+   ~5 CPU cycles once started; starting/collecting a transfer costs on
+   the order of a thousand cycles (descriptor writes over the GP port,
+   cache maintenance, completion polling). *)
+let default =
+  {
+    cpu_freq_mhz = 650.0;
+    accel_freq_mhz = 200.0;
+    bus_words_per_cpu_cycle = 0.2;
+    dma_program_cycles = 1800.0;
+    dma_wait_cycles = 700.0;
+    alu_cycles = 1.0;
+    fpu_cycles = 2.0;
+    branch_cycles = 1.0;
+    loop_overhead_cycles = 2.0;
+    l1_hit_cycles = 1.0;
+    l2_hit_cycles = 8.0;
+    dram_cycles = 60.0;
+    uncached_store_cycles = 1.5;
+    uncached_load_cycles = 4.0;
+    memcpy_row_setup_cycles = 4.0;
+    vector_chunk_bytes = 16;
+    elementwise_element_overhead_cycles = 4.0;
+    memref_metadata_accesses = 2.0;
+  }
+
+let accel_to_cpu_cycles t accel_cycles = accel_cycles *. t.cpu_freq_mhz /. t.accel_freq_mhz
+
+let cpu_cycles_per_word t = 1.0 /. t.bus_words_per_cpu_cycle

@@ -1,0 +1,125 @@
+type t = {
+  cost : Cost_model.t;
+  counters : Perf_counters.t;
+  dev : Accel_device.t;
+  in_region : Axi_word.t array;
+  out_capacity : int;
+  mutable high_water : int;  (* staged words since last send *)
+  mutable ready_at : float;  (* CPU-cycle time at which device output is ready *)
+  mutable pending_send : (int * int) option;  (* offset, len *)
+  mutable pending_recv : int option;  (* len *)
+  mutable send_done_at : float;  (* completion time of an async send *)
+}
+
+let create ~cost ~counters ~device ~in_capacity_words ~out_capacity_words =
+  {
+    cost;
+    counters;
+    dev = device;
+    in_region = Array.make in_capacity_words (Axi_word.Inst 0);
+    out_capacity = out_capacity_words;
+    high_water = 0;
+    ready_at = 0.0;
+    pending_send = None;
+    pending_recv = None;
+    send_done_at = 0.0;
+  }
+
+let device t = t.dev
+let in_capacity_words t = Array.length t.in_region
+
+let stage t ~offset word =
+  if offset < 0 || offset >= Array.length t.in_region then
+    failwith
+      (Printf.sprintf "DMA input region overflow: offset %d, capacity %d" offset
+         (Array.length t.in_region));
+  t.in_region.(offset) <- word;
+  if offset + 1 > t.high_water then t.high_water <- offset + 1
+
+let staged_high_water t = t.high_water
+
+let start_send t ~offset ~len_words =
+  if t.pending_send <> None then failwith "DMA engine: send already in flight";
+  if offset < 0 || offset + len_words > Array.length t.in_region then
+    failwith "DMA engine: send range exceeds input region";
+  t.counters.cycles <- t.counters.cycles +. t.cost.dma_program_cycles;
+  t.counters.instructions <- t.counters.instructions +. 20.0;
+  t.counters.dma_transactions <- t.counters.dma_transactions +. 1.0;
+  t.pending_send <- Some (offset, len_words)
+
+let wait_send t =
+  match t.pending_send with
+  | None -> failwith "DMA engine: wait_send without a pending send"
+  | Some (offset, len) ->
+    t.pending_send <- None;
+    let transfer = float_of_int len *. Cost_model.cpu_cycles_per_word t.cost in
+    t.counters.cycles <- t.counters.cycles +. transfer +. t.cost.dma_wait_cycles;
+    t.counters.dma_words_sent <- t.counters.dma_words_sent +. float_of_int len;
+    let words = Array.sub t.in_region offset len in
+    let accel_cycles = t.dev.Accel_device.consume words in
+    t.counters.accel_busy_cycles <- t.counters.accel_busy_cycles +. accel_cycles;
+    (* The device starts processing when the stream arrives and runs
+       concurrently with the host from then on. *)
+    let start = Float.max t.counters.cycles t.ready_at in
+    t.ready_at <- start +. Cost_model.accel_to_cpu_cycles t.cost accel_cycles
+
+let send_staged t =
+  let len = t.high_water in
+  if len > 0 then begin
+    start_send t ~offset:0 ~len_words:len;
+    wait_send t
+  end;
+  t.high_water <- 0
+
+let sync_sends t =
+  if t.send_done_at > t.counters.cycles then t.counters.cycles <- t.send_done_at
+
+let send_staged_async t =
+  let len = t.high_water in
+  if len > 0 then begin
+    (* only two buffer halves: wait out any transfer still in flight *)
+    sync_sends t;
+    t.counters.cycles <- t.counters.cycles +. t.cost.dma_program_cycles;
+    t.counters.instructions <- t.counters.instructions +. 20.0;
+    t.counters.dma_transactions <- t.counters.dma_transactions +. 1.0;
+    t.counters.dma_words_sent <- t.counters.dma_words_sent +. float_of_int len;
+    let transfer = float_of_int len *. Cost_model.cpu_cycles_per_word t.cost in
+    t.send_done_at <- t.counters.cycles +. transfer;
+    let words = Array.sub t.in_region 0 len in
+    let accel_cycles = t.dev.Accel_device.consume words in
+    t.counters.accel_busy_cycles <- t.counters.accel_busy_cycles +. accel_cycles;
+    (* the device starts once the stream has fully arrived *)
+    let start = Float.max t.send_done_at t.ready_at in
+    t.ready_at <- start +. Cost_model.accel_to_cpu_cycles t.cost accel_cycles
+  end;
+  t.high_water <- 0
+
+let start_recv t ~len_words =
+  if t.pending_recv <> None then failwith "DMA engine: recv already in flight";
+  if len_words > t.out_capacity then failwith "DMA engine: recv exceeds output region";
+  t.counters.cycles <- t.counters.cycles +. t.cost.dma_program_cycles;
+  t.counters.instructions <- t.counters.instructions +. 20.0;
+  t.counters.dma_transactions <- t.counters.dma_transactions +. 1.0;
+  t.pending_recv <- Some len_words
+
+let wait_recv t =
+  match t.pending_recv with
+  | None -> failwith "DMA engine: wait_recv without a pending recv"
+  | Some len ->
+    t.pending_recv <- None;
+    (* Receives observe completed sends. *)
+    sync_sends t;
+    (* Stall until the device has finished computing its queued work. *)
+    if t.ready_at > t.counters.cycles then t.counters.cycles <- t.ready_at;
+    let transfer = float_of_int len *. Cost_model.cpu_cycles_per_word t.cost in
+    t.counters.cycles <- t.counters.cycles +. transfer +. t.cost.dma_wait_cycles;
+    t.counters.dma_words_received <- t.counters.dma_words_received +. float_of_int len;
+    t.dev.Accel_device.drain len
+
+let reset_device t =
+  t.dev.Accel_device.reset_device ();
+  t.high_water <- 0;
+  t.ready_at <- 0.0;
+  t.pending_send <- None;
+  t.pending_recv <- None;
+  t.send_done_at <- 0.0

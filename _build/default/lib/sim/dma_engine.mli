@@ -1,0 +1,66 @@
+(** A DMA engine bridging the CPU and one accelerator over AXI-Stream
+    (paper Fig. 1 and Sec. III-A).
+
+    The engine owns an input and an output memory-mapped region
+    (uncached, as the paper's [mmap]ed buffers). The host stages words
+    into the input region, then [start_send]/[wait_send] stream a range
+    to the device; [start_recv]/[wait_recv] collect device output into
+    the output region. Timing:
+
+    - starting a transfer costs {!Cost_model.t.dma_program_cycles};
+    - each waited transfer costs one word per
+      [bus_words_per_cpu_cycle] plus [dma_wait_cycles];
+    - device compute overlaps host execution: its completion time is
+      tracked and [wait_recv] stalls the host clock until then. *)
+
+type t
+
+val create :
+  cost:Cost_model.t ->
+  counters:Perf_counters.t ->
+  device:Accel_device.t ->
+  in_capacity_words:int ->
+  out_capacity_words:int ->
+  t
+
+val device : t -> Accel_device.t
+val in_capacity_words : t -> int
+
+val stage : t -> offset:int -> Axi_word.t -> unit
+(** Write one word into the input region at a word offset. No host cost
+    is charged here — the runtime library accounts for the host-side
+    copy according to the copy strategy in use. Raises [Failure] on
+    overflow of the input region. *)
+
+val staged_high_water : t -> int
+(** Highest staged offset + 1 since the last send (the batch length). *)
+
+val start_send : t -> offset:int -> len_words:int -> unit
+(** Program an input transfer of [len_words] starting at word [offset].
+    The device consumes the words when the transfer completes (at
+    [wait_send] time in wall-clock terms, but modelled here). *)
+
+val wait_send : t -> unit
+(** Block until the programmed transfer completes. *)
+
+val send_staged : t -> unit
+(** Convenience: [start_send ~offset:0 ~len_words:(staged_high_water)]
+    followed by {!wait_send}, then reset the staging high-water mark.
+    This is the "flush" the accel dialect's batching semantics use. *)
+
+val send_staged_async : t -> unit
+(** Double-buffered flush: program the transfer and return immediately —
+    the stream drains in the background while the host prepares the
+    next tile in the other half of the (ping-pong) input region. If a
+    previous asynchronous transfer is still in flight, the host first
+    stalls until it completes (there are only two buffer halves). *)
+
+val sync_sends : t -> unit
+(** Stall the host until any in-flight asynchronous send completes. *)
+
+val start_recv : t -> len_words:int -> unit
+val wait_recv : t -> float array
+(** Stall until the device has produced the requested words, stream
+    them into the output region, and return them. *)
+
+val reset_device : t -> unit

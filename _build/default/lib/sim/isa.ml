@@ -1,0 +1,37 @@
+let reset = 0xFF
+
+let mm_fused = 0x21
+let mm_load_a = 0x22
+let mm_load_b = 0x23
+let mm_drain = 0x24
+let mm_load_b_compute_drain = 0x25
+let mm_compute_drain = 0x2D
+let mm_compute = 0xF0
+let mm_set_tm = 0x10
+let mm_set_tn = 0x11
+let mm_set_tk = 0x12
+
+let cv_set_fhw = 0x20
+let cv_set_ic = 0x16
+let cv_load_w = 0x01
+let cv_patch = 0x46
+let cv_drain = 0x08
+
+let name code =
+  if code = reset then "reset"
+  else if code = mm_fused then "mm_fused"
+  else if code = mm_load_a then "mm_load_a"
+  else if code = mm_load_b then "mm_load_b"
+  else if code = mm_drain then "mm_drain"
+  else if code = mm_load_b_compute_drain then "mm_load_b_compute_drain"
+  else if code = mm_compute_drain then "mm_compute_drain"
+  else if code = mm_compute then "mm_compute"
+  else if code = mm_set_tm then "mm_set_tm"
+  else if code = mm_set_tn then "mm_set_tn"
+  else if code = mm_set_tk then "mm_set_tk"
+  else if code = cv_set_fhw then "cv_set_fhw"
+  else if code = cv_set_ic then "cv_set_ic"
+  else if code = cv_load_w then "cv_load_w"
+  else if code = cv_patch then "cv_patch"
+  else if code = cv_drain then "cv_drain"
+  else Printf.sprintf "unknown(0x%X)" code

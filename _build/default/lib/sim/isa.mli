@@ -1,0 +1,42 @@
+(** Micro-ISA opcode literals of the tile-based accelerators (derived
+    from the SECDA-TFLite-style engines of the paper's evaluation,
+    Table I and Figs. 6a/15a).
+
+    MatMul engines (C(tM,tN) += A(tM,tK) x B(tK,tN)):
+    - v1: only the fully fused instruction {!mm_fused} (no reuse).
+    - v2: {!mm_load_a}, {!mm_load_b}, {!mm_compute_drain} (input reuse).
+    - v3: adds split {!mm_compute} / {!mm_drain} (output reuse too).
+    - v4: as v3 plus runtime tile-size configuration
+      ({!mm_set_tm}/{!mm_set_tn}/{!mm_set_tk}, each followed by one
+      dimension word) and non-square tiles.
+
+    Conv2D engine (one output channel per weight load):
+    - {!cv_set_fhw}/{!cv_set_ic}: configuration, each followed by one
+      dimension word;
+    - {!cv_load_w}: weight slice (iC*fH*fW elements) for the current
+      output channel;
+    - {!cv_patch}: input patch (iC*fH*fW elements); computes the inner
+      product and queues one output element;
+    - {!cv_drain}: releases queued output elements to the stream. *)
+
+val reset : int  (* 0xFF: reset all internal state *)
+
+val mm_fused : int  (* 0x21: payload A then B; compute; drain C *)
+val mm_load_a : int  (* 0x22: payload A tile *)
+val mm_load_b : int  (* 0x23: payload B tile *)
+val mm_drain : int  (* 0x24: stream C out and clear the accumulator *)
+val mm_load_b_compute_drain : int  (* 0x25: payload B; compute; drain *)
+val mm_compute_drain : int  (* 0x2D: compute; drain *)
+val mm_compute : int  (* 0xF0: C += A x B *)
+val mm_set_tm : int  (* 0x10 + one word (v4 only) *)
+val mm_set_tn : int  (* 0x11 + one word (v4 only) *)
+val mm_set_tk : int  (* 0x12 + one word (v4 only) *)
+
+val cv_set_fhw : int  (* 0x20 + one word *)
+val cv_set_ic : int  (* 0x16 + one word *)
+val cv_load_w : int  (* 0x01 + weight payload *)
+val cv_patch : int  (* 0x46 + patch payload *)
+val cv_drain : int  (* 0x08 *)
+
+val name : int -> string
+(** Mnemonic for diagnostics; ["unknown(0x..)"] for others. *)

@@ -1,0 +1,108 @@
+type t = {
+  mutable cycles : float;
+  mutable instructions : float;
+  mutable branches : float;
+  mutable l1_accesses : float;
+  mutable l1_misses : float;
+  mutable l2_accesses : float;
+  mutable l2_misses : float;
+  mutable dma_transactions : float;
+  mutable dma_words_sent : float;
+  mutable dma_words_received : float;
+  mutable accel_busy_cycles : float;
+  mutable flops : float;
+}
+
+let create () =
+  {
+    cycles = 0.0;
+    instructions = 0.0;
+    branches = 0.0;
+    l1_accesses = 0.0;
+    l1_misses = 0.0;
+    l2_accesses = 0.0;
+    l2_misses = 0.0;
+    dma_transactions = 0.0;
+    dma_words_sent = 0.0;
+    dma_words_received = 0.0;
+    accel_busy_cycles = 0.0;
+    flops = 0.0;
+  }
+
+let reset c =
+  c.cycles <- 0.0;
+  c.instructions <- 0.0;
+  c.branches <- 0.0;
+  c.l1_accesses <- 0.0;
+  c.l1_misses <- 0.0;
+  c.l2_accesses <- 0.0;
+  c.l2_misses <- 0.0;
+  c.dma_transactions <- 0.0;
+  c.dma_words_sent <- 0.0;
+  c.dma_words_received <- 0.0;
+  c.accel_busy_cycles <- 0.0;
+  c.flops <- 0.0
+
+let copy c = { c with cycles = c.cycles }
+
+let cache_references c = c.l1_accesses +. c.l2_accesses
+
+let task_clock_ms c ~cpu_freq_mhz = c.cycles /. (cpu_freq_mhz *. 1000.0)
+
+let add a b =
+  {
+    cycles = a.cycles +. b.cycles;
+    instructions = a.instructions +. b.instructions;
+    branches = a.branches +. b.branches;
+    l1_accesses = a.l1_accesses +. b.l1_accesses;
+    l1_misses = a.l1_misses +. b.l1_misses;
+    l2_accesses = a.l2_accesses +. b.l2_accesses;
+    l2_misses = a.l2_misses +. b.l2_misses;
+    dma_transactions = a.dma_transactions +. b.dma_transactions;
+    dma_words_sent = a.dma_words_sent +. b.dma_words_sent;
+    dma_words_received = a.dma_words_received +. b.dma_words_received;
+    accel_busy_cycles = a.accel_busy_cycles +. b.accel_busy_cycles;
+    flops = a.flops +. b.flops;
+  }
+
+let map2 f a b =
+  {
+    cycles = f a.cycles b.cycles;
+    instructions = f a.instructions b.instructions;
+    branches = f a.branches b.branches;
+    l1_accesses = f a.l1_accesses b.l1_accesses;
+    l1_misses = f a.l1_misses b.l1_misses;
+    l2_accesses = f a.l2_accesses b.l2_accesses;
+    l2_misses = f a.l2_misses b.l2_misses;
+    dma_transactions = f a.dma_transactions b.dma_transactions;
+    dma_words_sent = f a.dma_words_sent b.dma_words_sent;
+    dma_words_received = f a.dma_words_received b.dma_words_received;
+    accel_busy_cycles = f a.accel_busy_cycles b.accel_busy_cycles;
+    flops = f a.flops b.flops;
+  }
+
+let diff a b = map2 ( -. ) a b
+
+let scale a factor = map2 (fun x _ -> x *. factor) a a
+
+let accumulate target delta =
+  target.cycles <- target.cycles +. delta.cycles;
+  target.instructions <- target.instructions +. delta.instructions;
+  target.branches <- target.branches +. delta.branches;
+  target.l1_accesses <- target.l1_accesses +. delta.l1_accesses;
+  target.l1_misses <- target.l1_misses +. delta.l1_misses;
+  target.l2_accesses <- target.l2_accesses +. delta.l2_accesses;
+  target.l2_misses <- target.l2_misses +. delta.l2_misses;
+  target.dma_transactions <- target.dma_transactions +. delta.dma_transactions;
+  target.dma_words_sent <- target.dma_words_sent +. delta.dma_words_sent;
+  target.dma_words_received <- target.dma_words_received +. delta.dma_words_received;
+  target.accel_busy_cycles <- target.accel_busy_cycles +. delta.accel_busy_cycles;
+  target.flops <- target.flops +. delta.flops
+
+let to_string c =
+  Printf.sprintf
+    "cycles=%.0f branches=%.0f cache_refs=%.0f (L1 %.0f/%.0f miss, L2 %.0f/%.0f miss) \
+     dma_txn=%.0f words=%.0f/%.0f accel_cycles=%.0f flops=%.0f"
+    c.cycles c.branches (cache_references c) c.l1_accesses c.l1_misses c.l2_accesses
+    c.l2_misses c.dma_transactions c.dma_words_sent c.dma_words_received
+    c.accel_busy_cycles c.flops

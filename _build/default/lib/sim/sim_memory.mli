@@ -1,0 +1,32 @@
+(** The simulated main memory: named f32 buffers placed in a flat
+    byte-address space by a bump allocator, so every element access has
+    a concrete address for the cache simulator.
+
+    Buffers model the paper's host-side tensors (the [memref]
+    storage). The DMA regions live in a separate uncached address
+    range managed by {!Dma_engine}. *)
+
+type buffer = {
+  base : int;  (** byte address of element 0 *)
+  data : float array;
+  label : string;
+}
+
+type t
+
+val create : unit -> t
+
+val alloc : t -> label:string -> int -> buffer
+(** Allocate [n] f32 elements, 64-byte aligned, zero-initialised. *)
+
+val alloc_init : t -> label:string -> float array -> buffer
+(** Allocate and copy the given contents. *)
+
+val addr_of : buffer -> int -> int
+(** Byte address of element [i] (bounds-checked). *)
+
+val get : buffer -> int -> float
+val set : buffer -> int -> float -> unit
+
+val footprint_bytes : t -> int
+(** Total bytes allocated so far. *)

@@ -1,0 +1,124 @@
+type t = {
+  memory : Sim_memory.t;
+  cache : Cache.t;
+  counters : Perf_counters.t;
+  cost : Cost_model.t;
+  mutable engines : (int * Dma_engine.t) list;
+}
+
+let create ?(cost = Cost_model.default)
+    ?(cache_geometries = [ Cache.cortex_a9_l1; Cache.cortex_a9_l2 ]) () =
+  {
+    memory = Sim_memory.create ();
+    cache = Cache.create cache_geometries;
+    counters = Perf_counters.create ();
+    cost;
+    engines = [];
+  }
+
+let attach_engine t ~dma_id ~device ~in_capacity_words ~out_capacity_words =
+  let engine =
+    Dma_engine.create ~cost:t.cost ~counters:t.counters ~device ~in_capacity_words
+      ~out_capacity_words
+  in
+  t.engines <- (dma_id, engine) :: List.remove_assoc dma_id t.engines;
+  engine
+
+let engine t dma_id =
+  match List.assoc_opt dma_id t.engines with
+  | Some e -> e
+  | None -> failwith (Printf.sprintf "Soc: no DMA engine with id %d" dma_id)
+
+let reset_run_state t =
+  Perf_counters.reset t.counters;
+  Cache.flush t.cache;
+  List.iter (fun (_, e) -> Dma_engine.reset_device e) t.engines
+
+(* Charge one cache access at the given byte address. *)
+let charge_access t addr =
+  let result = Cache.access t.cache addr in
+  let levels = List.length (Cache.geometries t.cache) in
+  let c = t.counters in
+  c.l1_accesses <- c.l1_accesses +. 1.0;
+  if result.Cache.level_hit >= 2 then begin
+    c.l1_misses <- c.l1_misses +. 1.0;
+    if levels >= 2 then c.l2_accesses <- c.l2_accesses +. 1.0
+  end;
+  if result.Cache.level_hit >= 3 then c.l2_misses <- c.l2_misses +. 1.0;
+  let cycles =
+    t.cost.l1_hit_cycles
+    +. (if result.Cache.level_hit >= 2 then t.cost.l2_hit_cycles else 0.0)
+    +. if result.Cache.level_hit >= 3 then t.cost.dram_cycles else 0.0
+  in
+  c.cycles <- c.cycles +. cycles;
+  c.instructions <- c.instructions +. 1.0
+
+let cached_read t buf i =
+  charge_access t (Sim_memory.addr_of buf i);
+  Sim_memory.get buf i
+
+let cached_write t buf i v =
+  charge_access t (Sim_memory.addr_of buf i);
+  Sim_memory.set buf i v
+
+let vector_range t buf i n =
+  if n > 0 then begin
+    let chunk_elems = t.cost.vector_chunk_bytes / 4 in
+    let chunks = Util.ceil_div n chunk_elems in
+    for c = 0 to chunks - 1 do
+      charge_access t (Sim_memory.addr_of buf (i + (c * chunk_elems)))
+    done;
+    (* one vector op per chunk beyond the access cost already charged *)
+    t.counters.instructions <- t.counters.instructions +. float_of_int chunks
+  end
+
+let vector_read_range = vector_range
+let vector_write_range = vector_range
+
+let memref_scalar_access t buf i =
+  let c = t.counters in
+  c.l1_accesses <- c.l1_accesses +. 2.0;
+  c.cycles <- c.cycles +. (2.0 *. t.cost.l1_hit_cycles) +. t.cost.alu_cycles;
+  c.instructions <- c.instructions +. 3.0;
+  charge_access t (Sim_memory.addr_of buf i);
+  Sim_memory.get buf i
+
+let charge_l1_hits t n =
+  let c = t.counters in
+  c.l1_accesses <- c.l1_accesses +. float_of_int n;
+  c.cycles <- c.cycles +. (float_of_int n *. t.cost.l1_hit_cycles);
+  c.instructions <- c.instructions +. float_of_int n
+
+let alu t n =
+  t.counters.cycles <- t.counters.cycles +. (float_of_int n *. t.cost.alu_cycles);
+  t.counters.instructions <- t.counters.instructions +. float_of_int n
+
+let fpu t n =
+  t.counters.cycles <- t.counters.cycles +. (float_of_int n *. t.cost.fpu_cycles);
+  t.counters.instructions <- t.counters.instructions +. float_of_int n;
+  t.counters.flops <- t.counters.flops +. float_of_int n
+
+let branch t n =
+  t.counters.cycles <- t.counters.cycles +. (float_of_int n *. t.cost.branch_cycles);
+  t.counters.branches <- t.counters.branches +. float_of_int n;
+  t.counters.instructions <- t.counters.instructions +. float_of_int n
+
+let loop_iteration t =
+  t.counters.cycles <- t.counters.cycles +. t.cost.loop_overhead_cycles;
+  t.counters.instructions <- t.counters.instructions +. 2.0;
+  branch t 1
+
+let call_overhead t =
+  t.counters.cycles <- t.counters.cycles +. 4.0;
+  t.counters.instructions <- t.counters.instructions +. 2.0;
+  branch t 2
+
+let uncached_store_words t n =
+  t.counters.cycles <- t.counters.cycles +. (float_of_int n *. t.cost.uncached_store_cycles);
+  t.counters.instructions <- t.counters.instructions +. float_of_int n
+
+let uncached_load_words t n =
+  t.counters.cycles <- t.counters.cycles +. (float_of_int n *. t.cost.uncached_load_cycles);
+  t.counters.instructions <- t.counters.instructions +. float_of_int n
+
+let now_ms t = Perf_counters.task_clock_ms t.counters ~cpu_freq_mhz:t.cost.cpu_freq_mhz

@@ -1,0 +1,90 @@
+(** The simulated SoC (paper Fig. 1): host CPU with a cache hierarchy,
+    main memory, and DMA engines attached to accelerator devices.
+
+    Host drivers — hand-written baselines, the DMA runtime library, and
+    the IR interpreter — execute against this module: every memory
+    access, arithmetic operation and branch they model is charged here,
+    accumulating the {!Perf_counters.t} that the benchmarks report. *)
+
+type t = {
+  memory : Sim_memory.t;
+  cache : Cache.t;
+  counters : Perf_counters.t;
+  cost : Cost_model.t;
+  mutable engines : (int * Dma_engine.t) list;
+}
+
+val create : ?cost:Cost_model.t -> ?cache_geometries:Cache.geometry list -> unit -> t
+(** Defaults: {!Cost_model.default} and the Cortex-A9 L1+L2 geometry. *)
+
+val attach_engine :
+  t ->
+  dma_id:int ->
+  device:Accel_device.t ->
+  in_capacity_words:int ->
+  out_capacity_words:int ->
+  Dma_engine.t
+(** Create and register a DMA engine. Replaces any engine with the same
+    id. *)
+
+val engine : t -> int -> Dma_engine.t
+(** Raises [Failure] for an unknown id. *)
+
+val reset_run_state : t -> unit
+(** Reset counters, caches and device state between measured runs
+    (memory contents are preserved). *)
+
+(** {1 Host event costing} *)
+
+val cached_read : t -> Sim_memory.buffer -> int -> float
+(** Scalar f32 load: one cache reference plus hit/miss cycles; returns
+    the value. *)
+
+val cached_write : t -> Sim_memory.buffer -> int -> float -> unit
+
+val vector_read_range : t -> Sim_memory.buffer -> int -> int -> unit
+(** Charge a vectorised (memcpy-style) read of [n] contiguous elements
+    starting at an element index: one cache reference and ~1 cycle per
+    {!Cost_model.t.vector_chunk_bytes} chunk, plus miss penalties. Does
+    not return data (the caller moves data separately — functional and
+    timing concerns are split). *)
+
+val vector_write_range : t -> Sim_memory.buffer -> int -> int -> unit
+
+val memref_scalar_access : t -> Sim_memory.buffer -> int -> float
+(** A scalar element access through a memref descriptor, as the
+    straightforward linalg-to-loops lowering performs it: two
+    descriptor-field loads (assumed L1-resident), one address ALU op,
+    and the cached data access. Returns the loaded value; pair with
+    {!Sim_memory.set} for stores (same cost either direction). Used by
+    both the IR interpreter and the native CPU reference so the two
+    charge identically. *)
+
+val charge_l1_hits : t -> int -> unit
+(** [n] cache accesses that are assumed to hit L1 (e.g. the memref
+    size/stride struct loads of the generic element-wise copy): counted
+    as cache references and one cycle each, without touching cache
+    state. *)
+
+val alu : t -> int -> unit
+(** [n] integer ALU operations. *)
+
+val fpu : t -> int -> unit
+val branch : t -> int -> unit
+(** [n] executed branches. *)
+
+val loop_iteration : t -> unit
+(** Per-iteration loop overhead: compare+increment plus one counted
+    branch. *)
+
+val call_overhead : t -> unit
+(** Function call + return (charged by the runtime library entry
+    points). *)
+
+val uncached_store_words : t -> int -> unit
+(** Host stores into a DMA region ([n] 32-bit words). *)
+
+val uncached_load_words : t -> int -> unit
+
+val now_ms : t -> float
+(** Elapsed simulated time in milliseconds. *)

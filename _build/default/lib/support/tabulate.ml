@@ -1,0 +1,65 @@
+type align = Left | Right
+
+type row = Data of string list | Rule
+
+type t = {
+  headers : (string * align) list;
+  mutable rows : row list; (* reverse order *)
+}
+
+let create headers = { headers; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.headers then
+    invalid_arg "Tabulate.add_row: row width does not match headers";
+  t.rows <- Data row :: t.rows
+
+let add_rule t = t.rows <- Rule :: t.rows
+
+let render t =
+  let headers = List.map fst t.headers in
+  let aligns = List.map snd t.headers in
+  let rows = List.rev t.rows in
+  let widths =
+    List.fold_left
+      (fun widths row ->
+        match row with
+        | Rule -> widths
+        | Data cells -> List.map2 (fun w c -> max w (String.length c)) widths cells)
+      (List.map String.length headers)
+      rows
+  in
+  let pad align width s =
+    let n = width - String.length s in
+    if n <= 0 then s
+    else
+      match align with
+      | Left -> s ^ String.make n ' '
+      | Right -> String.make n ' ' ^ s
+  in
+  let render_cells cells =
+    let padded =
+      List.map2 (fun (w, a) c -> pad a w c)
+        (List.combine widths aligns)
+        cells
+    in
+    String.concat "  " padded
+  in
+  let rule = String.concat "  " (List.map (fun w -> String.make w '-') widths) in
+  let body =
+    List.map (function Rule -> rule | Data cells -> render_cells cells) rows
+  in
+  String.concat "\n" (render_cells headers :: rule :: body)
+
+let print ?title t =
+  (match title with
+  | None -> ()
+  | Some s ->
+    print_newline ();
+    print_endline s;
+    print_endline (String.make (String.length s) '='));
+  print_endline (render t)
+
+let fmt_ms ms = Printf.sprintf "%.3f" ms
+let fmt_x x = Printf.sprintf "%.2fx" x
+let fmt_pct r = Printf.sprintf "%.1f%%" (r *. 100.0)

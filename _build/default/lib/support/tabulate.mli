@@ -1,0 +1,33 @@
+(** Plain-text table rendering for benchmark and experiment reports. *)
+
+type align = Left | Right
+
+type t
+(** A table under construction: a header row plus data rows. *)
+
+val create : (string * align) list -> t
+(** [create columns] starts a table with the given column headers and
+    alignments. *)
+
+val add_row : t -> string list -> unit
+(** Append a data row. Raises [Invalid_argument] if the row width does not
+    match the header width. *)
+
+val add_rule : t -> unit
+(** Append a horizontal rule (drawn as dashes when rendered). *)
+
+val render : t -> string
+(** Render the table with aligned columns, including a rule under the
+    header. *)
+
+val print : ?title:string -> t -> unit
+(** Print to stdout, optionally preceded by an underlined title. *)
+
+val fmt_ms : float -> string
+(** Format a duration in milliseconds with 3 significant decimals. *)
+
+val fmt_x : float -> string
+(** Format a speedup factor as ["1.23x"]. *)
+
+val fmt_pct : float -> string
+(** Format a ratio as a percentage, e.g. [0.56 -> "56.0%"]. *)

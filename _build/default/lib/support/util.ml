@@ -1,0 +1,66 @@
+let round_up n ~multiple =
+  assert (multiple > 0);
+  (n + multiple - 1) / multiple * multiple
+
+let ceil_div a b =
+  assert (b > 0 && a >= 0);
+  (a + b - 1) / b
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let log2 n =
+  if not (is_pow2 n) then invalid_arg "Util.log2: not a power of two";
+  let rec go acc n = if n = 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let divisors n =
+  assert (n > 0);
+  List.filter (fun d -> n mod d = 0) (List.init n (fun i -> i + 1))
+
+let range n = List.init n (fun i -> i)
+
+let product = List.fold_left ( * ) 1
+
+let transpose_assoc l k = List.assoc_opt k l
+
+let list_index p l =
+  let rec go i = function
+    | [] -> None
+    | x :: rest -> if p x then Some i else go (i + 1) rest
+  in
+  go 0 l
+
+let rec list_take n = function
+  | [] -> []
+  | x :: rest -> if n <= 0 then [] else x :: list_take (n - 1) rest
+
+let rec list_drop n l =
+  match l with
+  | [] -> []
+  | _ :: rest -> if n <= 0 then l else list_drop (n - 1) rest
+
+let string_of_list ?(sep = ", ") f l = String.concat sep (List.map f l)
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+    List.concat_map
+      (fun x ->
+        let rest = List.filter (fun y -> y != x) l in
+        List.map (fun p -> x :: p) (permutations rest))
+      l
+
+let geomean = function
+  | [] -> nan
+  | l ->
+    let n = float_of_int (List.length l) in
+    exp (List.fold_left (fun acc x -> acc +. log x) 0.0 l /. n)
+
+let mean = function
+  | [] -> nan
+  | l ->
+    List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+
+let fmax_list = function
+  | [] -> invalid_arg "Util.fmax_list: empty list"
+  | x :: rest -> List.fold_left max x rest

@@ -1,0 +1,1 @@
+lib/transforms/accel_codegen.ml: Accel Accel_config Affine_map Arith Array Attribute Builder Func Ir Linalg List Matcher Memref_d Opcode Pass Printf Scf Tiling Trait

@@ -1,0 +1,1 @@
+lib/transforms/accel_codegen.mli: Builder Ir Pass

@@ -1,0 +1,1 @@
+lib/transforms/canonicalize.ml: Attribute Func Hashtbl Ir List Pass Ty

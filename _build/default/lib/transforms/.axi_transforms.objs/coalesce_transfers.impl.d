@@ -1,0 +1,1 @@
+lib/transforms/coalesce_transfers.ml: Accel Array Ir List Pass

@@ -1,0 +1,1 @@
+lib/transforms/coalesce_transfers.mli: Pass

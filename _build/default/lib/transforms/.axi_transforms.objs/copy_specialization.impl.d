@@ -1,0 +1,1 @@
+lib/transforms/copy_specialization.ml: Attribute Ir List Pass Runtime_abi Ty

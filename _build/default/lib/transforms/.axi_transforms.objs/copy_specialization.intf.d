@@ -1,0 +1,1 @@
+lib/transforms/copy_specialization.mli: Pass

@@ -1,0 +1,1 @@
+lib/transforms/lower_accel_to_runtime.ml: Accel Arith Attribute Builder Func Ir List Pass Printf Runtime_abi Ty

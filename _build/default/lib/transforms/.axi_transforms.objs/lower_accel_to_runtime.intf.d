@@ -1,0 +1,1 @@
+lib/transforms/lower_accel_to_runtime.mli: Pass

@@ -1,0 +1,1 @@
+lib/transforms/lower_linalg_to_loops.ml: Affine_map Arith Array Builder Func Hashtbl Ir Linalg List Memref_d Pass Scf Ty Util

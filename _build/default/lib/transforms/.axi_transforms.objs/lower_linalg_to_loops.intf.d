@@ -1,0 +1,1 @@
+lib/transforms/lower_linalg_to_loops.mli: Builder Ir Pass

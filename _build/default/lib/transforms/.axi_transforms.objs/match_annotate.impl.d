@@ -1,0 +1,1 @@
+lib/transforms/match_annotate.ml: Accel_config Ir Linalg List Matcher Opcode Pass Printf Result Tiling Trait Ty

@@ -1,0 +1,1 @@
+lib/transforms/match_annotate.mli: Accel_config Host_config Ir Pass

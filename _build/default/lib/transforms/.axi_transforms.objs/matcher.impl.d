@@ -1,0 +1,1 @@
+lib/transforms/matcher.ml: Affine_map Attribute Hashtbl Ir Linalg List Util

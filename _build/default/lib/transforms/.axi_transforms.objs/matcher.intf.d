@@ -1,0 +1,1 @@
+lib/transforms/matcher.mli: Ir

@@ -1,0 +1,1 @@
+lib/transforms/pipeline.mli: Accel_config Host_config Ir Match_annotate Pass

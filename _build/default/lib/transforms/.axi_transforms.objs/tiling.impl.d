@@ -1,0 +1,1 @@
+lib/transforms/tiling.ml: Accel_config Affine_map Array Host_config List Opcode Printf Result Util

@@ -1,0 +1,1 @@
+lib/transforms/tiling.mli: Accel_config Affine_map Host_config Opcode

@@ -1,0 +1,31 @@
+(** Step 5 of the compiler flow: host-code generation.
+
+    Rewrites every trait-annotated [linalg.generic] into the paper's
+    Fig. 6b structure: a (possibly two-level) tiled [scf.for] nest in
+    the permuted loop order, with [memref.subview]s of the operand
+    tiles and [accel] dialect operations placed according to the opcode
+    flow's scope nesting — stationary transfers hoisted to the loop
+    level their scope dictates.
+
+    Placement rule: with D loops (cache-level tiles outermost, then the
+    accelerator-tile loops, both in permuted order) and a flow of depth
+    F, the first D-F loops wrap the whole flow; each nested flow scope
+    opens the next loop. Opcodes before a sub-scope execute before the
+    inner loop, opcodes after it execute after — which is exactly how
+    an output-stationary "((sA sB cC) rC)" receives C once per tile.
+
+    Per opcode, the offset chain starts at 0 and the last send-like
+    action carries the [flush] marker, batching the opcode's words into
+    a single DMA transfer (Sec. III-A's offset batching).
+
+    [accel.dma_init] is emitted once per module (before the first
+    annotated op); the trait's [init_opcodes] are emitted once per
+    kernel. Receives use [mode = "accumulate"] when the kernel is an
+    accumulation, so partial tiles drained across reduction iterations
+    compose correctly. *)
+
+val pass : Pass.t
+
+val codegen_generic : Builder.t -> emit_dma_init:bool -> Ir.op -> unit
+(** Emit the replacement for one annotated generic (exposed for
+    tests). Raises [Failure] when the op has no trait. *)

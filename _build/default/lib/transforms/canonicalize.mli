@@ -1,0 +1,10 @@
+(** Constant canonicalisation: hoist every [arith.constant] to the
+    function entry and deduplicate by value and type.
+
+    This is the specialisation advantage generated driver code has over
+    a hand-written library driver — loop bodies stop re-materialising
+    opcode literals and offsets on every iteration. Applied to the
+    accelerator pipeline only; the mlir_CPU baseline keeps the naive
+    lowering, as in the paper. *)
+
+val pass : Pass.t

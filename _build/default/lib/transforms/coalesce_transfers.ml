@@ -1,0 +1,64 @@
+let is_send_like (o : Ir.op) =
+  match o.name with
+  | "accel.sendLiteral" | "accel.send" | "accel.sendDim" | "accel.sendIdx" -> true
+  | _ -> false
+
+(* Ops that may sit between two chains without blocking coalescing. *)
+let is_pure (o : Ir.op) =
+  match o.name with
+  | "arith.constant" | "memref.subview" | "arith.addi" | "arith.subi" | "arith.muli"
+  | "arith.index_cast" ->
+    true
+  | _ -> false
+
+let rewrite_block (blk : Ir.block) =
+  let ops = Array.of_list blk.body in
+  let n = Array.length ops in
+  (* The offset operand is the second operand of every send-like op. *)
+  let set_offset (o : Ir.op) offset =
+    match o.operands with
+    | [ first; _old ] -> { o with operands = [ first; offset ] }
+    | _ -> o
+  in
+  let clear_flush (o : Ir.op) = Ir.remove_attr o "flush" in
+  (* Scan forward, tracking the previous flush-marked send-like op (the
+     chain that can be extended) and the first send-like op of the
+     chain currently being staged. *)
+  let last_flush = ref (-1) in
+  let chain_first = ref (-1) in
+  for i = 0 to n - 1 do
+    let o = ops.(i) in
+    if is_send_like o then begin
+      if !chain_first < 0 then chain_first := i;
+      if Accel.is_flush o then begin
+        if !last_flush >= 0 then begin
+          (* merge: the previous chain keeps its staged words, this
+             chain continues from its final offset *)
+          let prev = ops.(!last_flush) in
+          ops.(!last_flush) <- clear_flush prev;
+          ops.(!chain_first) <- set_offset ops.(!chain_first) (Ir.result prev)
+        end;
+        last_flush := i;
+        chain_first := -1
+      end
+    end
+    else if not (is_pure o) then begin
+      (* recv, loops, calls, dma_init...: sends must complete here *)
+      last_flush := -1;
+      chain_first := -1
+    end
+  done;
+  { blk with body = Array.to_list ops }
+
+let rec rewrite_op (o : Ir.op) =
+  let regions =
+    List.map (fun blocks -> List.map (fun b -> rewrite_block (rewrite_nested b)) blocks) o.Ir.regions
+  in
+  { o with regions }
+
+and rewrite_nested (blk : Ir.block) =
+  { blk with body = List.map rewrite_op blk.body }
+
+let pass =
+  Pass.make "coalesce-transfers" (fun m ->
+      Ir.with_module_body m (List.map rewrite_op (Ir.module_body m)))

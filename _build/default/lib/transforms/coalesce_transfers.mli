@@ -1,0 +1,18 @@
+(** Transfer-request coalescing (the paper's Sec. V extension:
+    "consolidates multiple start_send calls into a single call after
+    data preparation, reducing the need for multiple wait_send calls").
+
+    Operates on the [accel] dialect (so it must run before the runtime
+    lowering): within each straight-line op sequence, consecutive
+    send-like chains separated only by pure ops (constants, subviews,
+    integer arithmetic) are merged — the later chain's base offset is
+    rewired to continue the earlier chain's final offset, and only the
+    last send-like op keeps the [flush] marker. One DMA transaction
+    then carries several opcodes' words back to back; the accelerator
+    decodes them sequentially, exactly as it would across separate
+    transfers.
+
+    Chains never merge across [accel.recv] (the receive must observe
+    the completed sends), loops, calls, or any op with side effects. *)
+
+val pass : Pass.t

@@ -1,0 +1,26 @@
+let spec_callee = function
+  | name when name = Runtime_abi.copy_to_dma_region -> Some Runtime_abi.copy_to_dma_region_spec
+  | name when name = Runtime_abi.copy_from_dma_region -> Some Runtime_abi.copy_from_dma_region_spec
+  | name when name = Runtime_abi.copy_from_dma_region_accumulate ->
+    Some Runtime_abi.copy_from_dma_region_accumulate_spec
+  | _ -> None
+
+let unit_innermost_stride (v : Ir.value) =
+  match v.vty with
+  | Ty.Memref m -> (
+    match List.rev m.strides with last :: _ -> last = 1 | [] -> true)
+  | Ty.Scalar _ | Ty.Func _ -> false
+
+let rewrite (o : Ir.op) =
+  if o.name <> "func.call" then o
+  else
+    match (Ir.attr o "callee", o.operands) with
+    | Some (Attribute.Str callee), (memref :: _ as operands) -> (
+      match spec_callee callee with
+      | Some specialised when unit_innermost_stride memref ->
+        ignore operands;
+        Ir.set_attr o "callee" (Attribute.Str specialised)
+      | Some _ | None -> o)
+    | _ -> o
+
+let pass = Pass.make "copy-specialization" (fun m -> Ir.map_nested rewrite m)

@@ -1,0 +1,96 @@
+(* Emit a call whose result values REUSE the accel op's result values,
+   so later uses of the offset chain stay valid without substitution. *)
+let call_with_results b ~callee ~results operands =
+  Builder.emit b
+    (Ir.op "func.call" ~operands ~results ~attrs:[ ("callee", Attribute.Str callee) ])
+
+let call b ~callee operands =
+  ignore (Func.call b ~callee operands)
+
+let expand b (o : Ir.op) =
+  let flush_after () =
+    if Accel.is_flush o then call b ~callee:Runtime_abi.dma_flush_send []
+  in
+  match o.name with
+  | "accel.dma_init" ->
+    let call_op =
+      Ir.op "func.call" ~operands:o.operands
+        ~attrs:
+          (("callee", Attribute.Str Runtime_abi.dma_init)
+          ::
+          (match Ir.attr o "double_buffer" with
+          | Some (Attribute.Bool true) -> [ ("double_buffer", Attribute.Bool true) ]
+          | Some _ | None -> []))
+    in
+    Builder.emit b call_op
+  | "accel.dma_free" -> call b ~callee:Runtime_abi.dma_free []
+  | "accel.sendLiteral" ->
+    call_with_results b ~callee:Runtime_abi.stage_literal ~results:o.results o.operands;
+    flush_after ()
+  | "accel.sendDim" ->
+    let extent = Accel.send_dim_extent o in
+    let word = Arith.constant_i32 b extent in
+    let offset =
+      match o.operands with
+      | [ _src; offset ] -> offset
+      | _ -> failwith "lower-accel: malformed accel.sendDim"
+    in
+    call_with_results b ~callee:Runtime_abi.stage_literal ~results:o.results
+      [ word; offset ];
+    flush_after ()
+  | "accel.sendIdx" ->
+    let idx, offset =
+      match o.operands with
+      | [ idx; offset ] -> (idx, offset)
+      | _ -> failwith "lower-accel: malformed accel.sendIdx"
+    in
+    let word = if Ty.equal idx.Ir.vty Ty.index then Arith.index_cast b idx else idx in
+    call_with_results b ~callee:Runtime_abi.stage_literal ~results:o.results
+      [ word; offset ];
+    flush_after ()
+  | "accel.send" ->
+    call_with_results b ~callee:Runtime_abi.copy_to_dma_region ~results:o.results
+      o.operands;
+    flush_after ()
+  | "accel.recv" ->
+    let tile, offset =
+      match o.operands with
+      | [ tile; offset ] -> (tile, offset)
+      | _ -> failwith "lower-accel: malformed accel.recv"
+    in
+    call b ~callee:Runtime_abi.dma_flush_send [];
+    let n = Ty.num_elements (Ty.memref_of tile.Ir.vty) in
+    let len = Arith.constant_i32 b n in
+    call b ~callee:Runtime_abi.dma_start_recv [ len ];
+    call b ~callee:Runtime_abi.dma_wait_recv [];
+    let callee =
+      match Accel.recv_mode_of o with
+      | Accel.Accumulate -> Runtime_abi.copy_from_dma_region_accumulate
+      | Accel.Store -> Runtime_abi.copy_from_dma_region
+    in
+    call_with_results b ~callee ~results:o.results [ tile; offset ]
+  | other -> failwith (Printf.sprintf "lower-accel: unexpected accel op %s" other)
+
+let rec rewrite_op b (o : Ir.op) =
+  if Accel.is_accel o then expand b o
+  else begin
+    let regions =
+      List.map (fun blocks -> List.map rewrite_block blocks) o.regions
+    in
+    Builder.emit b { o with regions }
+  end
+
+and rewrite_block (blk : Ir.block) =
+  let b = Builder.create () in
+  List.iter (rewrite_op b) blk.body;
+  { blk with body = Builder.finish b }
+
+let pass =
+  Pass.make "lower-accel-to-runtime" (fun m ->
+      Ir.with_module_body m
+        (List.map
+           (fun (f : Ir.op) ->
+             if Func.is_func f then
+               { f with regions = [ [ rewrite_block (Func.body_of f) ] ] }
+             else f)
+           (Ir.module_body m)))

@@ -1,0 +1,19 @@
+(** Runtime call replacement (the final lowering of Fig. 9): expand
+    every [accel] operation into [func.call]s to the DMA runtime
+    library's symbols ({!Runtime_abi}).
+
+    - [accel.dma_init] -> [@dma_init(id, ...)];
+    - [accel.sendLiteral]/[accel.sendDim]/[accel.sendIdx] ->
+      [@stage_literal] (dims/indices are staged as instruction words;
+      index values go through [arith.index_cast]);
+    - [accel.send] -> [@copy_to_dma_region]; a [flush] marker appends
+      [@dma_flush_send];
+    - [accel.recv] -> [@dma_flush_send]; [@dma_start_recv(n)];
+      [@dma_wait_recv]; [@copy_from_dma_region[_accumulate]].
+
+    The offset-chaining results keep their SSA identities, so no use
+    rewriting is needed. All copies lower to the {e generic}
+    element-wise entry points; the {!Copy_specialization} pass upgrades
+    them afterwards. *)
+
+val pass : Pass.t

@@ -1,0 +1,97 @@
+type options = {
+  flow : string option;
+  tile_override : int list option;
+  cpu_tiling : bool;
+  double_buffer : bool;
+  on_skip : (string -> unit) option;
+}
+
+let default_options =
+  {
+    flow = None;
+    tile_override = None;
+    cpu_tiling = true;
+    double_buffer = false;
+    on_skip = None;
+  }
+
+let ( let* ) r f = Result.bind r f
+
+let annotate_op ~(accel : Accel_config.t) ~host ~options op =
+  let maps = Linalg.indexing_maps op in
+  let ranges = Linalg.loop_ranges op in
+  let* accel_dim =
+    Tiling.resolve_accel_dims accel ~maps ~ranges ?tile_override:options.tile_override ()
+  in
+  let flow_name =
+    match options.flow with Some f -> f | None -> accel.selected_flow
+  in
+  let* flow =
+    match List.assoc_opt flow_name accel.opcode_flows with
+    | Some f -> Ok f
+    | None -> Error (Printf.sprintf "flow %s is not defined for %s" flow_name accel.accel_name)
+  in
+  let permutation =
+    Tiling.derive_permutation ~flow ~opcode_map:accel.opcode_map ~maps ~accel_dim
+  in
+  let cpu_tile =
+    if options.cpu_tiling then begin
+      let safe_dims =
+        Tiling.safe_cpu_tiling_dims ~flow ~opcode_map:accel.opcode_map ~maps ~accel_dim
+      in
+      let footprint_bytes =
+        List.fold_left
+          (fun acc (v : Ir.value) ->
+            let mr = Ty.memref_of v.vty in
+            acc + (Ty.num_elements mr * Ty.dtype_size_bytes mr.Ty.elem))
+          0 op.Ir.operands
+      in
+      Tiling.choose_cpu_tiles host ~ranges ~accel_dim ~safe_dims ~footprint_bytes
+    end
+    else List.map (fun _ -> 0) ranges
+  in
+  let trait =
+    {
+      Trait.dma_init_config = accel.dma;
+      init_opcodes = accel.init_opcodes;
+      accel_dim;
+      permutation;
+      opcode_map = accel.opcode_map;
+      opcode_flow = flow;
+      cpu_tile;
+      double_buffer = options.double_buffer;
+    }
+  in
+  let host_loops =
+    List.length (List.filter (fun d -> d > 0) accel_dim)
+    + List.length (List.filter (fun t -> t > 0) cpu_tile)
+  in
+  let* () =
+    if Opcode.flow_depth flow > max host_loops 1 then
+      Error
+        (Printf.sprintf "flow %s is deeper (%d) than the loop nest (%d)" flow_name
+           (Opcode.flow_depth flow) host_loops)
+    else Ok ()
+  in
+  let* () =
+    Trait.validate trait ~n_dims:(List.length ranges) ~n_args:(List.length op.Ir.operands)
+  in
+  Ok (Trait.attach op trait)
+
+let pass ~accel ~host ?(options = default_options) () =
+  let rewrite op =
+    if
+      Matcher.matches_kind accel.Accel_config.op_kind op
+      && not (Ir.has_attr op "opcode_flow")
+    then begin
+      match annotate_op ~accel ~host ~options op with
+      | Ok annotated -> annotated
+      | Error reason ->
+        (match options.on_skip with
+        | Some f -> f (Printf.sprintf "%s: %s" accel.Accel_config.accel_name reason)
+        | None -> ());
+        op
+    end
+    else op
+  in
+  Pass.make "match-and-annotate" (fun m -> Ir.map_nested rewrite m)

@@ -1,0 +1,31 @@
+(** Step 3 of the compiler flow: find [linalg.generic] operations the
+    configured accelerator supports and annotate them with the Fig. 6a
+    trait (tile sizes resolved for the concrete problem, the derived
+    loop permutation, the opcode map/flow, and the cache-level host
+    tiles).
+
+    Operations that structurally match but cannot be mapped (extent not
+    divisible by the tile, operand tile exceeding the accelerator
+    buffers, flow deeper than the loop nest) are left un-annotated and
+    reported through [on_skip]. *)
+
+type options = {
+  flow : string option;  (** override the config's selected flow *)
+  tile_override : int list option;  (** flexible-engine tile choice *)
+  cpu_tiling : bool;  (** enable the cache-hierarchy tiling level *)
+  double_buffer : bool;  (** request ping-pong input transfers (Sec. V) *)
+  on_skip : (string -> unit) option;  (** called with the skip reason *)
+}
+
+val default_options : options
+(** No overrides, [cpu_tiling = true], skips ignored. *)
+
+val annotate_op :
+  accel:Accel_config.t ->
+  host:Host_config.t ->
+  options:options ->
+  Ir.op ->
+  (Ir.op, string) result
+(** Annotate one matching generic op (exposed for tests). *)
+
+val pass : accel:Accel_config.t -> host:Host_config.t -> ?options:options -> unit -> Pass.t

@@ -1,0 +1,98 @@
+let matmul_maps =
+  [
+    Affine_map.projection ~n_dims:3 [ 0; 2 ];
+    Affine_map.projection ~n_dims:3 [ 2; 1 ];
+    Affine_map.projection ~n_dims:3 [ 0; 1 ];
+  ]
+
+let conv_maps stride =
+  let open Affine_map in
+  let spatial d = if stride = 1 then Dim d else Mul (Cst stride, Dim d) in
+  [
+    make ~n_dims:7 [ Dim 0; Dim 4; Add (spatial 2, Dim 5); Add (spatial 3, Dim 6) ];
+    projection ~n_dims:7 [ 1; 4; 5; 6 ];
+    projection ~n_dims:7 [ 0; 1; 2; 3 ];
+  ]
+
+(* The kernel must be: %p = mulf(%in0, %in1); %s = addf(%out, %p) (either
+   operand order); yield %s. Block args are (in0, in1, out). *)
+let mul_add_kernel (o : Ir.op) =
+  match (Ir.single_block o).bargs with
+  | [ a; b; c ] -> (
+    match (Ir.single_block o).body with
+    | [ mul; add; yield_op ] ->
+      let is v (w : Ir.value) = v.Ir.vid = w.Ir.vid in
+      mul.Ir.name = "arith.mulf"
+      && (match mul.operands with
+         | [ x; y ] -> (is x a && is y b) || (is x b && is y a)
+         | _ -> false)
+      && add.Ir.name = "arith.addf"
+      && (match add.operands with
+         | [ x; y ] ->
+           let p = Ir.result mul in
+           (is x c && is y p) || (is x p && is y c)
+         | _ -> false)
+      && yield_op.Ir.name = "linalg.yield"
+      && (match yield_op.operands with [ r ] -> is r (Ir.result add) | _ -> false)
+    | _ -> false)
+  | _ -> false
+
+let structure_matches maps iters (o : Ir.op) =
+  Linalg.is_generic o
+  && List.length o.operands = 3
+  && Attribute.get_int (Ir.attr_exn o "ins") = 2
+  && (try List.for_all2 Affine_map.equal (Linalg.indexing_maps o) maps
+      with Invalid_argument _ -> false)
+  && Linalg.iterator_types o = iters
+  && mul_add_kernel o
+
+let p = Linalg.parallel
+let r = Linalg.reduction
+
+let is_matmul o = structure_matches matmul_maps [ p; p; r ] o
+
+let is_conv_2d_nchw_fchw o =
+  match Linalg.conv_stride_of o with
+  | Some stride -> structure_matches (conv_maps stride) [ p; p; p; p; r; r; r ] o
+  | None -> false
+
+let matches_kind kind o =
+  match kind with
+  | "matmul" -> is_matmul o
+  | "conv_2d_nchw_fchw" -> is_conv_2d_nchw_fchw o
+  | _ -> false
+
+let kernel_accumulates (o : Ir.op) =
+  if not (Linalg.is_generic o) then false
+  else
+    match (Ir.single_block o).bargs with
+    | [] -> false
+    | bargs -> (
+      let n_outs = List.length o.operands - Linalg.num_inputs o in
+      let out_args = Util.list_drop (List.length bargs - n_outs) bargs in
+      match List.rev (Ir.single_block o).body with
+      | yield_op :: rest when yield_op.Ir.name = "linalg.yield" ->
+        (* The yielded value must be an addf with one operand chain
+           reaching an output block argument. *)
+        let defs = Hashtbl.create 8 in
+        List.iter
+          (fun (op : Ir.op) ->
+            List.iter (fun (v : Ir.value) -> Hashtbl.replace defs v.Ir.vid op) op.results)
+          rest;
+        let rec reaches_out (v : Ir.value) depth =
+          if depth > 8 then false
+          else if List.exists (fun (a : Ir.value) -> a.vid = v.Ir.vid) out_args then true
+          else
+            match Hashtbl.find_opt defs v.Ir.vid with
+            | Some def ->
+              List.exists (fun operand -> reaches_out operand (depth + 1)) def.Ir.operands
+            | None -> false
+        in
+        (match yield_op.Ir.operands with
+        | [ y ] -> (
+          match Hashtbl.find_opt defs y.Ir.vid with
+          | Some def when def.Ir.name = "arith.addf" ->
+            List.exists (fun operand -> reaches_out operand 0) def.Ir.operands
+          | Some _ | None -> false)
+        | _ -> false)
+      | _ -> false)

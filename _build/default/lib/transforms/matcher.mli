@@ -1,0 +1,22 @@
+(** Structural recognition of offloadable [linalg.generic] operations
+    (step 3 of the compiler flow): the matcher inspects indexing maps,
+    iterator types and the scalar kernel — not the [op_kind] label — so
+    any front end producing the canonical generic form is matched. *)
+
+val is_matmul : Ir.op -> bool
+(** Maps [(m, n, k) -> (m, k) / (k, n) / (m, n)], iterators
+    [parallel, parallel, reduction], kernel [c + a * b]. *)
+
+val is_conv_2d_nchw_fchw : Ir.op -> bool
+(** The 7-dimensional NCHW/FCHW convolution form built by
+    {!Linalg.conv_2d_nchw_fchw}. *)
+
+val matches_kind : string -> Ir.op -> bool
+(** Dispatch on an {!Accel_config.t.op_kind} string. Unknown kinds
+    match nothing. *)
+
+val kernel_accumulates : Ir.op -> bool
+(** True when the kernel yields [output + f(inputs)] — the output is
+    read-modify-write, so received tiles must accumulate on the host
+    whenever the accelerator's partial results are drained more than
+    once (paper Fig. 6b's [mode = "accumulate"]). *)

@@ -1,0 +1,30 @@
+type t = {
+  accel : Accel_config.t;
+  host : Host_config.t;
+  options : Match_annotate.options;
+  copy_specialization : bool;
+  coalesce_transfers : bool;
+  to_runtime_calls : bool;
+}
+
+let make ~accel ~host ?(options = Match_annotate.default_options)
+    ?(copy_specialization = true) ?(coalesce_transfers = false)
+    ?(to_runtime_calls = true) () =
+  { accel; host; options; copy_specialization; coalesce_transfers; to_runtime_calls }
+
+let passes t =
+  [ Match_annotate.pass ~accel:t.accel ~host:t.host ~options:t.options (); Accel_codegen.pass ]
+  @ (if t.coalesce_transfers then [ Coalesce_transfers.pass ] else [])
+  @ (if t.to_runtime_calls then [ Lower_accel_to_runtime.pass ] else [])
+  @ (if t.copy_specialization && t.to_runtime_calls then [ Copy_specialization.pass ] else [])
+  @ [ Canonicalize.pass ]
+
+let run ?pass_options t m =
+  Dialects.register_all ();
+  Pass.run_pipeline ?options:pass_options (passes t) m
+
+let cpu_passes = [ Lower_linalg_to_loops.pass ]
+
+let run_cpu ?pass_options m =
+  Dialects.register_all ();
+  Pass.run_pipeline ?options:pass_options cpu_passes m

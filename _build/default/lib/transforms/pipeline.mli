@@ -1,0 +1,38 @@
+(** Assembled pass pipelines mirroring the AXI4MLIR compiler flow
+    (Fig. 4). *)
+
+type t = {
+  accel : Accel_config.t;
+  host : Host_config.t;
+  options : Match_annotate.options;
+  copy_specialization : bool;
+      (** apply the Sec. IV-B strided-copy optimisation (Fig. 12b);
+          disabling it reproduces the bottlenecked Fig. 12a codegen *)
+  coalesce_transfers : bool;
+      (** apply the Sec. V transfer-coalescing extension: merge
+          back-to-back send chains into single DMA transactions *)
+  to_runtime_calls : bool;
+      (** lower the [accel] dialect all the way to runtime library
+          calls; when false, compilation stops at the accel dialect
+          (useful for inspecting Fig. 6b-style IR) *)
+}
+
+val make :
+  accel:Accel_config.t ->
+  host:Host_config.t ->
+  ?options:Match_annotate.options ->
+  ?copy_specialization:bool ->
+  ?coalesce_transfers:bool ->
+  ?to_runtime_calls:bool ->
+  unit ->
+  t
+
+val passes : t -> Pass.t list
+
+val run : ?pass_options:Pass.options -> t -> Ir.op -> Ir.op
+(** Run on a module. Registers all dialect verifiers first. *)
+
+val cpu_passes : Pass.t list
+(** The CPU-only reference pipeline: [linalg.generic] -> loops. *)
+
+val run_cpu : ?pass_options:Pass.options -> Ir.op -> Ir.op

@@ -1,0 +1,71 @@
+(** Tiling and loop-order decisions (step 4 of the compiler flow):
+    mapping the iteration space onto the accelerator's tile sizes,
+    choosing cache-level host tiles from the CPU description, and
+    deriving the loop permutation implied by an opcode flow's
+    stationarity structure. *)
+
+val resolve_accel_dims :
+  Accel_config.t ->
+  maps:Affine_map.t list ->
+  ranges:int list ->
+  ?tile_override:int list ->
+  unit ->
+  (int list, string) result
+(** Per iteration dimension: the host tile extent (the accelerator
+    tile), or 0 when the accelerator absorbs the dimension. Checks
+    divisibility of the problem extents, v4-style granularity for
+    flexible engines, and that every operand tile fits the
+    accelerator's per-operand buffer capacity. *)
+
+val tile_extent_of_expr :
+  ranges:int list -> accel_dim:int list -> Affine_map.expr -> int
+(** Window extent of one operand-index expression inside a tile
+    (tile size for host dims, full extent for absorbed dims;
+    [Add] windows compose as [a + b - 1]). *)
+
+val operand_tile_elems : maps:Affine_map.t list -> ranges:int list -> accel_dim:int list -> int list
+(** Elements per operand tile implied by the resolved tile sizes (used
+    by the buffer check and by transfer-volume heuristics). *)
+
+val derive_permutation :
+  flow:Opcode.flow ->
+  opcode_map:Opcode.map ->
+  maps:Affine_map.t list ->
+  accel_dim:int list ->
+  int list
+(** Loop order (outer to inner, absorbed dims appended last): each host
+    dimension is ordered by the shallowest flow scope whose opcodes
+    touch an operand indexed by it — so dimensions pinned by a
+    stationary transfer come outermost, enabling the hoisting the flow
+    requests. Ties keep canonical order. *)
+
+val safe_cpu_tiling_dims :
+  flow:Opcode.flow ->
+  opcode_map:Opcode.map ->
+  maps:Affine_map.t list ->
+  accel_dim:int list ->
+  int list
+(** Host dimensions whose cache-level tiling cannot inflate transfer
+    volume: a cache loop sits above every flow scope, so it multiplies
+    the execution count of each {e hoisted} opcode (scope depth <
+    flow depth) unless the opcode's operands already depend on that
+    dimension. Returns the intersection of the hoisted opcodes'
+    dimension sets (all host dims when nothing is hoisted, e.g. Ns). *)
+
+val choose_cpu_tiles :
+  Host_config.t ->
+  ranges:int list ->
+  accel_dim:int list ->
+  safe_dims:int list ->
+  footprint_bytes:int ->
+  int list
+(** Cache-hierarchy tile per dimension (0 = untiled). Tiling engages
+    only when the operands' total footprint exceeds the last-level
+    cache; each safe dimension then gets the largest multiple of the
+    accelerator tile that divides the extent and keeps three TxT f32
+    blocks within half of the LLC — so the repeatedly-copied working
+    set stops thrashing to DRAM (the locality the paper's step 4
+    exploits). Past twice the LLC even transfer-inflating (unsafe)
+    dimensions are tiled: the extra stationary-tile transfers are
+    second-order next to the DRAM traffic they remove from the
+    streamed operands. *)

@@ -1,0 +1,1 @@
+lib/workloads/heuristics.ml: Accel_config Cost_model List Printf Util

@@ -1,0 +1,1 @@
+lib/workloads/heuristics.mli: Accel_config Cost_model

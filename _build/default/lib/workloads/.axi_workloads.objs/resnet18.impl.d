@@ -1,0 +1,1 @@
+lib/workloads/resnet18.ml: Gold List Printf

@@ -1,0 +1,1 @@
+lib/workloads/tinybert.ml: Cost_model List Util

@@ -1,0 +1,1 @@
+lib/workloads/tinybert.mli: Cost_model

@@ -1,0 +1,50 @@
+(** Tiling/dataflow selection heuristics for runtime-configurable
+    accelerators (paper Sec. IV-C, Fig. 14).
+
+    - [As-squareTile] / [Bs-squareTile] / [Cs-squareTile]: fix the flow
+      and pick the largest square tile (a multiple of the engine
+      granularity that divides every dimension and fits the buffers),
+      minimising the total element-transfer count under that flow.
+    - [Best]: search every flow the engine supports crossed with all
+      feasible (possibly non-square) tile shapes, minimising a
+      cost-model estimate of driver cycles (transfer volume, DMA
+      transaction overheads, copy costs and accelerator compute). *)
+
+type choice = {
+  flow : string;
+  tm : int;
+  tn : int;
+  tk : int;
+  predicted_cycles : float;
+  predicted_transfer_elems : float;
+}
+
+val transfer_elems :
+  flow:string -> m:int -> n:int -> k:int -> tm:int -> tn:int -> tk:int -> float
+(** Total f32 elements moved host<->accelerator for a full matmul under
+    the flow's reuse structure (sends + receives). *)
+
+val estimate_cycles :
+  Accel_config.t ->
+  cost:Cost_model.t ->
+  flow:string ->
+  m:int ->
+  n:int ->
+  k:int ->
+  tm:int ->
+  tn:int ->
+  tk:int ->
+  float
+(** Analytic driver-cycle estimate from the cost model: per-opcode DMA
+    transactions, streaming words, specialised copy costs, loop
+    overheads and (overlapped) accelerator compute. *)
+
+val square_tile :
+  Accel_config.t -> flow:string -> m:int -> n:int -> k:int -> choice option
+(** [None] when no feasible square tile exists. *)
+
+val best : ?cost:Cost_model.t -> Accel_config.t -> m:int -> n:int -> k:int -> choice option
+(** The [Best] heuristic. *)
+
+val candidate_tiles : Accel_config.t -> m:int -> n:int -> k:int -> (int * int * int) list
+(** All feasible (tm, tn, tk) for the engine on this problem. *)

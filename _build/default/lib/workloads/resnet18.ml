@@ -1,0 +1,39 @@
+type layer = {
+  label : string;
+  ihw : int;
+  ic : int;
+  fhw : int;
+  oc : int;
+  stride : int;
+  ohw : int;
+}
+
+let make ~ihw ~ic ~fhw ~oc ~stride =
+  {
+    label = Printf.sprintf "%d_%d_%d_%d_%d" ihw ic fhw oc stride;
+    ihw;
+    ic;
+    fhw;
+    oc;
+    stride;
+    ohw = Gold.conv_out ihw ~fhw ~stride;
+  }
+
+let layers =
+  [
+    make ~ihw:224 ~ic:3 ~fhw:7 ~oc:64 ~stride:2;
+    make ~ihw:56 ~ic:64 ~fhw:3 ~oc:64 ~stride:1;
+    make ~ihw:56 ~ic:64 ~fhw:3 ~oc:128 ~stride:2;
+    make ~ihw:56 ~ic:64 ~fhw:1 ~oc:128 ~stride:2;
+    make ~ihw:28 ~ic:128 ~fhw:3 ~oc:128 ~stride:1;
+    make ~ihw:28 ~ic:128 ~fhw:3 ~oc:256 ~stride:2;
+    make ~ihw:28 ~ic:128 ~fhw:1 ~oc:256 ~stride:2;
+    make ~ihw:14 ~ic:256 ~fhw:3 ~oc:256 ~stride:1;
+    make ~ihw:14 ~ic:256 ~fhw:3 ~oc:512 ~stride:2;
+    make ~ihw:14 ~ic:256 ~fhw:1 ~oc:512 ~stride:2;
+    make ~ihw:7 ~ic:512 ~fhw:3 ~oc:512 ~stride:1;
+  ]
+
+let find label = List.find_opt (fun l -> l.label = label) layers
+
+let macs l = l.oc * l.ohw * l.ohw * l.ic * l.fhw * l.fhw

@@ -1,0 +1,24 @@
+(** The eleven distinct convolution layer shapes of ResNet-18 evaluated
+    in the paper's Fig. 16, labelled [iHW_iC_fHW_oC_stride].
+
+    Layers are simulated with their true spatial strides: the
+    [linalg.generic] indexing maps use [s*oh + fh] windows, which the
+    matcher, tiling analysis and host-code generator all support. *)
+
+type layer = {
+  label : string;
+  ihw : int;  (** input edge *)
+  ic : int;
+  fhw : int;
+  oc : int;
+  stride : int;
+  ohw : int;  (** output edge (valid padding) *)
+}
+
+val layers : layer list
+(** In network order, conv1 first. *)
+
+val find : string -> layer option
+
+val macs : layer -> int
+(** Multiply-accumulates of the layer. *)

@@ -1,0 +1,47 @@
+type matmul_shape = { mm_name : string; m : int; n : int; k : int; count : int }
+
+let hidden = 312
+let ffn = 1200
+let heads = 12
+let layers = 4
+
+let head_dim = hidden / heads
+
+let matmul_shapes ~batch ~seq =
+  [
+    { mm_name = "qkv_proj"; m = seq; n = hidden; k = hidden; count = 3 * batch * layers };
+    { mm_name = "attn_scores"; m = seq; n = seq; k = head_dim; count = heads * batch * layers };
+    { mm_name = "attn_context"; m = seq; n = head_dim; k = seq; count = heads * batch * layers };
+    { mm_name = "attn_output"; m = seq; n = hidden; k = hidden; count = batch * layers };
+    { mm_name = "ffn_up"; m = seq; n = ffn; k = hidden; count = batch * layers };
+    { mm_name = "ffn_down"; m = seq; n = hidden; k = ffn; count = batch * layers };
+  ]
+
+let pad16 n = Util.round_up n ~multiple:16
+
+let total_matmul_macs ~batch ~seq =
+  List.fold_left
+    (fun acc s -> acc + (s.count * s.m * s.n * s.k))
+    0 (matmul_shapes ~batch ~seq)
+
+(* Non-MatMul encoder work, per layer and batch item:
+   - 2 layer norms over seq x hidden (~12 scalar ops/element: mean,
+     variance, normalise, scale, shift);
+   - softmax over heads x seq x seq (~8 ops/element: max, exp, sum,
+     divide);
+   - GELU over seq x ffn (~14 ops/element: tanh polynomial);
+   - residual/bias adds (~4 elementwise passes over seq x hidden and
+     one over seq x ffn).
+   Each scalar op costs roughly one FPU op plus its share of memory
+   traffic; we charge fpu_cycles plus one L1 hit per element-op third. *)
+let non_matmul_cpu_cycles ~(cost : Cost_model.t) ~batch ~seq =
+  let f = float_of_int in
+  let per_layer =
+    (12.0 *. 2.0 *. f (seq * hidden))
+    +. (8.0 *. f (heads * seq * seq))
+    +. (14.0 *. f (seq * ffn))
+    +. (4.0 *. f (seq * hidden))
+    +. (1.0 *. f (seq * ffn))
+  in
+  let element_ops = f (batch * layers) *. per_layer in
+  element_ops *. (cost.fpu_cycles +. (0.4 *. cost.l1_hit_cycles) +. 0.3)

@@ -1,0 +1,41 @@
+(** TinyBERT (4 layers, hidden 312, FFN 1200, 12 heads), the end-to-end
+    workload of the paper's Sec. IV-E / Fig. 17.
+
+    The experiment needs (a) every MatMul the encoder executes, with
+    shapes and multiplicities, and (b) an estimate of the non-MatMul
+    work (layer norms, softmax, GELU, bias adds) that stays on the CPU
+    under every strategy. The paper reports MatMuls as 75% of the
+    original CPU runtime; our cost model reproduces a similar split.
+
+    The v4 engine requires dimensions divisible by its granularity 16,
+    so the accelerated path runs each MatMul padded up to multiples of
+    16 (312 -> 320, 26 -> 32) — the zero-padding a bufferised
+    Torch-MLIR pipeline would materialise. The CPU baseline runs the
+    true shapes. *)
+
+type matmul_shape = {
+  mm_name : string;
+  m : int;
+  n : int;
+  k : int;
+  count : int;  (** occurrences over the whole model *)
+}
+
+val hidden : int
+val ffn : int
+val heads : int
+val layers : int
+
+val matmul_shapes : batch:int -> seq:int -> matmul_shape list
+(** True (unpadded) shapes: QKV projections, attention scores,
+    attention-context, output projection, both FFN matmuls. *)
+
+val pad16 : int -> int
+(** Round up to a multiple of 16. *)
+
+val non_matmul_cpu_cycles : cost:Cost_model.t -> batch:int -> seq:int -> float
+(** Analytic CPU cycles of the non-MatMul encoder work (element counts
+    of layer norms, softmax, GELU and residual/bias adds times scalar
+    per-element costs from the cost model). *)
+
+val total_matmul_macs : batch:int -> seq:int -> int

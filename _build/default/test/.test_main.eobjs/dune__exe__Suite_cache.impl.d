@@ -1,0 +1,1 @@
+test/suite_cache.ml: Alcotest Array Cache Gen List QCheck QCheck_alcotest Util

@@ -1,0 +1,1 @@
+test/suite_config.ml: Accel_config Accel_device Accel_matmul Alcotest Config_parser Dma_engine Host_config Ir List Presets Printf Result Soc Trait

@@ -1,0 +1,1 @@
+test/suite_extensions.ml: Accel_config Accel_matmul Alcotest Array Attribute Axi4mlir Axi_word Cost_model Dma_engine Gold Ir Isa List Memref_view Perf_counters Presets Printf Runtime_abi Soc

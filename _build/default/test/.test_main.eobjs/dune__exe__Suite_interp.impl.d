@@ -1,0 +1,1 @@
+test/suite_interp.ml: Accel Alcotest Arith Array Attribute Axi4mlir Func Interp Ir Memref_d Memref_view Perf_counters Scf Sim_memory Soc Ty

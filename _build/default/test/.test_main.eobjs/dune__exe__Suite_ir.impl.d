@@ -1,0 +1,1 @@
+test/suite_ir.ml: Accel Alcotest Arith Attribute Builder Func Ir Ir_compare Linalg List Memref_d Scf String Ty Verifier

@@ -1,0 +1,1 @@
+test/suite_json.ml: Alcotest Json List Printf String

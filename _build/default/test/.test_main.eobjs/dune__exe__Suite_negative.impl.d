@@ -1,0 +1,1 @@
+test/suite_negative.ml: Accel_codegen Accel_config Accel_matmul Alcotest Axi4mlir Builder Host_config Ir Linalg List Match_annotate Opcode Pass Presets String Trait Ty

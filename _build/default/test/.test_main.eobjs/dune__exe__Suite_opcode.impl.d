@@ -1,0 +1,1 @@
+test/suite_opcode.ml: Alcotest List Opcode Printf QCheck QCheck_alcotest Result Util

@@ -1,0 +1,1 @@
+test/suite_parser.ml: Accel_matmul Alcotest Attribute Axi4mlir Host_config Ir Ir_compare Linalg List Match_annotate Parser_ir Pass Presets Printer Printf QCheck QCheck_alcotest String Trait Ty

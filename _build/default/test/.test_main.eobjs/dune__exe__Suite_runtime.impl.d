@@ -1,0 +1,1 @@
+test/suite_runtime.ml: Accel_config Accel_matmul Alcotest Array Dma_engine Dma_library Gold List Memref_view Perf_counters Presets Printf QCheck QCheck_alcotest Sim_memory Soc

@@ -1,0 +1,1 @@
+test/suite_sim.ml: Accel_config Accel_conv Accel_device Accel_matmul Alcotest Array Axi_word Dma_engine Gold Isa Perf_counters Presets Sim_memory Soc String

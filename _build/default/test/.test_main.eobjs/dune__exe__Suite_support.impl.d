@@ -1,0 +1,1 @@
+test/suite_support.ml: Alcotest Float List String Tabulate Util

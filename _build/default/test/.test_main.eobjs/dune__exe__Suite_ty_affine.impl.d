@@ -1,0 +1,1 @@
+test/suite_ty_affine.ml: Affine_map Alcotest Gen List Option QCheck QCheck_alcotest Ty Util

@@ -1,0 +1,1 @@
+test/suite_workloads.ml: Accel_conv Accel_matmul Alcotest Cost_model Gold Heuristics List Presets Printf QCheck QCheck_alcotest Resnet18 Tinybert Util

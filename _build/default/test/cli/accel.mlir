@@ -1,0 +1,34 @@
+module {
+  func.func @matmul_call(%0: memref<16x16xf32>, %1: memref<16x16xf32>, %2: memref<16x16xf32>) {
+    %3 = arith.constant 65346 : i32
+    %4 = arith.constant 0 : i32
+    %5 = arith.constant 16 : index
+    %6 = arith.constant 34 : i32
+    %7 = arith.constant 36 : i32
+    %8 = arith.constant 66 : i32
+    %9 = arith.constant 255 : i32
+    %10 = arith.constant 240 : i32
+    %11 = arith.constant 65280 : i32
+    %12 = arith.constant 0 : index
+    %13 = arith.constant 35 : i32
+    accel.dma_init(%4, %8, %11, %3, %11) : i32, i32, i32, i32, i32 -> 
+    %14 = accel.sendLiteral {flush = true}(%9, %4) : i32, i32 -> i32
+    scf.for %15 = %12 to %5 step %5 {
+      scf.for %16 = %12 to %5 step %5 {
+        scf.for %17 = %12 to %5 step %5 {
+          %18 = accel.sendLiteral(%6, %4) : i32, i32 -> i32
+          %19 = memref.subview %0[?] [dense<[16, 16]>] [1, ...] : memref<16x16xf32, strided<[16, 1], offset: ?>>
+          %20 = accel.send(%19, %18) : memref<16x16xf32, strided<[16, 1], offset: ?>>, i32 -> i32
+          %21 = accel.sendLiteral(%13, %20) : i32, i32 -> i32
+          %22 = memref.subview %1[?] [dense<[16, 16]>] [1, ...] : memref<16x16xf32, strided<[16, 1], offset: ?>>
+          %23 = accel.send(%22, %21) : memref<16x16xf32, strided<[16, 1], offset: ?>>, i32 -> i32
+          %24 = accel.sendLiteral {flush = true}(%10, %23) : i32, i32 -> i32
+        }
+        %25 = accel.sendLiteral {flush = true}(%7, %4) : i32, i32 -> i32
+        %26 = memref.subview %2[?] [dense<[16, 16]>] [1, ...] : memref<16x16xf32, strided<[16, 1], offset: ?>>
+        %27 = accel.recv {mode = "accumulate"}(%26, %25) : memref<16x16xf32, strided<[16, 1], offset: ?>>, i32 -> i32
+      }
+    }
+    return
+  }
+}

@@ -1,0 +1,138 @@
+(* Failure-injection tests: the compiler and the simulated hardware must
+   reject broken configurations loudly rather than mis-execute. *)
+
+let host = Host_config.pynq_z2
+
+let test_codegen_rejects_deep_flow () =
+  (* a trait whose flow nests deeper than the loop nest must be caught
+     by codegen even if validation were skipped *)
+  let accel = Presets.matmul ~version:Accel_matmul.V3 ~size:4 () in
+  let _, g =
+    let modul = Axi4mlir.build_matmul_module ~m:8 ~n:8 ~k:8 () in
+    match
+      List.concat_map (fun f -> Ir.find_ops Linalg.is_generic f) (Ir.module_body modul)
+    with
+    | [ g ] -> (modul, g)
+    | _ -> assert false
+  in
+  let trait =
+    {
+      Trait.dma_init_config = accel.Accel_config.dma;
+      init_opcodes = [ "reset" ];
+      accel_dim = [ 4; 4; 4 ];
+      permutation = [ 0; 1; 2 ];
+      opcode_map = accel.Accel_config.opcode_map;
+      (* depth 4 > 3 loops *)
+      opcode_flow = Opcode.parse_flow "(sA (sB (cC (rC))))";
+      cpu_tile = [ 0; 0; 0 ];
+      double_buffer = false;
+    }
+  in
+  let annotated = Trait.attach g trait in
+  let b = Builder.create () in
+  match Accel_codegen.codegen_generic b ~emit_dma_init:true annotated with
+  | exception Failure msg ->
+    Alcotest.(check bool) "message mentions flow depth" true
+      (String.length msg > 0)
+  | () -> Alcotest.fail "deep flow accepted by codegen"
+
+let test_send_idx_codegen () =
+  (* an opcode using send_idx places the loop index in the stream *)
+  let accel = Presets.matmul ~version:Accel_matmul.V3 ~size:4 () in
+  let tagged =
+    {
+      accel with
+      Accel_config.opcode_map =
+        accel.Accel_config.opcode_map
+        @ [ { Opcode.key = "tag"; actions = [ Opcode.Send_idx (0, 0) ] } ];
+      opcode_flows = [ ("Tagged", Opcode.parse_flow "(tag sA sB cC rC)") ];
+      selected_flow = "Tagged";
+    }
+  in
+  let modul = Axi4mlir.build_matmul_module ~m:8 ~n:8 ~k:8 () in
+  let annotated =
+    Pass.run_pipeline
+      [ Match_annotate.pass ~accel:tagged ~host (); Accel_codegen.pass ]
+      modul
+  in
+  let idx_ops = Ir.find_ops (fun o -> o.Ir.name = "accel.sendIdx") annotated in
+  Alcotest.(check int) "one sendIdx per opcode instance" 1 (List.length idx_ops);
+  match (List.hd idx_ops).Ir.operands with
+  | [ idx; _offset ] ->
+    Alcotest.(check bool) "index-typed operand" true (Ty.equal idx.Ir.vty Ty.index)
+  | _ -> Alcotest.fail "malformed sendIdx"
+
+let test_device_rejects_protocol_violation () =
+  (* a receive with no drain instruction: the device has no queued
+     output, so the DMA engine's collection must fail *)
+  let accel = Presets.matmul ~version:Accel_matmul.V3 ~size:4 () in
+  let broken =
+    {
+      accel with
+      Accel_config.opcode_map =
+        accel.Accel_config.opcode_map
+        @ [ { Opcode.key = "rOnly"; actions = [ Opcode.Recv 2 ] } ];
+      opcode_flows = [ ("Broken", Opcode.parse_flow "(sA sB cC rOnly)") ];
+      selected_flow = "Broken";
+    }
+  in
+  let bench = Axi4mlir.create broken in
+  let a, b, c = Axi4mlir.alloc_matmul_operands bench ~m:4 ~n:4 ~k:4 in
+  let ir = Axi4mlir.compile_matmul bench ~m:4 ~n:4 ~k:4 () in
+  match Axi4mlir.run_matmul bench ir ~a ~b ~c with
+  | exception Failure msg ->
+    Alcotest.(check bool) "device names the shortfall" true (String.length msg > 0)
+  | () -> Alcotest.fail "premature receive accepted"
+
+let test_dma_region_overflow_detected () =
+  (* an input window too small for one tile transfer *)
+  let accel = Presets.matmul ~version:Accel_matmul.V3 ~size:16 () in
+  let tiny =
+    {
+      accel with
+      Accel_config.dma =
+        { accel.Accel_config.dma with Accel_config.input_buffer_size = 64 };
+    }
+  in
+  let bench = Axi4mlir.create tiny in
+  let a, b, c = Axi4mlir.alloc_matmul_operands bench ~m:16 ~n:16 ~k:16 in
+  let ir = Axi4mlir.compile_matmul bench ~m:16 ~n:16 ~k:16 () in
+  match Axi4mlir.run_matmul bench ir ~a ~b ~c with
+  | exception Failure msg ->
+    Alcotest.(check bool) "overflow reported" true (String.length msg > 0)
+  | () -> Alcotest.fail "DMA region overflow accepted"
+
+let test_wrong_engine_opcodes_rejected () =
+  (* drive a v1 engine with a v3 opcode map: the decoder must refuse *)
+  let v1 = Presets.matmul ~version:Accel_matmul.V1 ~size:4 () in
+  let v3 = Presets.matmul ~version:Accel_matmul.V3 ~size:4 () in
+  let mismatched = { v3 with Accel_config.engine = v1.Accel_config.engine } in
+  let bench = Axi4mlir.create mismatched in
+  let a, b, c = Axi4mlir.alloc_matmul_operands bench ~m:4 ~n:4 ~k:4 in
+  let ir = Axi4mlir.compile_matmul bench ~m:4 ~n:4 ~k:4 () in
+  match Axi4mlir.run_matmul bench ir ~a ~b ~c with
+  | exception Failure msg ->
+    Alcotest.(check bool) "decoder names the instruction" true (String.length msg > 0)
+  | () -> Alcotest.fail "mismatched micro-ISA accepted"
+
+let test_facade_reports_unoffloadable () =
+  (* the facade surfaces the skip reason instead of silently running on
+     the CPU *)
+  let accel = Presets.matmul ~version:Accel_matmul.V3 ~size:16 () in
+  let bench = Axi4mlir.create accel in
+  match Axi4mlir.compile_matmul bench ~m:10 ~n:10 ~k:10 () with
+  | exception Failure msg ->
+    Alcotest.(check bool) "reason included" true (String.length msg > 0)
+  | _ -> Alcotest.fail "non-divisible problem silently accepted"
+
+let tests =
+  [
+    Alcotest.test_case "codegen rejects over-deep flows" `Quick test_codegen_rejects_deep_flow;
+    Alcotest.test_case "send_idx code generation" `Quick test_send_idx_codegen;
+    Alcotest.test_case "device rejects premature receive" `Quick
+      test_device_rejects_protocol_violation;
+    Alcotest.test_case "DMA region overflow detected" `Quick test_dma_region_overflow_detected;
+    Alcotest.test_case "mismatched micro-ISA rejected" `Quick test_wrong_engine_opcodes_rejected;
+    Alcotest.test_case "facade reports unoffloadable ops" `Quick
+      test_facade_reports_unoffloadable;
+  ]

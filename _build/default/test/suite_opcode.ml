@@ -1,0 +1,178 @@
+(* Tests for the opcode_map / opcode_flow attributes (paper Figs. 7-8). *)
+
+let paper_map_text =
+  "opcode_map<sA = [send_literal(0x22), send(0)], sB = [send_literal(0x23), send(1)], \
+   cC = [send_literal(0xF0)], rC = [send_literal(0x24), recv(2)], sBcCrC = \
+   [send_literal(0x25), send(1), recv(2)], reset = [send_literal(0xFF)]>"
+
+let test_parse_paper_map () =
+  let map = Opcode.parse_map paper_map_text in
+  Alcotest.(check int) "entries" 6 (List.length map);
+  (match Opcode.find map "sA" with
+  | Some { Opcode.actions = [ Opcode.Send_literal 0x22; Opcode.Send 0 ]; _ } -> ()
+  | _ -> Alcotest.fail "sA actions");
+  (match Opcode.find map "sBcCrC" with
+  | Some { Opcode.actions = [ Opcode.Send_literal 0x25; Opcode.Send 1; Opcode.Recv 2 ]; _ } -> ()
+  | _ -> Alcotest.fail "sBcCrC actions");
+  Alcotest.(check bool) "missing key" true (Opcode.find map "nope" = None)
+
+let test_parse_without_wrapper () =
+  let map = Opcode.parse_map "x = [send(0)]" in
+  Alcotest.(check int) "one entry" 1 (List.length map)
+
+let test_parse_dims_and_idx () =
+  let map = Opcode.parse_map "cfg = [send_dim(1, 2), send_idx(0, 1)]" in
+  match (List.hd map).Opcode.actions with
+  | [ Opcode.Send_dim (1, 2); Opcode.Send_idx (0, 1) ] -> ()
+  | _ -> Alcotest.fail "dim/idx actions"
+
+let test_map_roundtrip () =
+  let map = Opcode.parse_map paper_map_text in
+  let reparsed = Opcode.parse_map (Opcode.map_to_string map) in
+  Alcotest.(check bool) "roundtrip" true (Opcode.equal_map map reparsed)
+
+let test_parse_flows () =
+  let flow = Opcode.parse_flow "opcode_flow<(sA (sBcCrC))>" in
+  Alcotest.(check int) "depth" 2 (Opcode.flow_depth flow);
+  Alcotest.(check (list (pair string int))) "placements"
+    [ ("sA", 1); ("sBcCrC", 2) ]
+    (Opcode.flow_placements flow);
+  let cs = Opcode.parse_flow "((sA sB cC) rC)" in
+  Alcotest.(check (list (pair string int))) "Cs placements"
+    [ ("sA", 2); ("sB", 2); ("cC", 2); ("rC", 1) ]
+    (Opcode.flow_placements cs);
+  let ns = Opcode.parse_flow "(sA sB cC rC)" in
+  Alcotest.(check int) "Ns depth" 1 (Opcode.flow_depth ns);
+  let triple = Opcode.parse_flow "(sW ((sI rO)))" in
+  Alcotest.(check int) "conv depth" 3 (Opcode.flow_depth triple);
+  Alcotest.(check (list (pair string int))) "conv placements"
+    [ ("sW", 1); ("sI", 3); ("rO", 3) ]
+    (Opcode.flow_placements triple);
+  let bare = Opcode.parse_flow "sA sB" in
+  Alcotest.(check int) "bare depth" 1 (Opcode.flow_depth bare);
+  Alcotest.(check (list string)) "opcodes order" [ "sA"; "sB" ] (Opcode.flow_opcodes bare)
+
+let test_flow_roundtrip () =
+  List.iter
+    (fun text ->
+      let flow = Opcode.parse_flow text in
+      let reparsed = Opcode.parse_flow (Opcode.flow_to_string flow) in
+      Alcotest.(check bool) ("roundtrip " ^ text) true (Opcode.equal_flow flow reparsed))
+    [ "(sA (sB cC rC))"; "((sA sB cC) rC)"; "(sA sB cCrC)"; "(sW ((sI)) rO)"; "sA" ]
+
+let expect_syntax_error f =
+  match f () with
+  | exception Opcode.Syntax_error _ -> ()
+  | _ -> Alcotest.fail "expected syntax error"
+
+let test_syntax_errors () =
+  expect_syntax_error (fun () -> Opcode.parse_map "sA = [send()]");
+  expect_syntax_error (fun () -> Opcode.parse_map "sA = [explode(1)]");
+  expect_syntax_error (fun () -> Opcode.parse_map "sA = [send(0)");
+  expect_syntax_error (fun () -> Opcode.parse_map "opcode_map<sA = [send(0)]");
+  expect_syntax_error (fun () -> Opcode.parse_flow "(sA (sB)");
+  expect_syntax_error (fun () -> Opcode.parse_flow "sA)");
+  expect_syntax_error (fun () -> Opcode.parse_flow "(sA, sB)")
+
+let test_map_validation () =
+  let ok = Opcode.parse_map "sA = [send(0)], rC = [recv(2)]" in
+  Alcotest.(check bool) "valid" true (Opcode.validate_map ~n_args:3 ok = Ok ());
+  Alcotest.(check bool) "arg out of range" true
+    (Result.is_error (Opcode.validate_map ~n_args:2 ok));
+  let dup = Opcode.parse_map "x = [send(0)], x = [send(1)]" in
+  Alcotest.(check bool) "duplicate keys" true
+    (Result.is_error (Opcode.validate_map ~n_args:3 dup))
+
+let test_flow_validation () =
+  let map = Opcode.parse_map "sA = [send(0)], rC = [recv(2)]" in
+  let good = Opcode.parse_flow "(sA rC)" in
+  Alcotest.(check bool) "valid" true (Opcode.validate_flow map good = Ok ());
+  Alcotest.(check bool) "unknown opcode" true
+    (Result.is_error (Opcode.validate_flow map (Opcode.parse_flow "(sA zap)")));
+  Alcotest.(check bool) "duplicate opcode" true
+    (Result.is_error (Opcode.validate_flow map (Opcode.parse_flow "(sA sA)")));
+  Alcotest.(check bool) "empty flow" true (Result.is_error (Opcode.validate_flow map []))
+
+let test_action_queries () =
+  let map = Opcode.parse_map paper_map_text in
+  let flow = Opcode.parse_flow "(sA (sBcCrC))" in
+  let actions = Opcode.actions_of_flow map flow in
+  Alcotest.(check (list int)) "sends" [ 0; 1 ] (Opcode.sends_of_actions actions);
+  Alcotest.(check (list int)) "recvs" [ 2 ] (Opcode.recvs_of_actions actions)
+
+(* Property: any generated map/flow round-trips through its syntax. *)
+let gen_action =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun n -> Opcode.Send n) (0 -- 2);
+        map (fun v -> Opcode.Send_literal v) (0 -- 0xFFFF);
+        map2 (fun n d -> Opcode.Send_dim (n, d)) (0 -- 2) (0 -- 3);
+        map2 (fun n d -> Opcode.Send_idx (n, d)) (0 -- 2) (0 -- 3);
+        map (fun n -> Opcode.Recv n) (0 -- 2);
+      ])
+
+let gen_map =
+  QCheck.Gen.(
+    let entry i =
+      map
+        (fun actions -> { Opcode.key = Printf.sprintf "op%d" i; actions })
+        (list_size (1 -- 4) gen_action)
+    in
+    let* n = 1 -- 5 in
+    flatten_l (List.init n entry))
+
+let prop_map_roundtrip =
+  QCheck.Test.make ~name:"opcode_map print/parse roundtrip" ~count:200
+    (QCheck.make gen_map) (fun map ->
+      Opcode.equal_map map (Opcode.parse_map (Opcode.map_to_string map)))
+
+let gen_flow =
+  (* a structurally valid flow over op0..op4: unique keys, non-empty scopes *)
+  QCheck.Gen.(
+    let rec build keys depth =
+      match keys with
+      | [] -> pure []
+      | key :: rest ->
+        let* use_scope = if depth >= 3 then pure false else bool in
+        if use_scope then
+          let* split = 1 -- List.length keys in
+          let inner_keys = Util.list_take split keys in
+          let outer_rest = Util.list_drop split keys in
+          let* inner = build inner_keys (depth + 1) in
+          let* others = build outer_rest depth in
+          pure (Opcode.Scope inner :: others)
+        else
+          let* others = build rest depth in
+          pure (Opcode.Op key :: others)
+    in
+    let* n = 1 -- 5 in
+    build (List.init n (Printf.sprintf "op%d")) 0)
+
+let prop_flow_roundtrip =
+  QCheck.Test.make ~name:"opcode_flow print/parse roundtrip" ~count:200
+    (QCheck.make gen_flow) (fun flow ->
+      Opcode.equal_flow flow (Opcode.parse_flow (Opcode.flow_to_string flow)))
+
+let prop_placements_depths =
+  QCheck.Test.make ~name:"flow placements bounded by flow depth" ~count:200
+    (QCheck.make gen_flow) (fun flow ->
+      let depth = Opcode.flow_depth flow in
+      List.for_all (fun (_, d) -> d >= 1 && d <= max depth 1) (Opcode.flow_placements flow))
+
+let tests =
+  [
+    Alcotest.test_case "parse the paper's opcode_map" `Quick test_parse_paper_map;
+    Alcotest.test_case "wrapper optional" `Quick test_parse_without_wrapper;
+    Alcotest.test_case "send_dim / send_idx" `Quick test_parse_dims_and_idx;
+    Alcotest.test_case "map roundtrip" `Quick test_map_roundtrip;
+    Alcotest.test_case "flow parsing and placements" `Quick test_parse_flows;
+    Alcotest.test_case "flow roundtrip" `Quick test_flow_roundtrip;
+    Alcotest.test_case "syntax errors" `Quick test_syntax_errors;
+    Alcotest.test_case "map validation" `Quick test_map_validation;
+    Alcotest.test_case "flow validation" `Quick test_flow_validation;
+    Alcotest.test_case "action queries" `Quick test_action_queries;
+    QCheck_alcotest.to_alcotest prop_map_roundtrip;
+    QCheck_alcotest.to_alcotest prop_flow_roundtrip;
+    QCheck_alcotest.to_alcotest prop_placements_depths;
+  ]

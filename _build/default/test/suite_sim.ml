@@ -1,0 +1,266 @@
+(* Tests for the SoC substrate: memory, counters, accelerator devices,
+   the DMA engine, and host-event costing. *)
+
+let test_sim_memory () =
+  let mem = Sim_memory.create () in
+  let a = Sim_memory.alloc mem ~label:"a" 10 in
+  let b = Sim_memory.alloc mem ~label:"b" 4 in
+  Alcotest.(check bool) "aligned" true (a.Sim_memory.base mod 64 = 0);
+  Alcotest.(check bool) "disjoint" true (b.Sim_memory.base >= a.Sim_memory.base + 40);
+  Sim_memory.set a 3 1.5;
+  Alcotest.(check (float 0.0)) "set/get" 1.5 (Sim_memory.get a 3);
+  Alcotest.(check int) "addr" (a.Sim_memory.base + 12) (Sim_memory.addr_of a 3);
+  Alcotest.(check bool) "footprint grows" true (Sim_memory.footprint_bytes mem > 0);
+  Alcotest.check_raises "oob get" (Invalid_argument "Sim_memory.get: index 10 out of bounds for a")
+    (fun () -> ignore (Sim_memory.get a 10))
+
+let test_counters_arith () =
+  let a = Perf_counters.create () in
+  a.Perf_counters.cycles <- 100.0;
+  a.Perf_counters.branches <- 10.0;
+  let b = Perf_counters.copy a in
+  b.Perf_counters.cycles <- 150.0;
+  let d = Perf_counters.diff b a in
+  Alcotest.(check (float 0.0)) "diff" 50.0 d.Perf_counters.cycles;
+  Alcotest.(check (float 0.0)) "diff untouched field" 0.0 d.Perf_counters.branches;
+  let s = Perf_counters.scale d 4.0 in
+  Alcotest.(check (float 0.0)) "scale" 200.0 s.Perf_counters.cycles;
+  Perf_counters.accumulate a s;
+  Alcotest.(check (float 0.0)) "accumulate" 300.0 a.Perf_counters.cycles;
+  Alcotest.(check (float 1e-9)) "task clock" (300.0 /. 650000.0)
+    (Perf_counters.task_clock_ms a ~cpu_freq_mhz:650.0)
+
+(* Drive a MatMul device directly with word streams. *)
+let tile_words data = Array.map (fun v -> Axi_word.Data v) data
+
+let concat = Array.concat
+
+let test_matmul_device_v3 () =
+  let dev = Accel_matmul.create ~version:Accel_matmul.V3 ~size:2 in
+  let a = [| 1.0; 2.0; 3.0; 4.0 |] in
+  let b = [| 5.0; 6.0; 7.0; 8.0 |] in
+  let expected = Gold.matmul ~m:2 ~n:2 ~k:2 a b in
+  let cycles =
+    dev.Accel_device.consume
+      (concat
+         [
+           [| Axi_word.Inst Isa.reset |];
+           [| Axi_word.Inst Isa.mm_load_a |]; tile_words a;
+           [| Axi_word.Inst Isa.mm_load_b |]; tile_words b;
+           [| Axi_word.Inst Isa.mm_compute |];
+           [| Axi_word.Inst Isa.mm_drain |];
+         ])
+  in
+  Alcotest.(check bool) "compute took cycles" true (cycles > 0.0);
+  Alcotest.(check int) "output queued" 4 (dev.Accel_device.available ());
+  let out = dev.Accel_device.drain 4 in
+  Alcotest.(check (float 1e-9)) "result" 0.0 (Gold.max_abs_diff expected out)
+
+let test_matmul_device_accumulates () =
+  let dev = Accel_matmul.create ~version:Accel_matmul.V3 ~size:2 in
+  let a = [| 1.0; 0.0; 0.0; 1.0 |] in
+  (* identity *)
+  let b = [| 1.0; 2.0; 3.0; 4.0 |] in
+  ignore (dev.Accel_device.consume [| Axi_word.Inst Isa.reset |]);
+  ignore (dev.Accel_device.consume (concat [ [| Axi_word.Inst Isa.mm_load_a |]; tile_words a ]));
+  ignore (dev.Accel_device.consume (concat [ [| Axi_word.Inst Isa.mm_load_b |]; tile_words b ]));
+  ignore (dev.Accel_device.consume [| Axi_word.Inst Isa.mm_compute |]);
+  ignore (dev.Accel_device.consume [| Axi_word.Inst Isa.mm_compute |]);
+  ignore (dev.Accel_device.consume [| Axi_word.Inst Isa.mm_drain |]);
+  let out = dev.Accel_device.drain 4 in
+  (* two computes accumulate: C = 2 * B *)
+  Alcotest.(check (float 1e-9)) "accumulated" 0.0
+    (Gold.max_abs_diff (Array.map (fun v -> 2.0 *. v) b) out);
+  (* drain cleared the accumulator *)
+  ignore (dev.Accel_device.consume [| Axi_word.Inst Isa.mm_compute |]);
+  ignore (dev.Accel_device.consume [| Axi_word.Inst Isa.mm_drain |]);
+  let out2 = dev.Accel_device.drain 4 in
+  Alcotest.(check (float 1e-9)) "cleared after drain" 0.0 (Gold.max_abs_diff b out2)
+
+let test_matmul_device_v1_fused () =
+  let dev = Accel_matmul.create ~version:Accel_matmul.V1 ~size:2 in
+  let a = [| 1.0; 2.0; 3.0; 4.0 |] and b = [| 1.0; 0.0; 0.0; 1.0 |] in
+  ignore
+    (dev.Accel_device.consume
+       (concat [ [| Axi_word.Inst Isa.mm_fused |]; tile_words a; tile_words b ]));
+  let out = dev.Accel_device.drain 4 in
+  Alcotest.(check (float 1e-9)) "fused result" 0.0 (Gold.max_abs_diff a out)
+
+let test_matmul_device_version_gating () =
+  let dev = Accel_matmul.create ~version:Accel_matmul.V1 ~size:2 in
+  (match dev.Accel_device.consume [| Axi_word.Inst Isa.mm_load_a |] with
+  | exception Failure msg ->
+    Alcotest.(check bool) "names the op" true
+      (String.length msg > 0)
+  | _ -> Alcotest.fail "v1 accepted a split load");
+  let v3 = Accel_matmul.create ~version:Accel_matmul.V3 ~size:2 in
+  (match v3.Accel_device.consume [| Axi_word.Inst Isa.mm_set_tm; Axi_word.Inst 4 |] with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "v3 accepted tile configuration")
+
+let test_matmul_device_v4_flex () =
+  let dev = Accel_matmul.create ~version:Accel_matmul.V4 ~size:2 in
+  let m, n, k = (4, 2, 6) in
+  let a = Array.init (m * k) float_of_int in
+  let b = Array.init (k * n) (fun i -> float_of_int (i mod 5)) in
+  let expected = Gold.matmul ~m ~n ~k a b in
+  ignore
+    (dev.Accel_device.consume
+       [|
+         Axi_word.Inst Isa.reset;
+         Axi_word.Inst Isa.mm_set_tm; Axi_word.Inst m;
+         Axi_word.Inst Isa.mm_set_tn; Axi_word.Inst n;
+         Axi_word.Inst Isa.mm_set_tk; Axi_word.Inst k;
+       |]);
+  ignore (dev.Accel_device.consume (concat [ [| Axi_word.Inst Isa.mm_load_a |]; tile_words a ]));
+  ignore (dev.Accel_device.consume (concat [ [| Axi_word.Inst Isa.mm_load_b |]; tile_words b ]));
+  ignore (dev.Accel_device.consume [| Axi_word.Inst Isa.mm_compute; Axi_word.Inst Isa.mm_drain |]);
+  let out = dev.Accel_device.drain (m * n) in
+  Alcotest.(check (float 1e-9)) "flex result" 0.0 (Gold.max_abs_diff expected out);
+  (* non-multiple-of-granularity dims are rejected *)
+  match
+    dev.Accel_device.consume [| Axi_word.Inst Isa.mm_set_tm; Axi_word.Inst 3 |]
+  with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "odd tile accepted"
+
+let test_matmul_device_protocol_errors () =
+  let dev = Accel_matmul.create ~version:Accel_matmul.V3 ~size:2 in
+  (match dev.Accel_device.consume [| Axi_word.Inst Isa.mm_load_a; Axi_word.Data 1.0 |] with
+  | exception Failure _ -> () (* truncated payload *)
+  | _ -> Alcotest.fail "truncated payload accepted");
+  let dev2 = Accel_matmul.create ~version:Accel_matmul.V3 ~size:2 in
+  match dev2.Accel_device.drain 1 with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "drained an empty queue"
+
+let test_conv_device () =
+  let dev = Accel_conv.create () in
+  let ic = 2 and fhw = 2 in
+  let w = [| 1.0; 2.0; 3.0; 4.0; 5.0; 6.0; 7.0; 8.0 |] in
+  let patch = Array.init (ic * fhw * fhw) (fun i -> float_of_int (i + 1)) in
+  let expected = Array.fold_left ( +. ) 0.0 (Array.mapi (fun i v -> v *. patch.(i)) w) in
+  ignore
+    (dev.Accel_device.consume
+       [|
+         Axi_word.Inst Isa.reset;
+         Axi_word.Inst Isa.cv_set_fhw; Axi_word.Inst fhw;
+         Axi_word.Inst Isa.cv_set_ic; Axi_word.Inst ic;
+       |]);
+  ignore (dev.Accel_device.consume (concat [ [| Axi_word.Inst Isa.cv_load_w |]; tile_words w ]));
+  ignore (dev.Accel_device.consume (concat [ [| Axi_word.Inst Isa.cv_patch |]; tile_words patch ]));
+  Alcotest.(check int) "pending until drained" 0 (dev.Accel_device.available ());
+  ignore (dev.Accel_device.consume [| Axi_word.Inst Isa.cv_drain |]);
+  Alcotest.(check int) "released" 1 (dev.Accel_device.available ());
+  let out = dev.Accel_device.drain 1 in
+  Alcotest.(check (float 1e-9)) "inner product" expected out.(0)
+
+let test_conv_device_requires_config () =
+  let dev = Accel_conv.create () in
+  match dev.Accel_device.consume [| Axi_word.Inst Isa.cv_load_w |] with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "unconfigured weight load accepted"
+
+let make_soc_with_v3 () =
+  let soc = Soc.create () in
+  let config = Presets.matmul ~version:Accel_matmul.V3 ~size:2 () in
+  let engine = Accel_config.attach soc config in
+  (soc, engine)
+
+let test_dma_engine_staging () =
+  let soc, engine = make_soc_with_v3 () in
+  Dma_engine.stage engine ~offset:0 (Axi_word.Inst Isa.reset);
+  Alcotest.(check int) "high water" 1 (Dma_engine.staged_high_water engine);
+  Dma_engine.send_staged engine;
+  Alcotest.(check int) "reset after send" 0 (Dma_engine.staged_high_water engine);
+  Alcotest.(check (float 0.0)) "one transaction" 1.0 soc.Soc.counters.Perf_counters.dma_transactions;
+  Alcotest.(check (float 0.0)) "one word" 1.0 soc.Soc.counters.Perf_counters.dma_words_sent;
+  (* empty flush is free *)
+  Dma_engine.send_staged engine;
+  Alcotest.(check (float 0.0)) "no extra transaction" 1.0
+    soc.Soc.counters.Perf_counters.dma_transactions
+
+let test_dma_engine_protocol () =
+  let _soc, engine = make_soc_with_v3 () in
+  (match Dma_engine.wait_send engine with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "wait without start accepted");
+  Dma_engine.stage engine ~offset:0 (Axi_word.Inst Isa.reset);
+  Dma_engine.start_send engine ~offset:0 ~len_words:1;
+  (match Dma_engine.start_send engine ~offset:0 ~len_words:1 with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "double start accepted");
+  Dma_engine.wait_send engine;
+  match Dma_engine.stage engine ~offset:1_000_000 (Axi_word.Inst 0) with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "region overflow accepted"
+
+let test_dma_overlap_timing () =
+  (* the device computes while the host continues; wait_recv stalls the
+     host clock to the device's completion time *)
+  let soc, engine = make_soc_with_v3 () in
+  let a = Array.make 4 1.0 and b = Array.make 4 1.0 in
+  let words =
+    Array.concat
+      [
+        [| Axi_word.Inst Isa.mm_load_a |];
+        Array.map (fun v -> Axi_word.Data v) a;
+        [| Axi_word.Inst Isa.mm_load_b |];
+        Array.map (fun v -> Axi_word.Data v) b;
+        [| Axi_word.Inst Isa.mm_compute; Axi_word.Inst Isa.mm_drain |];
+      ]
+  in
+  Array.iteri (fun i w -> Dma_engine.stage engine ~offset:i w) words;
+  Dma_engine.send_staged engine;
+  let busy = soc.Soc.counters.Perf_counters.accel_busy_cycles in
+  Alcotest.(check bool) "device busy counted" true (busy > 0.0);
+  Dma_engine.start_recv engine ~len_words:4;
+  let data = Dma_engine.wait_recv engine in
+  Alcotest.(check int) "received" 4 (Array.length data);
+  Alcotest.(check (float 0.0)) "words received counted" 4.0
+    soc.Soc.counters.Perf_counters.dma_words_received
+
+let test_soc_event_costs () =
+  let soc = Soc.create () in
+  let c = soc.Soc.counters in
+  Soc.alu soc 5;
+  Alcotest.(check (float 0.0)) "alu cycles" 5.0 c.Perf_counters.cycles;
+  Soc.branch soc 2;
+  Alcotest.(check (float 0.0)) "branches" 2.0 c.Perf_counters.branches;
+  let buf = Sim_memory.alloc soc.Soc.memory ~label:"x" 64 in
+  let v = Soc.cached_read soc buf 0 in
+  Alcotest.(check (float 0.0)) "fresh buffer zero" 0.0 v;
+  Alcotest.(check (float 0.0)) "one access one miss" 1.0 c.Perf_counters.l1_misses;
+  ignore (Soc.cached_read soc buf 1);
+  Alcotest.(check (float 0.0)) "second is hit" 1.0 c.Perf_counters.l1_misses;
+  Alcotest.(check (float 0.0)) "refs = l1 + l2" (Perf_counters.cache_references c)
+    (c.Perf_counters.l1_accesses +. c.Perf_counters.l2_accesses)
+
+let test_soc_reset_run_state () =
+  let soc, engine = make_soc_with_v3 () in
+  ignore engine;
+  Soc.alu soc 5;
+  let buf = Sim_memory.alloc soc.Soc.memory ~label:"y" 8 in
+  Sim_memory.set buf 0 9.0;
+  Soc.reset_run_state soc;
+  Alcotest.(check (float 0.0)) "counters cleared" 0.0 soc.Soc.counters.Perf_counters.cycles;
+  Alcotest.(check (float 0.0)) "memory preserved" 9.0 (Sim_memory.get buf 0)
+
+let tests =
+  [
+    Alcotest.test_case "sim memory" `Quick test_sim_memory;
+    Alcotest.test_case "counter arithmetic" `Quick test_counters_arith;
+    Alcotest.test_case "v3 device computes a tile" `Quick test_matmul_device_v3;
+    Alcotest.test_case "device accumulates and clears" `Quick test_matmul_device_accumulates;
+    Alcotest.test_case "v1 fused instruction" `Quick test_matmul_device_v1_fused;
+    Alcotest.test_case "version gating" `Quick test_matmul_device_version_gating;
+    Alcotest.test_case "v4 flexible tiles" `Quick test_matmul_device_v4_flex;
+    Alcotest.test_case "device protocol errors" `Quick test_matmul_device_protocol_errors;
+    Alcotest.test_case "conv device" `Quick test_conv_device;
+    Alcotest.test_case "conv requires configuration" `Quick test_conv_device_requires_config;
+    Alcotest.test_case "dma staging" `Quick test_dma_engine_staging;
+    Alcotest.test_case "dma protocol errors" `Quick test_dma_engine_protocol;
+    Alcotest.test_case "dma/device overlap" `Quick test_dma_overlap_timing;
+    Alcotest.test_case "soc event costs" `Quick test_soc_event_costs;
+    Alcotest.test_case "soc reset preserves memory" `Quick test_soc_reset_run_state;
+  ]

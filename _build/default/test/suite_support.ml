@@ -1,0 +1,85 @@
+(* Tests for lib/support: Util and Tabulate. *)
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let test_round_up () =
+  check "exact" 16 (Util.round_up 16 ~multiple:8);
+  check "up" 24 (Util.round_up 17 ~multiple:8);
+  check "zero" 0 (Util.round_up 0 ~multiple:8);
+  check "one" 5 (Util.round_up 3 ~multiple:5)
+
+let test_ceil_div () =
+  check "exact" 4 (Util.ceil_div 16 4);
+  check "up" 5 (Util.ceil_div 17 4);
+  check "zero" 0 (Util.ceil_div 0 4)
+
+let test_pow2 () =
+  checkb "1" true (Util.is_pow2 1);
+  checkb "64" true (Util.is_pow2 64);
+  checkb "0" false (Util.is_pow2 0);
+  checkb "neg" false (Util.is_pow2 (-4));
+  checkb "12" false (Util.is_pow2 12);
+  check "log2 1" 0 (Util.log2 1);
+  check "log2 1024" 10 (Util.log2 1024);
+  Alcotest.check_raises "log2 of non-pow2" (Invalid_argument "Util.log2: not a power of two")
+    (fun () -> ignore (Util.log2 12))
+
+let test_divisors () =
+  Alcotest.(check (list int)) "12" [ 1; 2; 3; 4; 6; 12 ] (Util.divisors 12);
+  Alcotest.(check (list int)) "1" [ 1 ] (Util.divisors 1);
+  Alcotest.(check (list int)) "prime" [ 1; 13 ] (Util.divisors 13)
+
+let test_list_helpers () =
+  Alcotest.(check (list int)) "range" [ 0; 1; 2 ] (Util.range 3);
+  check "product" 24 (Util.product [ 2; 3; 4 ]);
+  check "product empty" 1 (Util.product []);
+  Alcotest.(check (option int)) "index hit" (Some 1) (Util.list_index (fun x -> x = 5) [ 3; 5; 7 ]);
+  Alcotest.(check (option int)) "index miss" None (Util.list_index (fun x -> x = 9) [ 3; 5 ]);
+  Alcotest.(check (list int)) "take" [ 1; 2 ] (Util.list_take 2 [ 1; 2; 3 ]);
+  Alcotest.(check (list int)) "take long" [ 1 ] (Util.list_take 5 [ 1 ]);
+  Alcotest.(check (list int)) "drop" [ 3 ] (Util.list_drop 2 [ 1; 2; 3 ]);
+  Alcotest.(check (list int)) "drop all" [] (Util.list_drop 5 [ 1 ])
+
+let test_permutations () =
+  check "3!" 6 (List.length (Util.permutations [ 1; 2; 3 ]));
+  check "unique" 6 (List.length (List.sort_uniq compare (Util.permutations [ 1; 2; 3 ])));
+  Alcotest.(check (list (list int))) "empty" [ [] ] (Util.permutations [])
+
+let test_stats () =
+  Alcotest.(check (float 1e-9)) "mean" 2.0 (Util.mean [ 1.0; 2.0; 3.0 ]);
+  Alcotest.(check (float 1e-9)) "geomean" 2.0 (Util.geomean [ 1.0; 4.0 ]);
+  Alcotest.(check (float 1e-9)) "fmax" 4.0 (Util.fmax_list [ 1.0; 4.0; 2.0 ]);
+  checkb "mean empty is nan" true (Float.is_nan (Util.mean []))
+
+let test_tabulate () =
+  let t = Tabulate.create [ ("name", Tabulate.Left); ("value", Tabulate.Right) ] in
+  Tabulate.add_row t [ "alpha"; "1" ];
+  Tabulate.add_rule t;
+  Tabulate.add_row t [ "b"; "22" ];
+  let rendered = Tabulate.render t in
+  let lines = String.split_on_char '\n' rendered in
+  Alcotest.(check int) "line count" 5 (List.length lines);
+  (* all lines share the same width *)
+  let widths = List.map String.length lines in
+  Alcotest.(check (list int)) "aligned" (List.map (fun _ -> List.hd widths) widths) widths;
+  Alcotest.check_raises "row arity" (Invalid_argument "Tabulate.add_row: row width does not match headers")
+    (fun () -> Tabulate.add_row t [ "only-one" ])
+
+let test_formats () =
+  Alcotest.(check string) "ms" "1.235" (Tabulate.fmt_ms 1.2349);
+  Alcotest.(check string) "x" "1.23x" (Tabulate.fmt_x 1.234);
+  Alcotest.(check string) "pct" "56.0%" (Tabulate.fmt_pct 0.56)
+
+let tests =
+  [
+    Alcotest.test_case "round_up" `Quick test_round_up;
+    Alcotest.test_case "ceil_div" `Quick test_ceil_div;
+    Alcotest.test_case "pow2/log2" `Quick test_pow2;
+    Alcotest.test_case "divisors" `Quick test_divisors;
+    Alcotest.test_case "list helpers" `Quick test_list_helpers;
+    Alcotest.test_case "permutations" `Quick test_permutations;
+    Alcotest.test_case "statistics" `Quick test_stats;
+    Alcotest.test_case "tabulate rendering" `Quick test_tabulate;
+    Alcotest.test_case "number formats" `Quick test_formats;
+  ]

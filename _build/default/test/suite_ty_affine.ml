@@ -1,0 +1,128 @@
+(* Tests for IR types and affine maps. *)
+
+let test_strides () =
+  Alcotest.(check (list int)) "2d" [ 4; 1 ] (Ty.identity_strides [ 3; 4 ]);
+  Alcotest.(check (list int)) "4d" [ 2304; 9; 3; 1 ] (Ty.identity_strides [ 64; 256; 3; 3 ]);
+  Alcotest.(check (list int)) "1d" [ 1 ] (Ty.identity_strides [ 7 ]);
+  Alcotest.(check (list int)) "0d" [] (Ty.identity_strides [])
+
+let test_memref_basics () =
+  let m = Ty.memref_of (Ty.memref [ 4; 8 ] Ty.F32) in
+  Alcotest.(check int) "rank" 2 (Ty.rank m);
+  Alcotest.(check int) "elements" 32 (Ty.num_elements m);
+  Alcotest.(check bool) "identity" true (Ty.is_identity_layout m);
+  Alcotest.(check bool) "contiguous" true (Ty.is_contiguous_innermost m);
+  let strided = Ty.memref_of (Ty.memref ~strides:[ 8; 2 ] [ 4; 4 ] Ty.F32) in
+  Alcotest.(check bool) "non-contiguous" false (Ty.is_contiguous_innermost strided);
+  Alcotest.(check bool) "non-identity" false (Ty.is_identity_layout strided)
+
+let test_subview_type () =
+  let m = Ty.memref_of (Ty.memref [ 60; 80 ] Ty.F32) in
+  let sub = Ty.memref_of (Ty.subview_type m ~offsets:[ 4; 8 ] ~sizes:[ 4; 4 ]) in
+  Alcotest.(check (list int)) "shape" [ 4; 4 ] sub.Ty.shape;
+  Alcotest.(check (list int)) "strides inherited" [ 80; 1 ] sub.Ty.strides;
+  Alcotest.(check int) "offset" (4 * 80 + 8) sub.Ty.offset;
+  Alcotest.check_raises "out of bounds"
+    (Invalid_argument "Ty.subview_type: slice [78, 82) exceeds extent 80") (fun () ->
+      ignore (Ty.subview_type m ~offsets:[ 0; 78 ] ~sizes:[ 4; 4 ]));
+  let dynamic = Ty.memref_of (Ty.dynamic_subview_type m ~sizes:[ 4; 4 ]) in
+  Alcotest.(check int) "dynamic offset" Ty.dynamic_offset dynamic.Ty.offset
+
+let test_type_printing () =
+  Alcotest.(check string) "scalar" "f32" (Ty.to_string Ty.f32);
+  Alcotest.(check string) "memref" "memref<4x4xf32>" (Ty.to_string (Ty.memref [ 4; 4 ] Ty.F32));
+  Alcotest.(check string) "strided" "memref<4x4xf32, strided<[80, 1], offset: 42>>"
+    (Ty.to_string (Ty.memref ~offset:42 ~strides:[ 80; 1 ] [ 4; 4 ] Ty.F32));
+  let m = Ty.memref_of (Ty.memref [ 4; 4 ] Ty.F32) in
+  Alcotest.(check string) "dynamic" "memref<4x4xf32, strided<[4, 1], offset: ?>>"
+    (Ty.to_string (Ty.dynamic_subview_type m ~sizes:[ 4; 4 ]));
+  Alcotest.(check string) "func type" "(index, f32) -> (i32)"
+    (Ty.to_string (Ty.Func ([ Ty.index; Ty.f32 ], [ Ty.i32 ])))
+
+let test_dtype_sizes () =
+  Alcotest.(check int) "f32" 4 (Ty.dtype_size_bytes Ty.F32);
+  Alcotest.(check int) "f64" 8 (Ty.dtype_size_bytes Ty.F64);
+  Alcotest.(check int) "i8" 1 (Ty.dtype_size_bytes Ty.I8);
+  List.iter
+    (fun d ->
+      Alcotest.(check (option string)) "dtype name roundtrip"
+        (Some (Ty.dtype_to_string d))
+        (Option.map Ty.dtype_to_string (Ty.dtype_of_string (Ty.dtype_to_string d))))
+    [ Ty.F32; Ty.F64; Ty.I1; Ty.I8; Ty.I32; Ty.I64; Ty.Index ]
+
+let test_affine_eval () =
+  let open Affine_map in
+  let map = make ~n_dims:3 [ Dim 0; Add (Dim 1, Dim 2); Cst 7; Mul (Dim 0, Cst 2) ] in
+  Alcotest.(check (list int)) "eval" [ 5; 9; 7; 10 ] (eval map [| 5; 4; 5 |]);
+  Alcotest.check_raises "arity" (Invalid_argument "Affine_map.eval: wrong number of dimension values")
+    (fun () -> ignore (eval map [| 1 |]));
+  Alcotest.check_raises "dim range"
+    (Invalid_argument "Affine_map: d3 out of range for 3 dims") (fun () ->
+      ignore (make ~n_dims:3 [ Dim 3 ]))
+
+let test_affine_classification () =
+  let open Affine_map in
+  Alcotest.(check bool) "identity is perm" true (is_permutation (identity 3));
+  Alcotest.(check bool) "projection not perm" false (is_permutation (projection ~n_dims:3 [ 0; 2 ]));
+  Alcotest.(check bool) "projection is proj" true (is_projection (projection ~n_dims:3 [ 0; 2 ]));
+  Alcotest.(check bool) "add not proj" false
+    (is_projection (make ~n_dims:3 [ Add (Dim 0, Dim 1) ]));
+  Alcotest.(check bool) "dup not proj" false (is_projection (make ~n_dims:3 [ Dim 0; Dim 0 ]));
+  Alcotest.(check (list int)) "projected dims" [ 2; 0 ] (projected_dims (projection ~n_dims:3 [ 2; 0 ]));
+  Alcotest.check_raises "not a permutation" (Invalid_argument "Affine_map.permutation: not a permutation")
+    (fun () -> ignore (permutation [ 0; 0; 1 ]))
+
+let test_affine_compose () =
+  let perm = Affine_map.permutation [ 2; 0; 1 ] in
+  Alcotest.(check (list int)) "compose" [ 30; 10; 20 ]
+    (Affine_map.compose_permutation perm [ 10; 20; 30 ])
+
+let test_affine_printing () =
+  let open Affine_map in
+  Alcotest.(check string) "default names" "affine_map<(d0, d1, d2) -> (d0, d2)>"
+    (to_string (projection ~n_dims:3 [ 0; 2 ]));
+  Alcotest.(check string) "custom names" "affine_map<(m, n, k) -> (m, k)>"
+    (to_string ~dim_names:[ "m"; "n"; "k" ] (projection ~n_dims:3 [ 0; 2 ]));
+  Alcotest.(check string) "constants" "affine_map<(d0, d1, d2) -> (4, 4, 4)>"
+    (to_string (constant_results ~n_dims:3 [ 4; 4; 4 ]));
+  Alcotest.(check string) "conv input"
+    "affine_map<(d0, d1, d2, d3, d4, d5, d6) -> (d0, d4, d2 + d5, d3 + d6)>"
+    (to_string
+       (make ~n_dims:7 [ Dim 0; Dim 4; Add (Dim 2, Dim 5); Add (Dim 3, Dim 6) ]))
+
+let prop_identity_strides_row_major =
+  QCheck.Test.make ~name:"identity strides are row-major products" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 4) (1 -- 6))
+    (fun shape ->
+      let strides = Ty.identity_strides shape in
+      (* stride.(i) = product of shape.(i+1 ..) *)
+      let expected =
+        List.mapi
+          (fun i _ -> Util.product (Util.list_drop (i + 1) shape))
+          shape
+      in
+      strides = expected)
+
+let prop_subview_offset =
+  QCheck.Test.make ~name:"subview offset accumulates strides" ~count:200
+    QCheck.(pair (pair (1 -- 8) (1 -- 8)) (pair (0 -- 7) (0 -- 7)))
+    (fun ((rows, cols), (oi, oj)) ->
+      QCheck.assume (oi < rows && oj < cols);
+      let m = Ty.memref_of (Ty.memref [ rows + 8; cols + 8 ] Ty.F32) in
+      let sub = Ty.memref_of (Ty.subview_type m ~offsets:[ oi; oj ] ~sizes:[ rows; cols ]) in
+      sub.Ty.offset = (oi * (cols + 8)) + oj)
+
+let tests =
+  [
+    Alcotest.test_case "identity strides" `Quick test_strides;
+    Alcotest.test_case "memref basics" `Quick test_memref_basics;
+    Alcotest.test_case "subview types" `Quick test_subview_type;
+    Alcotest.test_case "type printing" `Quick test_type_printing;
+    Alcotest.test_case "dtype sizes and names" `Quick test_dtype_sizes;
+    Alcotest.test_case "affine eval" `Quick test_affine_eval;
+    Alcotest.test_case "affine classification" `Quick test_affine_classification;
+    Alcotest.test_case "affine compose" `Quick test_affine_compose;
+    Alcotest.test_case "affine printing" `Quick test_affine_printing;
+    QCheck_alcotest.to_alcotest prop_identity_strides_row_major;
+    QCheck_alcotest.to_alcotest prop_subview_offset;
+  ]

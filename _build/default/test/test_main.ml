@@ -1,0 +1,23 @@
+let () =
+  Dialects.register_all ();
+  Alcotest.run "axi4mlir"
+    [
+      ("support", Suite_support.tests);
+      ("json", Suite_json.tests);
+      ("ty-affine", Suite_ty_affine.tests);
+      ("opcode", Suite_opcode.tests);
+      ("ir", Suite_ir.tests);
+      ("parser", Suite_parser.tests);
+      ("cache", Suite_cache.tests);
+      ("sim", Suite_sim.tests);
+      ("runtime", Suite_runtime.tests);
+      ("config", Suite_config.tests);
+      ("transforms", Suite_transforms.tests);
+      ("interp", Suite_interp.tests);
+      ("e2e", Suite_e2e.tests);
+      ("workloads", Suite_workloads.tests);
+      ("extensions", Suite_extensions.tests);
+      ("integration", Suite_integration.tests);
+      ("multi-accel", Suite_multi_accel.tests);
+      ("negative", Suite_negative.tests);
+    ]
