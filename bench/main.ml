@@ -107,6 +107,23 @@ let run_bechamel () =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  (* --trace DIR consumes its value; extract it before the generic
+     flag/selection split. *)
+  let rec extract_trace = function
+    | [] -> (None, [])
+    | "--trace" :: dir :: rest ->
+      let _, others = extract_trace rest in
+      (Some dir, others)
+    | a :: rest ->
+      let dir, others = extract_trace rest in
+      (dir, a :: others)
+  in
+  let trace, args = extract_trace args in
+  (match trace with
+  | Some dir ->
+    (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+    Report.trace_dir := Some dir
+  | None -> ());
   let bechamel = List.mem "--bechamel" args in
   Report.quick := List.mem "--quick" args;
   let selected =
@@ -131,8 +148,9 @@ let () =
     print_endline "AXI4MLIR reproduction benchmarks (simulated PYNQ-Z2 SoC)";
     if !Report.quick then print_endline "(--quick mode: trimmed sweeps)";
     List.iter
-      (fun (_, descr, f) ->
+      (fun (name, descr, f) ->
         Printf.printf "\n>>> %s\n%!" descr;
+        Report.current_experiment := name;
         let t0 = Unix.gettimeofday () in
         f ();
         Printf.printf "<<< done in %.1fs (host wall clock)\n%!" (Unix.gettimeofday () -. t0))

@@ -3,6 +3,12 @@
 let quick = ref false
 (* --quick trims sweeps for smoke-testing the harness *)
 
+let trace_dir : string option ref = ref None
+(* --trace DIR: write one Chrome trace per experiment into DIR *)
+
+let current_experiment = ref "experiment"
+let traced : (string, unit) Hashtbl.t = Hashtbl.create 8
+
 let header title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 
@@ -12,7 +18,26 @@ let ms (bench : Axi4mlir.t) counters = Axi4mlir.task_clock_ms bench counters
 
 (* Measure a thunk on a fresh run state. The simulator is deterministic,
    so a single run replaces the paper's average of five. *)
-let measure = Axi4mlir.measure
+let measure (bench : Axi4mlir.t) thunk =
+  match !trace_dir with
+  | Some dir when not (Hashtbl.mem traced !current_experiment) ->
+    (* Trace the experiment's first measured run that records any
+       events (pure-CPU baselines record none): a sweep repeats the
+       same code paths, so one representative trace per experiment
+       keeps the output browsable. *)
+    let tracer = Axi4mlir.enable_tracing bench in
+    let counters = Axi4mlir.measure bench thunk in
+    let events = Trace.events tracer in
+    Trace.disable tracer;
+    if events <> [] then begin
+      Hashtbl.add traced !current_experiment ();
+      let path = Filename.concat dir (!current_experiment ^ ".trace.json") in
+      Chrome_trace.write_file
+        ~cpu_freq_mhz:bench.Axi4mlir.host.Host_config.frequency_mhz path events;
+      Printf.printf "  [trace: %s (%d events)]\n" path (List.length events)
+    end;
+    counters
+  | _ -> Axi4mlir.measure bench thunk
 
 let speedup ~baseline ~candidate = baseline /. candidate
 

@@ -11,13 +11,24 @@
 
 open Cmdliner
 
-let run_tool config_path matmul conv flow tiles coalesce double_buffer cpu_only =
+let run_tool config_path matmul conv flow tiles coalesce double_buffer cpu_only
+    trace_out timing =
   Dialects.register_all ();
   let config_path =
     match config_path with Some p -> p | None -> failwith "--config is required"
   in
   let host, accel = Config_parser.parse_file config_path in
   let bench = Axi4mlir.create ~host accel in
+  (* Compile-side events are wall-clock; they get their own tracer so
+     the measured run's reset (which clears the SoC tracer) cannot drop
+     them. *)
+  let compile_tracer = Trace.create () in
+  let stats = ref [] in
+  if trace_out <> None then begin
+    Trace.enable compile_tracer ~clock:(fun () -> Sys.time () *. 1e6);
+    ignore (Axi4mlir.enable_tracing bench)
+  end;
+  let stats = Some stats and tracer = Some compile_tracer in
   let parse_ints text = List.map int_of_string (String.split_on_char ',' text) in
   let options =
     {
@@ -39,11 +50,17 @@ let run_tool config_path matmul conv flow tiles coalesce double_buffer cpu_only 
         in
         let counters =
           if cpu_only then begin
-            let ir = Axi4mlir.compile_cpu (Axi4mlir.build_matmul_module ~m ~n ~k ()) in
+            let ir =
+              Axi4mlir.compile_cpu ?stats ?tracer
+                (Axi4mlir.build_matmul_module ~m ~n ~k ())
+            in
             Axi4mlir.measure bench (fun () -> Axi4mlir.run_matmul bench ir ~a ~b ~c)
           end
           else begin
-            let ir = Axi4mlir.compile_matmul bench ~options ~m ~n ~k () in
+            let ir =
+              Axi4mlir.compile bench ~options ?stats ?tracer
+                (Axi4mlir.build_matmul_module ~m ~n ~k ())
+            in
             Axi4mlir.measure bench (fun () ->
                 Axi4mlir.run_matmul bench ~options ir ~a ~b ~c)
           end
@@ -62,7 +79,8 @@ let run_tool config_path matmul conv flow tiles coalesce double_buffer cpu_only 
         in
         let ir = Axi4mlir.build_conv_module ~n:1 ~ic ~ih:ihw ~iw:ihw ~oc ~fh:fhw ~fw:fhw () in
         let compiled =
-          if cpu_only then Axi4mlir.compile_cpu ir else Axi4mlir.compile bench ~options ir
+          if cpu_only then Axi4mlir.compile_cpu ?stats ?tracer ir
+          else Axi4mlir.compile bench ~options ?stats ?tracer ir
         in
         let counters =
           Axi4mlir.measure bench (fun () ->
@@ -77,6 +95,25 @@ let run_tool config_path matmul conv flow tiles coalesce double_buffer cpu_only 
   Printf.printf "task clock   : %.3f ms\n" (Axi4mlir.task_clock_ms bench counters);
   Printf.printf "counters     : %s\n" (Perf_counters.to_string counters);
   Printf.printf "max |error|  : %g (%s)\n" diff (if diff < 1e-9 then "PASS" else "FAIL");
+  if timing then
+    print_string (Pass.report_stats (match stats with Some r -> !r | None -> []));
+  (match trace_out with
+  | Some path ->
+    let run_events = Trace.events (Axi4mlir.tracer bench) in
+    let events = Trace.events compile_tracer @ run_events in
+    let cpu_freq_mhz = host.Host_config.frequency_mhz in
+    Chrome_trace.write_file ~cpu_freq_mhz path events;
+    Printf.printf "trace        : %d events -> %s (load in ui.perfetto.dev)\n"
+      (List.length events) path;
+    let cost = bench.Axi4mlir.soc.Soc.cost in
+    print_newline ();
+    print_string
+      (Perf_report.render ~cpu_freq_mhz
+         ~bus_words_per_cpu_cycle:cost.Cost_model.bus_words_per_cpu_cycle
+         ~accel_freq_mhz:accel.Accel_config.frequency_mhz
+         ~total:(Perf_counters.fields counters)
+         run_events)
+  | None -> ());
   if diff < 1e-9 then `Ok () else `Error (false, "result mismatch")
 
 let config =
@@ -100,6 +137,15 @@ let tiles =
          ~doc:"Tile override for flexible engines.")
 
 let coalesce = Arg.(value & flag & info [ "coalesce" ] ~doc:"Coalesce DMA transfers.")
+
+let trace_out =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Write a Chrome trace_event JSON of the run (Perfetto-loadable) \
+               and print a perf-report phase breakdown.")
+
+let timing =
+  Arg.(value & flag & info [ "timing" ]
+         ~doc:"Print a per-pass execution timing report (like mlir-opt -mlir-timing).")
 let double_buffer = Arg.(value & flag & info [ "double-buffer" ] ~doc:"Ping-pong sends.")
 let cpu_only = Arg.(value & flag & info [ "cpu" ] ~doc:"CPU-only lowering instead.")
 
@@ -110,6 +156,6 @@ let cmd =
     Term.(
       ret
         (const run_tool $ config $ matmul $ conv $ flow $ tiles $ coalesce $ double_buffer
-       $ cpu_only))
+       $ cpu_only $ trace_out $ timing))
 
 let () = exit (Cmd.eval cmd)

@@ -104,13 +104,16 @@ let validate t =
     Error "DMA buffer sizes must be positive"
   else Ok ()
 
-let make_device t =
+let make_device ?tracer t =
   match t.engine with
-  | Matmul_engine (version, size) -> Accel_matmul.create ~version ~size
-  | Conv_engine -> Accel_conv.create ~ops_per_cycle:t.ops_per_cycle ()
+  | Matmul_engine (version, size) -> Accel_matmul.create ?tracer ~version ~size ()
+  | Conv_engine -> Accel_conv.create ~ops_per_cycle:t.ops_per_cycle ?tracer ()
 
 let attach soc t =
-  Soc.attach_engine soc ~dma_id:t.dma.dma_id ~device:(make_device t)
+  (* Share the SoC's tracer so device-level events (tile computations,
+     patch inner products) land in the same trace as the host spans. *)
+  Soc.attach_engine soc ~dma_id:t.dma.dma_id
+    ~device:(make_device ~tracer:soc.Soc.tracer t)
     ~in_capacity_words:(t.dma.input_buffer_size / 4)
     ~out_capacity_words:(t.dma.output_buffer_size / 4)
 

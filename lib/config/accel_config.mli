@@ -56,7 +56,7 @@ val validate : t -> (unit, string) result
     validity, selected flow exists, init opcodes defined, buffer
     capacities consistent with the engine. *)
 
-val make_device : t -> Accel_device.t
+val make_device : ?tracer:Trace.t -> t -> Accel_device.t
 (** Instantiate the simulator model this config describes. *)
 
 val attach : Soc.t -> t -> Dma_engine.t

@@ -98,12 +98,16 @@ let pipeline_of t options =
     ~coalesce_transfers:options.coalesce_transfers
     ~to_runtime_calls:options.to_runtime_calls ()
 
-let compile t ?(options = default_codegen) m = Pipeline.run (pipeline_of t options) m
+let compile t ?(options = default_codegen) ?stats ?tracer m =
+  Pipeline.run ?stats ?tracer (pipeline_of t options) m
 
 let compile_matmul t ?(options = default_codegen) ~m ~n ~k () =
   compile t ~options (build_matmul_module ~m ~n ~k ())
 
-let compile_cpu m = Pipeline.run_cpu m
+let compile_cpu ?stats ?tracer m = Pipeline.run_cpu ?stats ?tracer m
+
+let enable_tracing t = Soc.enable_tracing t.soc
+let tracer t = t.soc.Soc.tracer
 
 let sole_func_name m =
   match List.filter Func.is_func (Ir.module_body m) with

@@ -82,13 +82,35 @@ type codegen_options = {
 
 val default_codegen : codegen_options
 
-val compile : t -> ?options:codegen_options -> Ir.op -> Ir.op
+val compile :
+  t ->
+  ?options:codegen_options ->
+  ?stats:Pass.pass_stat list ref ->
+  ?tracer:Trace.t ->
+  Ir.op ->
+  Ir.op
 (** Run the AXI4MLIR pipeline on a module. Raises
-    {!Pass.Pass_failure} if a pass breaks verification. *)
+    {!Pass.Pass_failure} if a pass breaks verification. [stats]
+    collects per-pass timing/op-count records; [tracer] receives
+    compile-track events (see {!Pass.run_pipeline}). *)
 
 val compile_matmul : t -> ?options:codegen_options -> m:int -> n:int -> k:int -> unit -> Ir.op
-val compile_cpu : Ir.op -> Ir.op
+
+val compile_cpu :
+  ?stats:Pass.pass_stat list ref -> ?tracer:Trace.t -> Ir.op -> Ir.op
 (** The mlir_CPU lowering (linalg -> loops). *)
+
+(** {1 Observability} *)
+
+val enable_tracing : t -> Trace.t
+(** Switch the SoC's tracer on (it is created disabled) and return it.
+    From then on DMA transfers, runtime-library copies, accelerator
+    busy intervals and interpreter function spans are recorded against
+    the simulated cycle clock. Note {!measure} clears recorded events
+    when it resets the run state. *)
+
+val tracer : t -> Trace.t
+(** The SoC's tracer (enabled or not). *)
 
 (** {1 Execution} *)
 

@@ -301,7 +301,10 @@ and exec_func t (f : Ir.op) args =
       (List.length block.bargs) (List.length args);
   let frame = { env = Hashtbl.create 64 } in
   List.iter2 (bind frame) block.bargs args;
-  List.iter (exec_op t frame) block.body;
+  Trace.with_span t.soc.Soc.tracer ~cat:"interp"
+    ~args:[ ("n_ops", Trace.Int (List.length block.body)) ]
+    ("func " ^ Func.name_of f)
+    (fun () -> List.iter (exec_op t frame) block.body);
   let results =
     match List.rev block.body with
     | last :: _ when last.Ir.name = "func.return" -> List.map (lookup frame) last.operands

@@ -6,19 +6,82 @@ type options = { verify_each : bool; dump_each : bool }
 
 let default_options = { verify_each = true; dump_each = false }
 
-exception Pass_failure of string * string
+type pass_stat = {
+  st_pass : string;
+  st_seconds : float;
+  st_ops_before : int;
+  st_ops_after : int;
+}
 
-let run_pipeline ?(options = default_options) passes root =
+exception Pass_failure of { pass : string; failing_op : string; message : string }
+
+let () =
+  Printexc.register_printer (function
+    | Pass_failure { pass; failing_op; message } ->
+      Some
+        (Printf.sprintf "Pass_failure(pass %s, op %s: %s)" pass failing_op message)
+    | _ -> None)
+
+let count_all = Ir.count_ops (fun _ -> true)
+
+let run_pipeline ?(options = default_options) ?stats ?(tracer = Trace.noop) passes root
+    =
+  let record st =
+    match stats with None -> () | Some acc -> acc := !acc @ [ st ]
+  in
   List.fold_left
     (fun ir pass ->
+      let ops_before = count_all ir in
+      let t0 = Sys.time () in
       let ir = pass.run ir in
+      let seconds = Sys.time () -. t0 in
+      let ops_after = count_all ir in
+      (* Compile-side events live on their own track with real
+         (process-time) microsecond stamps — the simulated clock has not
+         started yet. *)
+      Trace.complete tracer ~cat:"pass" ~track:Trace.compile_track
+        ~args:
+          [ ("ops_before", Trace.Int ops_before); ("ops_after", Trace.Int ops_after) ]
+        ~ts:(t0 *. 1e6) ~dur:(seconds *. 1e6) pass.pass_name;
+      record
+        {
+          st_pass = pass.pass_name;
+          st_seconds = seconds;
+          st_ops_before = ops_before;
+          st_ops_after = ops_after;
+        };
       if options.dump_each then
         Printf.eprintf "// ----- IR after %s -----\n%s\n" pass.pass_name
           (Printer.to_generic ir);
       if options.verify_each then begin
-        match Verifier.verify ir with
+        match Verifier.verify_structured ir with
         | Ok () -> ()
-        | Error msg -> raise (Pass_failure (pass.pass_name, msg))
+        | Error { Verifier.failing_op; reason } ->
+          if not options.dump_each then
+            (* dump_each already printed this module above *)
+            Printf.eprintf "// ----- IR after failing pass %s -----\n%s\n"
+              pass.pass_name (Printer.to_generic ir);
+          raise (Pass_failure { pass = pass.pass_name; failing_op; message = reason })
       end;
       ir)
     root passes
+
+let report_stats stats =
+  let buf = Buffer.create 512 in
+  let total = List.fold_left (fun acc s -> acc +. s.st_seconds) 0.0 stats in
+  let rule = String.make 68 '-' in
+  Buffer.add_string buf ("===" ^ rule ^ "===\n");
+  Buffer.add_string buf "                       Pass execution timing report\n";
+  Buffer.add_string buf ("===" ^ rule ^ "===\n");
+  Buffer.add_string buf (Printf.sprintf "  Total Execution Time: %.4f seconds\n\n" total);
+  Buffer.add_string buf "  ----Wall Time----  ----Ops (before -> after)----  ----Pass----\n";
+  List.iter
+    (fun s ->
+      let pct = if total > 0.0 then 100.0 *. s.st_seconds /. total else 0.0 in
+      Buffer.add_string buf
+        (Printf.sprintf "  %8.4f (%5.1f%%)  %6d -> %-6d %15s  %s\n" s.st_seconds pct
+           s.st_ops_before s.st_ops_after "" s.st_pass))
+    stats;
+  Buffer.add_string buf
+    (Printf.sprintf "  %8.4f (100.0%%)  %31s  Total\n" total "");
+  Buffer.contents buf

@@ -1,20 +1,41 @@
 (** Pass manager: named module-to-module transformations with optional
-    inter-pass verification and IR dumping, mirroring MLIR's
-    [PassManager]. *)
+    inter-pass verification, IR dumping, per-pass timing and trace
+    emission, mirroring MLIR's [PassManager] (and its [-mlir-timing]
+    instrumentation). *)
 
 type t = { pass_name : string; run : Ir.op -> Ir.op }
 
 val make : string -> (Ir.op -> Ir.op) -> t
 
 type options = {
-  verify_each : bool;  (** run {!Verifier.verify} after every pass *)
+  verify_each : bool;  (** run {!Verifier.verify_structured} after every pass *)
   dump_each : bool;  (** print generic IR after every pass to stderr *)
 }
 
 val default_options : options
 (** [verify_each = true], [dump_each = false]. *)
 
-exception Pass_failure of string * string
-(** [(pass name, message)] — raised when post-pass verification fails. *)
+type pass_stat = {
+  st_pass : string;  (** pass name *)
+  st_seconds : float;  (** process time spent in the pass ([Sys.time]) *)
+  st_ops_before : int;  (** op count entering the pass *)
+  st_ops_after : int;  (** op count leaving the pass *)
+}
 
-val run_pipeline : ?options:options -> t list -> Ir.op -> Ir.op
+exception
+  Pass_failure of { pass : string; failing_op : string; message : string }
+(** Raised when post-pass verification fails: the pass that produced the
+    invalid IR, the op the verifier rejected, and the reason. The module
+    as left by the failing pass is dumped to stderr. *)
+
+val run_pipeline :
+  ?options:options -> ?stats:pass_stat list ref -> ?tracer:Trace.t -> t list -> Ir.op -> Ir.op
+(** Fold the module through [passes]. When [stats] is given, one
+    {!pass_stat} is appended per pass (in execution order). When
+    [tracer] is given, each pass emits a complete event on
+    {!Trace.compile_track}, stamped with {e process-time} microseconds
+    (the simulated clock does not exist at compile time). *)
+
+val report_stats : pass_stat list -> string
+(** Render stats like MLIR's [-mlir-timing] report: per-pass wall time,
+    share of the total, and op-count deltas. *)

@@ -1,3 +1,7 @@
+type error = { failing_op : string; reason : string }
+
+let error_to_string e = Printf.sprintf "op %s: %s" e.failing_op e.reason
+
 let registry : (string, Ir.op -> (unit, string) result) Hashtbl.t = Hashtbl.create 64
 
 let register_op_verifier name f = Hashtbl.replace registry name f
@@ -9,9 +13,11 @@ let ( let* ) r f = Result.bind r f
    (MLIR's default region semantics, which all our dialects use). *)
 let check_ssa root =
   let defined : (int, unit) Hashtbl.t = Hashtbl.create 256 in
-  let define (v : Ir.value) =
+  (* [ctx] is the op owning the definition site, so duplicate block-arg
+     and result definitions alike point at a concrete op. *)
+  let define ctx (v : Ir.value) =
     if Hashtbl.mem defined v.vid then
-      Error (Printf.sprintf "value %%v%d defined twice" v.vid)
+      Error { failing_op = ctx; reason = Printf.sprintf "value %%v%d defined twice" v.vid }
     else begin
       Hashtbl.add defined v.vid ();
       Ok ()
@@ -28,21 +34,26 @@ let check_ssa root =
       check_all
         (fun (v : Ir.value) ->
           if Hashtbl.mem defined v.vid then Ok ()
-          else Error (Printf.sprintf "op %s: use of undefined value %%v%d" o.name v.vid))
+          else
+            Error
+              {
+                failing_op = o.name;
+                reason = Printf.sprintf "use of undefined value %%v%d" v.vid;
+              })
         o.operands
     in
     (* Regions see enclosing definitions but results only become visible
        after the op, so verify regions before defining results. *)
-    let* () = check_all check_region o.regions in
-    check_all define o.results
-  and check_region blocks = check_all check_block blocks
-  and check_block (b : Ir.block) =
-    let* () = check_all define b.bargs in
+    let* () = check_all (check_region o.name) o.regions in
+    check_all (define o.name) o.results
+  and check_region ctx blocks = check_all (check_block ctx) blocks
+  and check_block ctx (b : Ir.block) =
+    let* () = check_all (define ctx) b.bargs in
     check_all check_op b.body
   in
   check_op root
 
-let verify root =
+let verify_structured root =
   let* () = check_ssa root in
   let failure = ref None in
   (try
@@ -54,11 +65,13 @@ let verify root =
            match f o with
            | Ok () -> ()
            | Error msg ->
-             failure := Some (Printf.sprintf "op %s: %s" o.name msg);
+             failure := Some { failing_op = o.name; reason = msg };
              raise Exit))
        root
    with Exit -> ());
-  match !failure with None -> Ok () | Some msg -> Error msg
+  match !failure with None -> Ok () | Some e -> Error e
+
+let verify root = Result.map_error error_to_string (verify_structured root)
 
 let verify_exn root =
   match verify root with Ok () -> () | Error msg -> failwith ("IR verification failed: " ^ msg)

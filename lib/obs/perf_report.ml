@@ -1,0 +1,197 @@
+type span = {
+  sp_name : string;
+  sp_cat : string;
+  sp_t0 : float;
+  sp_t1 : float;
+  sp_deltas : (string * float) list;
+  sp_children : span list;
+}
+
+let deltas_of_args args =
+  List.filter_map
+    (fun (k, v) ->
+      match v with
+      | Trace.Num f when String.length k > 2 && String.sub k 0 2 = "d_" ->
+        Some (String.sub k 2 (String.length k - 2), f)
+      | _ -> None)
+    args
+
+(* Rebuild the span forest from the B/E event stream. The host is
+   single-threaded so spans are strictly nested and one stack
+   suffices: each stack cell accumulates the children seen so far
+   (newest first). *)
+let spans_of_events events =
+  let stack : (string * float * span list ref) list ref = ref [] in
+  let roots : span list ref = ref [] in
+  let emit sp =
+    match !stack with
+    | [] -> roots := sp :: !roots
+    | (_, _, children) :: _ -> children := sp :: !children
+  in
+  List.iter
+    (fun (e : Trace.event) ->
+      if e.ev_track = Trace.host_track then
+        match e.ev_kind with
+        | Trace.Begin -> stack := (e.ev_name, e.ev_ts, ref []) :: !stack
+        | Trace.End -> (
+          match !stack with
+          | [] -> ()
+          | (name, t0, children) :: rest ->
+            stack := rest;
+            emit
+              {
+                sp_name = name;
+                sp_cat = e.ev_cat;
+                sp_t0 = t0;
+                sp_t1 = e.ev_ts;
+                sp_deltas = deltas_of_args e.ev_args;
+                sp_children = List.rev !children;
+              })
+        | Trace.Instant | Trace.Complete _ -> ())
+    events;
+  List.rev !roots
+
+type phase = {
+  ph_name : string;
+  ph_totals : (string * float) list;
+  ph_count : int;
+}
+
+let field kvs key = match List.assoc_opt key kvs with Some v -> v | None -> 0.0
+
+let phase_field ph key = field ph.ph_totals key
+
+let sub_fields a b = List.map (fun (k, va) -> (k, va -. field b k)) a
+
+let add_into tbl cat fields0 deltas =
+  let totals, count =
+    match Hashtbl.find_opt tbl cat with
+    | Some (t, c) -> (t, c)
+    | None -> (List.map (fun (k, _) -> (k, 0.0)) fields0, 0)
+  in
+  Hashtbl.replace tbl cat
+    (List.map (fun (k, v) -> (k, v +. field deltas k)) totals, count + 1)
+
+let phase_breakdown ~total events =
+  let spans = spans_of_events events in
+  let tbl : (string, (string * float) list * int) Hashtbl.t = Hashtbl.create 8 in
+  (* Exclusive accounting: charge each span its deltas minus the sum of
+     its children's, then recurse. *)
+  let rec charge sp =
+    let children_sum =
+      List.fold_left
+        (fun acc child -> List.map (fun (k, v) -> (k, v +. field child.sp_deltas k)) acc)
+        (List.map (fun (k, _) -> (k, 0.0)) total)
+        sp.sp_children
+    in
+    let self = sub_fields sp.sp_deltas children_sum in
+    add_into tbl sp.sp_cat total self;
+    List.iter charge sp.sp_children
+  in
+  List.iter charge spans;
+  (* Residual: aggregate totals minus everything covered by top-level
+     spans. This is host time outside any instrumented region. *)
+  let covered =
+    List.fold_left
+      (fun acc sp -> List.map (fun (k, v) -> (k, v +. field sp.sp_deltas k)) acc)
+      (List.map (fun (k, _) -> (k, 0.0)) total)
+      spans
+  in
+  add_into tbl "host" total (sub_fields total covered);
+  let phases =
+    Hashtbl.fold
+      (fun name (totals, count) acc ->
+        { ph_name = name; ph_totals = totals; ph_count = count } :: acc)
+      tbl []
+  in
+  List.sort
+    (fun a b -> compare (phase_field b "cycles") (phase_field a "cycles"))
+    phases
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let fmt_count v =
+  if Float.abs v >= 1e6 then Printf.sprintf "%.3fM" (v /. 1e6)
+  else if Float.abs v >= 1e3 then Printf.sprintf "%.1fk" (v /. 1e3)
+  else Printf.sprintf "%.0f" v
+
+let render ?cpu_freq_mhz ?bus_words_per_cpu_cycle ?accel_freq_mhz ~total events =
+  let phases = phase_breakdown ~total events in
+  let total_cycles = field total "cycles" in
+  let table =
+    Tabulate.create
+      [
+        ("phase", Tabulate.Left);
+        ("spans", Tabulate.Right);
+        ("cycles", Tabulate.Right);
+        ("%", Tabulate.Right);
+        ("instrs", Tabulate.Right);
+        ("dma words", Tabulate.Right);
+        ("L2 misses", Tabulate.Right);
+      ]
+  in
+  List.iter
+    (fun ph ->
+      let cycles = phase_field ph "cycles" in
+      let words = phase_field ph "dma_words_sent" +. phase_field ph "dma_words_received" in
+      Tabulate.add_row table
+        [
+          ph.ph_name;
+          string_of_int ph.ph_count;
+          fmt_count cycles;
+          (if total_cycles > 0.0 then Printf.sprintf "%5.1f" (100.0 *. cycles /. total_cycles)
+           else "  0.0");
+          fmt_count (phase_field ph "instructions");
+          fmt_count words;
+          fmt_count (phase_field ph "l2_misses");
+        ])
+    phases;
+  Tabulate.add_rule table;
+  Tabulate.add_row table
+    [
+      "total";
+      "";
+      fmt_count total_cycles;
+      "100.0";
+      fmt_count (field total "instructions");
+      fmt_count (field total "dma_words_sent" +. field total "dma_words_received");
+      fmt_count (field total "l2_misses");
+    ];
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "Phase breakdown (simulated host cycles, exclusive):\n";
+  Buffer.add_string buf (Tabulate.render table);
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "";
+  (match cpu_freq_mhz with
+  | Some mhz when mhz > 0.0 ->
+    line "task clock            : %.3f ms" (total_cycles /. (mhz *. 1000.0))
+  | _ -> ());
+  let flops = field total "flops" in
+  if total_cycles > 0.0 then
+    line "host FLOPs/cycle      : %.3f (%.0f flops)" (flops /. total_cycles) flops;
+  let words = field total "dma_words_sent" +. field total "dma_words_received" in
+  if words > 0.0 then
+    line "arithmetic intensity  : %.3f flops/byte over the AXI stream"
+      (flops /. (4.0 *. words));
+  (match bus_words_per_cpu_cycle with
+  | Some bus when bus > 0.0 && words > 0.0 ->
+    let transfer_cycles =
+      List.fold_left
+        (fun acc ph ->
+          if ph.ph_name = "dma_send" || ph.ph_name = "dma_recv" then
+            acc +. phase_field ph "cycles"
+          else acc)
+        0.0 phases
+    in
+    if transfer_cycles > 0.0 then
+      line "DMA bandwidth         : %.1f%% of the AXI-S peak during transfer phases"
+        (100.0 *. (words /. transfer_cycles) /. bus)
+  | _ -> ());
+  (match (accel_freq_mhz, cpu_freq_mhz) with
+  | Some accel_mhz, Some cpu_mhz when accel_mhz > 0.0 && total_cycles > 0.0 ->
+    let busy_cpu = field total "accel_busy_cycles" *. (cpu_mhz /. accel_mhz) in
+    line "accelerator occupancy : %.1f%% of the run" (100.0 *. busy_cpu /. total_cycles)
+  | _ -> ());
+  Buffer.contents buf

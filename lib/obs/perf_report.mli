@@ -1,0 +1,55 @@
+(** [perf report]-style phase breakdowns derived from a trace.
+
+    Host-track spans are rebuilt into a tree; each span's counter
+    deltas (the [d_*] args attached by {!Trace.end_span}) are split into
+    {e exclusive} (self) amounts — a parent is charged only for what its
+    own body accumulated outside every child span. Self amounts are then
+    rolled up by span {e category}, which is how the instrumentation
+    names phases ([copy_to_accel], [dma_send], [accel_wait], ...). Time
+    not covered by any span lands in a synthetic [host] phase, so the
+    per-phase cycle totals always sum (up to float rounding) to the
+    aggregate counter value passed as [total]. *)
+
+type span = {
+  sp_name : string;
+  sp_cat : string;
+  sp_t0 : float;
+  sp_t1 : float;
+  sp_deltas : (string * float) list;  (** inclusive counter deltas *)
+  sp_children : span list;
+}
+
+val spans_of_events : Trace.event list -> span list
+(** Top-level host-track spans, in order. Unclosed spans are dropped. *)
+
+type phase = {
+  ph_name : string;  (** span category, or ["host"] for uncovered time *)
+  ph_totals : (string * float) list;  (** exclusive counter totals *)
+  ph_count : int;  (** number of spans contributing *)
+}
+
+val phase_breakdown : total:(string * float) list -> Trace.event list -> phase list
+(** [total] is the aggregate counter state over the whole run
+    ({!Perf_counters.fields} of the final counters, assuming they were
+    reset when recording started); it defines the field universe and
+    the [host] residual. Phases are sorted by descending cycles. *)
+
+val phase_field : phase -> string -> float
+(** A field total, 0 if absent. *)
+
+(** {1 Rendering} *)
+
+val render :
+  ?cpu_freq_mhz:float ->
+  ?bus_words_per_cpu_cycle:float ->
+  ?accel_freq_mhz:float ->
+  total:(string * float) list ->
+  Trace.event list ->
+  string
+(** The textual report: a phase table (cycles, %, instructions, DMA
+    words, cache misses per phase) followed by derived whole-run
+    metrics — task-clock, achieved FLOPs/cycle, arithmetic intensity
+    (FLOPs per DMA byte), DMA bandwidth utilisation during transfer
+    phases (requires [bus_words_per_cpu_cycle]) and accelerator
+    occupancy (requires [accel_freq_mhz] together with
+    [cpu_freq_mhz]). *)

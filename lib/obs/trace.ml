@@ -1,0 +1,136 @@
+type arg = Str of string | Num of float | Int of int | Bool of bool
+
+type kind = Begin | End | Instant | Complete of float
+
+type event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_kind : kind;
+  ev_ts : float;
+  ev_track : int;
+  ev_args : (string * arg) list;
+}
+
+let host_track = 0
+let accel_track = 1
+let dma_track = 2
+let compile_track = 10
+
+(* An open span: what begin_span captured, waiting for its end. *)
+type open_span = {
+  os_name : string;
+  os_cat : string;
+  os_snapshot : (string * float) list;
+}
+
+type recording = {
+  clock : unit -> float;
+  snapshot : unit -> (string * float) list;
+  mutable events : event list;  (* newest first *)
+  mutable stack : open_span list;
+}
+
+type sink = Disabled | Recording of recording
+
+type t = { mutable sink : sink }
+
+let create () = { sink = Disabled }
+
+let noop = create ()
+
+let enable ?(clock = fun () -> 0.0) ?(snapshot = fun () -> []) t =
+  t.sink <- Recording { clock; snapshot; events = []; stack = [] }
+
+let disable t = t.sink <- Disabled
+
+let enabled t = match t.sink with Disabled -> false | Recording _ -> true
+
+let clear t =
+  match t.sink with
+  | Disabled -> ()
+  | Recording r ->
+    r.events <- [];
+    r.stack <- []
+
+let push r ev = r.events <- ev :: r.events
+
+let begin_span t ?(cat = "host") ?(args = []) name =
+  match t.sink with
+  | Disabled -> ()
+  | Recording r ->
+    push r
+      {
+        ev_name = name;
+        ev_cat = cat;
+        ev_kind = Begin;
+        ev_ts = r.clock ();
+        ev_track = host_track;
+        ev_args = args;
+      };
+    r.stack <- { os_name = name; os_cat = cat; os_snapshot = r.snapshot () } :: r.stack
+
+let end_span ?(args = []) t =
+  match t.sink with
+  | Disabled -> ()
+  | Recording r -> (
+    match r.stack with
+    | [] -> ()
+    | open_span :: rest ->
+      r.stack <- rest;
+      let ts = r.clock () in
+      let now = r.snapshot () in
+      let deltas =
+        List.map2
+          (fun (key, v1) (_, v0) -> ("d_" ^ key, Num (v1 -. v0)))
+          now open_span.os_snapshot
+      in
+      push r
+        {
+          ev_name = open_span.os_name;
+          ev_cat = open_span.os_cat;
+          ev_kind = End;
+          ev_ts = ts;
+          ev_track = host_track;
+          ev_args = args @ deltas;
+        })
+
+let with_span t ?cat ?args name f =
+  match t.sink with
+  | Disabled -> f ()
+  | Recording _ ->
+    begin_span t ?cat ?args name;
+    Fun.protect ~finally:(fun () -> end_span t) f
+
+let instant t ?(cat = "host") ?(track = host_track) ?(args = []) name =
+  match t.sink with
+  | Disabled -> ()
+  | Recording r ->
+    push r
+      {
+        ev_name = name;
+        ev_cat = cat;
+        ev_kind = Instant;
+        ev_ts = r.clock ();
+        ev_track = track;
+        ev_args = args;
+      }
+
+let complete t ?(cat = "host") ?(track = host_track) ?(args = []) ~ts ~dur name =
+  match t.sink with
+  | Disabled -> ()
+  | Recording r ->
+    push r
+      {
+        ev_name = name;
+        ev_cat = cat;
+        ev_kind = Complete dur;
+        ev_ts = ts;
+        ev_track = track;
+        ev_args = args;
+      }
+
+let events t =
+  match t.sink with Disabled -> [] | Recording r -> List.rev r.events
+
+let open_spans t =
+  match t.sink with Disabled -> 0 | Recording r -> List.length r.stack

@@ -1,0 +1,117 @@
+(** Structured tracing over simulated time.
+
+    A tracer records nestable {e spans} (begin/end pairs), {e instant}
+    events and pre-timed {e complete} events, each stamped with a
+    timestamp read from a caller-supplied clock — in this project the
+    clock is the simulated SoC's cycle counter, so traces measure the
+    same quantity as the paper's [perf] task-clock, not host wall time.
+
+    Span boundaries additionally capture a counter {e snapshot} (a
+    [(name, value) list], in practice {!Perf_counters.fields}); the end
+    event of every span carries the per-counter delta accumulated while
+    the span was open, prefixed with ["d_"] (e.g. [d_cycles],
+    [d_dma_words_sent]). {!Perf_report} turns these deltas into an
+    exclusive per-phase breakdown; {!Chrome_trace} serialises events for
+    Perfetto / chrome://tracing.
+
+    A tracer is created {e disabled}: every record operation is a cheap
+    no-op (one match on an immediate) and, critically, nothing here ever
+    touches the performance counters, so enabling or disabling tracing
+    cannot change simulated results. Instrumented modules hold the
+    tracer object permanently and the sink is flipped on with
+    {!enable}. *)
+
+type arg = Str of string | Num of float | Int of int | Bool of bool
+(** Event argument values (Chrome trace [args] payload). *)
+
+type kind =
+  | Begin  (** span opening ([ph:"B"]) *)
+  | End  (** span closing ([ph:"E"]), carries the counter deltas *)
+  | Instant  (** point event ([ph:"i"]) *)
+  | Complete of float  (** pre-timed interval with a duration ([ph:"X"]) *)
+
+type event = {
+  ev_name : string;
+  ev_cat : string;  (** category = phase bucket for {!Perf_report} *)
+  ev_kind : kind;
+  ev_ts : float;
+      (** simulated host cycles, except on {!compile_track} where the
+          unit is microseconds of host process time *)
+  ev_track : int;
+  ev_args : (string * arg) list;
+}
+
+(** {1 Tracks}
+
+    Events land on named tracks (Chrome [tid]s). Host-side spans — the
+    only ones {!Perf_report} accounts — live on {!host_track}. *)
+
+val host_track : int
+val accel_track : int
+val dma_track : int
+
+val compile_track : int
+(** Compile-time (pass pipeline) events; timestamps are host-process
+    microseconds, rendered under a separate Chrome pid. *)
+
+type t
+
+val create : unit -> t
+(** A fresh, disabled tracer. *)
+
+val noop : t
+(** A shared always-disabled tracer, for defaulted optional arguments.
+    Never {!enable} it. *)
+
+val enable :
+  ?clock:(unit -> float) -> ?snapshot:(unit -> (string * float) list) -> t -> unit
+(** Install a recording sink. [clock] supplies timestamps (default:
+    constant 0) and [snapshot] the counter fields captured at span
+    boundaries (default: none). Discards any previously recorded
+    events. *)
+
+val disable : t -> unit
+(** Back to the no-op sink; recorded events are dropped. *)
+
+val enabled : t -> bool
+
+val clear : t -> unit
+(** Drop recorded events and any open spans, keeping the sink. Called
+    between measured runs (the clock restarts from 0 when the counters
+    reset, so stale events would break timestamp monotonicity). *)
+
+(** {1 Recording} *)
+
+val begin_span : t -> ?cat:string -> ?args:(string * arg) list -> string -> unit
+val end_span : ?args:(string * arg) list -> t -> unit
+(** Close the innermost open span. Extra [args] are appended to the end
+    event alongside the computed [d_*] counter deltas. Ignored when no
+    span is open. *)
+
+val with_span : t -> ?cat:string -> ?args:(string * arg) list -> string -> (unit -> 'a) -> 'a
+(** [with_span t name f] runs [f] inside a span; the span is closed even
+    if [f] raises. When disabled this is exactly [f ()]. *)
+
+val instant :
+  t -> ?cat:string -> ?track:int -> ?args:(string * arg) list -> string -> unit
+
+val complete :
+  t ->
+  ?cat:string ->
+  ?track:int ->
+  ?args:(string * arg) list ->
+  ts:float ->
+  dur:float ->
+  string ->
+  unit
+(** Record an interval whose extent is known up front (e.g. an
+    accelerator busy window computed by the DMA engine, or a pass
+    timing). Does not consult the clock. *)
+
+val events : t -> event list
+(** Recorded events in recording order (timestamps are non-decreasing
+    per track as long as the clock is monotonic). Empty when disabled. *)
+
+val open_spans : t -> int
+(** Number of currently open (unbalanced) spans — 0 after a well-nested
+    run. *)

@@ -14,9 +14,23 @@ type t = {
    irrelevant for small problems (Fig. 10's crossover). *)
 let init_cycles = 400_000.0
 
+let strategy_to_string = function
+  | Generic -> "generic"
+  | Specialized -> "specialized"
+  | Bare -> "bare"
+
 let init ?(double_buffer = false) soc ~dma_id ~strategy =
   let engine = Soc.engine soc dma_id in
+  Trace.begin_span soc.Soc.tracer ~cat:"init"
+    ~args:
+      [
+        ("dma_id", Trace.Int dma_id);
+        ("strategy", Trace.Str (strategy_to_string strategy));
+        ("double_buffer", Trace.Bool double_buffer);
+      ]
+    "dma_init";
   soc.Soc.counters.cycles <- soc.Soc.counters.cycles +. init_cycles;
+  Trace.end_span soc.Soc.tracer;
   { soc; engine; strategy; double_buffer }
 
 let free t = t.soc.Soc.counters.cycles <- t.soc.Soc.counters.cycles +. 500.0
@@ -117,12 +131,20 @@ let can_specialize view =
   match List.rev view.Memref_view.strides with last :: _ -> last = 1 | [] -> true
 
 let copy_to_dma_region_with t strategy view ~offset =
-  match strategy with
-  | Generic -> generic_copy_out t view ~offset
-  | Bare -> bare_copy_out t view ~offset
-  | Specialized ->
-    if can_specialize view then specialized_copy_out t view ~offset
-    else generic_copy_out t view ~offset
+  Trace.with_span t.soc.Soc.tracer ~cat:"copy_to_accel"
+    ~args:
+      [
+        ("words", Trace.Int (Memref_view.num_elements view));
+        ("strategy", Trace.Str (strategy_to_string strategy));
+      ]
+    "copy_to_dma_region"
+    (fun () ->
+      match strategy with
+      | Generic -> generic_copy_out t view ~offset
+      | Bare -> bare_copy_out t view ~offset
+      | Specialized ->
+        if can_specialize view then specialized_copy_out t view ~offset
+        else generic_copy_out t view ~offset)
 
 let copy_to_dma_region t view ~offset = copy_to_dma_region_with t t.strategy view ~offset
 
@@ -186,12 +208,21 @@ let specialized_copy_in t view ~accumulate data =
       run_pos := (!run_pos + 1) mod run)
 
 let copy_from_data_with t strategy view ~accumulate data =
-  match strategy with
-  | Generic -> generic_copy_in t view ~accumulate data
-  | Bare -> bare_copy_in t view ~accumulate data
-  | Specialized ->
-    if can_specialize view then specialized_copy_in t view ~accumulate data
-    else generic_copy_in t view ~accumulate data
+  Trace.with_span t.soc.Soc.tracer ~cat:"copy_from_accel"
+    ~args:
+      [
+        ("words", Trace.Int (Memref_view.num_elements view));
+        ("strategy", Trace.Str (strategy_to_string strategy));
+        ("accumulate", Trace.Bool accumulate);
+      ]
+    "copy_from_data"
+    (fun () ->
+      match strategy with
+      | Generic -> generic_copy_in t view ~accumulate data
+      | Bare -> bare_copy_in t view ~accumulate data
+      | Specialized ->
+        if can_specialize view then specialized_copy_in t view ~accumulate data
+        else generic_copy_in t view ~accumulate data)
 
 let manual_strategy view =
   if can_specialize view && Memref_view.contiguous_run view >= 4 then Specialized else Bare

@@ -38,6 +38,8 @@ type strategy =
 
 type t
 
+val strategy_to_string : strategy -> string
+
 val init : ?double_buffer:bool -> Soc.t -> dma_id:int -> strategy:strategy -> t
 (** Look up the DMA engine registered under [dma_id] and charge the
     one-time initialisation cost. With [double_buffer], flushes use the

@@ -27,7 +27,7 @@ let check_config st =
       (Printf.sprintf "conv accelerator: slice iC=%d fHW=%d exceeds capacity %d" st.ic
          st.fhw buffer_capacity_elems)
 
-let create ?(ops_per_cycle = default_ops_per_cycle) () =
+let create ?(ops_per_cycle = default_ops_per_cycle) ?(tracer = Trace.noop) () =
   let st =
     {
       fhw = 0;
@@ -67,7 +67,16 @@ let create ?(ops_per_cycle = default_ops_per_cycle) () =
           acc := !acc +. (st.w.(i) *. st.patch.(i))
         done;
         Queue.push !acc st.pending;
-        cycles := !cycles +. (2.0 *. float_of_int n /. ops_per_cycle)
+        let c = 2.0 *. float_of_int n /. ops_per_cycle in
+        Trace.instant tracer ~cat:"accel" ~track:Trace.accel_track
+          ~args:
+            [
+              ("ic", Trace.Int st.ic);
+              ("fhw", Trace.Int st.fhw);
+              ("accel_cycles", Trace.Num c);
+            ]
+          "cv_patch";
+        cycles := !cycles +. c
       end
       else if code = Isa.cv_drain then
         Queue.transfer st.pending st.out

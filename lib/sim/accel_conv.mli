@@ -17,4 +17,6 @@ val buffer_capacity_elems : int
 (** Weight/patch buffer capacity (8192 f32 elements: enough for every
     ResNet18 layer, e.g. iC=512 with a 3x3 filter needs 4608). *)
 
-val create : ?ops_per_cycle:float -> unit -> Accel_device.t
+val create : ?ops_per_cycle:float -> ?tracer:Trace.t -> unit -> Accel_device.t
+(** [tracer] (default {!Trace.noop}) receives an instant event on
+    {!Trace.accel_track} per streamed patch (inner product). *)

@@ -65,6 +65,17 @@ let reset st =
   Array.fill st.c 0 (Array.length st.c) 0.0;
   Queue.clear st.out
 
+let note_compute tracer st cycles =
+  Trace.instant tracer ~cat:"accel" ~track:Trace.accel_track
+    ~args:
+      [
+        ("tm", Trace.Int st.tm);
+        ("tn", Trace.Int st.tn);
+        ("tk", Trace.Int st.tk);
+        ("accel_cycles", Trace.Num cycles);
+      ]
+    "mm_compute"
+
 (* One tile MAC pass: C += A x B. Returns accelerator cycles. *)
 let compute st =
   for m = 0 to st.tm - 1 do
@@ -84,7 +95,7 @@ let drain_c st =
   done;
   clear_c st
 
-let create ~version ~size =
+let create ?(tracer = Trace.noop) ~version ~size () =
   let capacity = buffer_capacity_elems version ~size in
   let st =
     {
@@ -102,6 +113,11 @@ let create ~version ~size =
   in
   let consume words =
     let cycles = ref 0.0 in
+    let run_compute () =
+      let c = compute st in
+      note_compute tracer st c;
+      cycles := !cycles +. c
+    in
     let pos = ref 0 in
     let next () =
       if !pos >= Array.length words then
@@ -137,7 +153,7 @@ let create ~version ~size =
       else if code = Isa.mm_fused && version = V1 then begin
         read_payload st.a (st.tm * st.tk);
         read_payload st.b (st.tk * st.tn);
-        cycles := !cycles +. compute st;
+        run_compute ();
         drain_c st
       end
       else if code = Isa.mm_load_a && version <> V1 then
@@ -146,15 +162,15 @@ let create ~version ~size =
         read_payload st.b (st.tk * st.tn)
       else if code = Isa.mm_load_b_compute_drain && version = V2 then begin
         read_payload st.b (st.tk * st.tn);
-        cycles := !cycles +. compute st;
+        run_compute ();
         drain_c st
       end
       else if code = Isa.mm_compute_drain && version = V2 then begin
-        cycles := !cycles +. compute st;
+        run_compute ();
         drain_c st
       end
       else if code = Isa.mm_compute && (version = V3 || version = V4) then
-        cycles := !cycles +. compute st
+        run_compute ()
       else if code = Isa.mm_drain && (version = V3 || version = V4) then drain_c st
       else fail_op st code
     done;

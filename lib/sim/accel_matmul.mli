@@ -31,6 +31,8 @@ val buffer_capacity_elems : version -> size:int -> int
     versions hold exactly one [size x size] tile; V4 has 4096 elements
     per operand (enough for, e.g., a 32 x 64 tile). *)
 
-val create : version:version -> size:int -> Accel_device.t
+val create : ?tracer:Trace.t -> version:version -> size:int -> unit -> Accel_device.t
 (** Build a device. [size] is the supported tile edge (the divisibility
-    granularity for V4). *)
+    granularity for V4). [tracer] (default {!Trace.noop}) receives an
+    instant event on {!Trace.accel_track} per tile computation, carrying
+    the tile dims and accelerator cycles. *)

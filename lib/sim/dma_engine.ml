@@ -1,6 +1,7 @@
 type t = {
   cost : Cost_model.t;
   counters : Perf_counters.t;
+  tracer : Trace.t;
   dev : Accel_device.t;
   in_region : Axi_word.t array;
   out_capacity : int;
@@ -11,10 +12,12 @@ type t = {
   mutable send_done_at : float;  (* completion time of an async send *)
 }
 
-let create ~cost ~counters ~device ~in_capacity_words ~out_capacity_words =
+let create ~cost ~counters ?tracer ~device ~in_capacity_words ~out_capacity_words () =
+  let tracer = match tracer with Some t -> t | None -> Trace.noop in
   {
     cost;
     counters;
+    tracer;
     dev = device;
     in_region = Array.make in_capacity_words (Axi_word.Inst 0);
     out_capacity = out_capacity_words;
@@ -38,13 +41,26 @@ let stage t ~offset word =
 
 let staged_high_water t = t.high_water
 
+(* Record the device's busy window on the accelerator track: it starts
+   when the stream has arrived (or when the device frees up) and runs
+   concurrently with the host from then on. *)
+let note_accel_busy t ~accel_cycles ~start ~until =
+  if accel_cycles > 0.0 then
+    Trace.complete t.tracer ~cat:"accel_busy" ~track:Trace.accel_track
+      ~args:[ ("accel_cycles", Trace.Num accel_cycles) ]
+      ~ts:start ~dur:(until -. start) t.dev.Accel_device.device_name
+
 let start_send t ~offset ~len_words =
   if t.pending_send <> None then failwith "DMA engine: send already in flight";
   if offset < 0 || offset + len_words > Array.length t.in_region then
     failwith "DMA engine: send range exceeds input region";
+  Trace.begin_span t.tracer ~cat:"dma_send"
+    ~args:[ ("len_words", Trace.Int len_words) ]
+    "program_send";
   t.counters.cycles <- t.counters.cycles +. t.cost.dma_program_cycles;
   t.counters.instructions <- t.counters.instructions +. 20.0;
   t.counters.dma_transactions <- t.counters.dma_transactions +. 1.0;
+  Trace.end_span t.tracer;
   t.pending_send <- Some (offset, len_words)
 
 let wait_send t =
@@ -52,6 +68,9 @@ let wait_send t =
   | None -> failwith "DMA engine: wait_send without a pending send"
   | Some (offset, len) ->
     t.pending_send <- None;
+    Trace.begin_span t.tracer ~cat:"dma_send"
+      ~args:[ ("len_words", Trace.Int len) ]
+      "wait_send";
     let transfer = float_of_int len *. Cost_model.cpu_cycles_per_word t.cost in
     t.counters.cycles <- t.counters.cycles +. transfer +. t.cost.dma_wait_cycles;
     t.counters.dma_words_sent <- t.counters.dma_words_sent +. float_of_int len;
@@ -61,7 +80,9 @@ let wait_send t =
     (* The device starts processing when the stream arrives and runs
        concurrently with the host from then on. *)
     let start = Float.max t.counters.cycles t.ready_at in
-    t.ready_at <- start +. Cost_model.accel_to_cpu_cycles t.cost accel_cycles
+    t.ready_at <- start +. Cost_model.accel_to_cpu_cycles t.cost accel_cycles;
+    note_accel_busy t ~accel_cycles ~start ~until:t.ready_at;
+    Trace.end_span t.tracer
 
 let send_staged t =
   let len = t.high_water in
@@ -77,6 +98,9 @@ let sync_sends t =
 let send_staged_async t =
   let len = t.high_water in
   if len > 0 then begin
+    Trace.begin_span t.tracer ~cat:"dma_send"
+      ~args:[ ("len_words", Trace.Int len); ("async", Trace.Bool true) ]
+      "send_async";
     (* only two buffer halves: wait out any transfer still in flight *)
     sync_sends t;
     t.counters.cycles <- t.counters.cycles +. t.cost.dma_program_cycles;
@@ -90,16 +114,22 @@ let send_staged_async t =
     t.counters.accel_busy_cycles <- t.counters.accel_busy_cycles +. accel_cycles;
     (* the device starts once the stream has fully arrived *)
     let start = Float.max t.send_done_at t.ready_at in
-    t.ready_at <- start +. Cost_model.accel_to_cpu_cycles t.cost accel_cycles
+    t.ready_at <- start +. Cost_model.accel_to_cpu_cycles t.cost accel_cycles;
+    note_accel_busy t ~accel_cycles ~start ~until:t.ready_at;
+    Trace.end_span t.tracer
   end;
   t.high_water <- 0
 
 let start_recv t ~len_words =
   if t.pending_recv <> None then failwith "DMA engine: recv already in flight";
   if len_words > t.out_capacity then failwith "DMA engine: recv exceeds output region";
+  Trace.begin_span t.tracer ~cat:"dma_recv"
+    ~args:[ ("len_words", Trace.Int len_words) ]
+    "program_recv";
   t.counters.cycles <- t.counters.cycles +. t.cost.dma_program_cycles;
   t.counters.instructions <- t.counters.instructions +. 20.0;
   t.counters.dma_transactions <- t.counters.dma_transactions +. 1.0;
+  Trace.end_span t.tracer;
   t.pending_recv <- Some len_words
 
 let wait_recv t =
@@ -107,14 +137,23 @@ let wait_recv t =
   | None -> failwith "DMA engine: wait_recv without a pending recv"
   | Some len ->
     t.pending_recv <- None;
+    Trace.begin_span t.tracer ~cat:"dma_recv"
+      ~args:[ ("len_words", Trace.Int len) ]
+      "wait_recv";
     (* Receives observe completed sends. *)
     sync_sends t;
-    (* Stall until the device has finished computing its queued work. *)
+    (* Stall until the device has finished computing its queued work;
+       this is the host's visible wait for the accelerator, so it gets
+       its own phase. *)
+    Trace.begin_span t.tracer ~cat:"accel_wait" "accel_stall";
     if t.ready_at > t.counters.cycles then t.counters.cycles <- t.ready_at;
+    Trace.end_span t.tracer;
     let transfer = float_of_int len *. Cost_model.cpu_cycles_per_word t.cost in
     t.counters.cycles <- t.counters.cycles +. transfer +. t.cost.dma_wait_cycles;
     t.counters.dma_words_received <- t.counters.dma_words_received +. float_of_int len;
-    t.dev.Accel_device.drain len
+    let data = t.dev.Accel_device.drain len in
+    Trace.end_span t.tracer;
+    data
 
 let reset_device t =
   t.dev.Accel_device.reset_device ();

@@ -18,10 +18,16 @@ type t
 val create :
   cost:Cost_model.t ->
   counters:Perf_counters.t ->
+  ?tracer:Trace.t ->
   device:Accel_device.t ->
   in_capacity_words:int ->
   out_capacity_words:int ->
+  unit ->
   t
+(** [tracer] (default {!Trace.noop}) receives [dma_send]/[dma_recv]
+    spans for every transaction, an [accel_wait] span for host stalls on
+    device completion, and accelerator busy intervals on
+    {!Trace.accel_track}. *)
 
 val device : t -> Accel_device.t
 val in_capacity_words : t -> int

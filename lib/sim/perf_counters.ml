@@ -29,75 +29,82 @@ let create () =
     flops = 0.0;
   }
 
-let reset c =
-  c.cycles <- 0.0;
-  c.instructions <- 0.0;
-  c.branches <- 0.0;
-  c.l1_accesses <- 0.0;
-  c.l1_misses <- 0.0;
-  c.l2_accesses <- 0.0;
-  c.l2_misses <- 0.0;
-  c.dma_transactions <- 0.0;
-  c.dma_words_sent <- 0.0;
-  c.dma_words_received <- 0.0;
-  c.accel_busy_cycles <- 0.0;
-  c.flops <- 0.0
+(* The canonical field list: getters and setters, in declaration order.
+   [fields], [of_fields], [to_json], [map2] and [accumulate] all derive
+   from this pair, so adding a counter only requires extending these two
+   tables (and the record). *)
+let getters : (string * (t -> float)) list =
+  [
+    ("cycles", fun c -> c.cycles);
+    ("instructions", fun c -> c.instructions);
+    ("branches", fun c -> c.branches);
+    ("l1_accesses", fun c -> c.l1_accesses);
+    ("l1_misses", fun c -> c.l1_misses);
+    ("l2_accesses", fun c -> c.l2_accesses);
+    ("l2_misses", fun c -> c.l2_misses);
+    ("dma_transactions", fun c -> c.dma_transactions);
+    ("dma_words_sent", fun c -> c.dma_words_sent);
+    ("dma_words_received", fun c -> c.dma_words_received);
+    ("accel_busy_cycles", fun c -> c.accel_busy_cycles);
+    ("flops", fun c -> c.flops);
+  ]
+
+let setters : (string * (t -> float -> unit)) list =
+  [
+    ("cycles", fun c v -> c.cycles <- v);
+    ("instructions", fun c v -> c.instructions <- v);
+    ("branches", fun c v -> c.branches <- v);
+    ("l1_accesses", fun c v -> c.l1_accesses <- v);
+    ("l1_misses", fun c v -> c.l1_misses <- v);
+    ("l2_accesses", fun c v -> c.l2_accesses <- v);
+    ("l2_misses", fun c v -> c.l2_misses <- v);
+    ("dma_transactions", fun c v -> c.dma_transactions <- v);
+    ("dma_words_sent", fun c v -> c.dma_words_sent <- v);
+    ("dma_words_received", fun c v -> c.dma_words_received <- v);
+    ("accel_busy_cycles", fun c v -> c.accel_busy_cycles <- v);
+    ("flops", fun c v -> c.flops <- v);
+  ]
+
+let field_names = List.map fst getters
+
+let fields c = List.map (fun (name, get) -> (name, get c)) getters
+
+let of_fields kvs =
+  let c = create () in
+  List.iter
+    (fun (name, v) ->
+      match List.assoc_opt name setters with
+      | Some set -> set c v
+      | None -> invalid_arg (Printf.sprintf "Perf_counters.of_fields: unknown field %s" name))
+    kvs;
+  c
+
+let reset c = List.iter (fun (_, set) -> set c 0.0) setters
 
 let copy c = { c with cycles = c.cycles }
+
+let to_json c = Json.Obj (List.map (fun (name, v) -> (name, Json.Float v)) (fields c))
+
+let of_json json =
+  of_fields (List.map (fun (name, v) -> (name, Json.to_float v)) (Json.to_obj json))
 
 let cache_references c = c.l1_accesses +. c.l2_accesses
 
 let task_clock_ms c ~cpu_freq_mhz = c.cycles /. (cpu_freq_mhz *. 1000.0)
 
-let add a b =
-  {
-    cycles = a.cycles +. b.cycles;
-    instructions = a.instructions +. b.instructions;
-    branches = a.branches +. b.branches;
-    l1_accesses = a.l1_accesses +. b.l1_accesses;
-    l1_misses = a.l1_misses +. b.l1_misses;
-    l2_accesses = a.l2_accesses +. b.l2_accesses;
-    l2_misses = a.l2_misses +. b.l2_misses;
-    dma_transactions = a.dma_transactions +. b.dma_transactions;
-    dma_words_sent = a.dma_words_sent +. b.dma_words_sent;
-    dma_words_received = a.dma_words_received +. b.dma_words_received;
-    accel_busy_cycles = a.accel_busy_cycles +. b.accel_busy_cycles;
-    flops = a.flops +. b.flops;
-  }
-
 let map2 f a b =
-  {
-    cycles = f a.cycles b.cycles;
-    instructions = f a.instructions b.instructions;
-    branches = f a.branches b.branches;
-    l1_accesses = f a.l1_accesses b.l1_accesses;
-    l1_misses = f a.l1_misses b.l1_misses;
-    l2_accesses = f a.l2_accesses b.l2_accesses;
-    l2_misses = f a.l2_misses b.l2_misses;
-    dma_transactions = f a.dma_transactions b.dma_transactions;
-    dma_words_sent = f a.dma_words_sent b.dma_words_sent;
-    dma_words_received = f a.dma_words_received b.dma_words_received;
-    accel_busy_cycles = f a.accel_busy_cycles b.accel_busy_cycles;
-    flops = f a.flops b.flops;
-  }
+  of_fields (List.map (fun (name, get) -> (name, f (get a) (get b))) getters)
+
+let add a b = map2 ( +. ) a b
 
 let diff a b = map2 ( -. ) a b
 
 let scale a factor = map2 (fun x _ -> x *. factor) a a
 
 let accumulate target delta =
-  target.cycles <- target.cycles +. delta.cycles;
-  target.instructions <- target.instructions +. delta.instructions;
-  target.branches <- target.branches +. delta.branches;
-  target.l1_accesses <- target.l1_accesses +. delta.l1_accesses;
-  target.l1_misses <- target.l1_misses +. delta.l1_misses;
-  target.l2_accesses <- target.l2_accesses +. delta.l2_accesses;
-  target.l2_misses <- target.l2_misses +. delta.l2_misses;
-  target.dma_transactions <- target.dma_transactions +. delta.dma_transactions;
-  target.dma_words_sent <- target.dma_words_sent +. delta.dma_words_sent;
-  target.dma_words_received <- target.dma_words_received +. delta.dma_words_received;
-  target.accel_busy_cycles <- target.accel_busy_cycles +. delta.accel_busy_cycles;
-  target.flops <- target.flops +. delta.flops
+  List.iter2
+    (fun (_, get) (_, set) -> set target (get target +. get delta))
+    getters setters
 
 let to_string c =
   Printf.sprintf

@@ -35,6 +35,28 @@ val create : unit -> t
 val reset : t -> unit
 val copy : t -> t
 
+val field_names : string list
+(** Counter names in declaration order — the canonical field list that
+    {!fields}, {!of_fields}, {!to_json} and the field-wise combinators
+    are all derived from, so a newly added counter cannot silently be
+    missing from any of them. *)
+
+val fields : t -> (string * float) list
+(** [(name, value)] pairs in {!field_names} order. This is what trace
+    span snapshots record ({!Trace.enable}'s [snapshot]). *)
+
+val of_fields : (string * float) list -> t
+(** Inverse of {!fields}; absent fields default to 0. Raises
+    [Invalid_argument] on an unknown field name. *)
+
+val to_json : t -> Json.t
+(** An object with one number per counter (used by the trace
+    exporters). [of_json (to_json c)] equals [c]. *)
+
+val of_json : Json.t -> t
+(** Raises {!Json.Type_error} / [Invalid_argument] on malformed
+    input. *)
+
 val cache_references : t -> float
 (** [l1_accesses + l2_accesses]. *)
 

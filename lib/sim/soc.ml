@@ -3,23 +3,32 @@ type t = {
   cache : Cache.t;
   counters : Perf_counters.t;
   cost : Cost_model.t;
+  tracer : Trace.t;
   mutable engines : (int * Dma_engine.t) list;
 }
 
 let create ?(cost = Cost_model.default)
-    ?(cache_geometries = [ Cache.cortex_a9_l1; Cache.cortex_a9_l2 ]) () =
+    ?(cache_geometries = [ Cache.cortex_a9_l1; Cache.cortex_a9_l2 ])
+    ?(tracer = Trace.create ()) () =
   {
     memory = Sim_memory.create ();
     cache = Cache.create cache_geometries;
     counters = Perf_counters.create ();
     cost;
+    tracer;
     engines = [];
   }
 
+let enable_tracing t =
+  Trace.enable t.tracer
+    ~clock:(fun () -> t.counters.Perf_counters.cycles)
+    ~snapshot:(fun () -> Perf_counters.fields t.counters);
+  t.tracer
+
 let attach_engine t ~dma_id ~device ~in_capacity_words ~out_capacity_words =
   let engine =
-    Dma_engine.create ~cost:t.cost ~counters:t.counters ~device ~in_capacity_words
-      ~out_capacity_words
+    Dma_engine.create ~cost:t.cost ~counters:t.counters ~tracer:t.tracer ~device
+      ~in_capacity_words ~out_capacity_words ()
   in
   t.engines <- (dma_id, engine) :: List.remove_assoc dma_id t.engines;
   engine
@@ -32,6 +41,9 @@ let engine t dma_id =
 let reset_run_state t =
   Perf_counters.reset t.counters;
   Cache.flush t.cache;
+  (* The trace clock restarts from 0 with the counters; events recorded
+     before the reset would break timestamp monotonicity. *)
+  Trace.clear t.tracer;
   List.iter (fun (_, e) -> Dma_engine.reset_device e) t.engines
 
 (* Charge one cache access at the given byte address. *)

@@ -11,11 +11,25 @@ type t = {
   cache : Cache.t;
   counters : Perf_counters.t;
   cost : Cost_model.t;
+  tracer : Trace.t;  (** disabled unless {!enable_tracing} was called *)
   mutable engines : (int * Dma_engine.t) list;
 }
 
-val create : ?cost:Cost_model.t -> ?cache_geometries:Cache.geometry list -> unit -> t
-(** Defaults: {!Cost_model.default} and the Cortex-A9 L1+L2 geometry. *)
+val create :
+  ?cost:Cost_model.t ->
+  ?cache_geometries:Cache.geometry list ->
+  ?tracer:Trace.t ->
+  unit ->
+  t
+(** Defaults: {!Cost_model.default}, the Cortex-A9 L1+L2 geometry, and a
+    fresh disabled tracer. *)
+
+val enable_tracing : t -> Trace.t
+(** Switch the SoC's tracer to a recording sink whose clock is the
+    simulated cycle counter and whose span snapshots are
+    {!Perf_counters.fields}, then return it. Instrumentation in the DMA
+    engines, runtime library and interpreter starts recording
+    immediately; counters are never affected either way. *)
 
 val attach_engine :
   t ->
@@ -31,8 +45,8 @@ val engine : t -> int -> Dma_engine.t
 (** Raises [Failure] for an unknown id. *)
 
 val reset_run_state : t -> unit
-(** Reset counters, caches and device state between measured runs
-    (memory contents are preserved). *)
+(** Reset counters, caches, recorded trace events and device state
+    between measured runs (memory contents are preserved). *)
 
 (** {1 Host event costing} *)
 

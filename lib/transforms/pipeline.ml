@@ -19,12 +19,12 @@ let passes t =
   @ (if t.copy_specialization && t.to_runtime_calls then [ Copy_specialization.pass ] else [])
   @ [ Canonicalize.pass ]
 
-let run ?pass_options t m =
+let run ?pass_options ?stats ?tracer t m =
   Dialects.register_all ();
-  Pass.run_pipeline ?options:pass_options (passes t) m
+  Pass.run_pipeline ?options:pass_options ?stats ?tracer (passes t) m
 
 let cpu_passes = [ Lower_linalg_to_loops.pass ]
 
-let run_cpu ?pass_options m =
+let run_cpu ?pass_options ?stats ?tracer m =
   Dialects.register_all ();
-  Pass.run_pipeline ?options:pass_options cpu_passes m
+  Pass.run_pipeline ?options:pass_options ?stats ?tracer cpu_passes m

@@ -29,10 +29,23 @@ val make :
 
 val passes : t -> Pass.t list
 
-val run : ?pass_options:Pass.options -> t -> Ir.op -> Ir.op
-(** Run on a module. Registers all dialect verifiers first. *)
+val run :
+  ?pass_options:Pass.options ->
+  ?stats:Pass.pass_stat list ref ->
+  ?tracer:Trace.t ->
+  t ->
+  Ir.op ->
+  Ir.op
+(** Run on a module. Registers all dialect verifiers first. [stats] and
+    [tracer] are forwarded to {!Pass.run_pipeline} for per-pass timing
+    and compile-track trace events. *)
 
 val cpu_passes : Pass.t list
 (** The CPU-only reference pipeline: [linalg.generic] -> loops. *)
 
-val run_cpu : ?pass_options:Pass.options -> Ir.op -> Ir.op
+val run_cpu :
+  ?pass_options:Pass.options ->
+  ?stats:Pass.pass_stat list ref ->
+  ?tracer:Trace.t ->
+  Ir.op ->
+  Ir.op

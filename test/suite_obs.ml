@@ -1,0 +1,261 @@
+(* Tests for the observability subsystem: the tracer itself, the
+   Perf_counters field/JSON reflection, the Chrome exporter, the
+   perf-report phase accounting, and the no-observable-effect guarantee
+   when tracing is disabled. *)
+
+(* A small offloaded matmul that exercises every instrumented layer
+   (pass pipeline, DMA library, DMA engine, device, interpreter). *)
+let traced_matmul_run () =
+  let accel = Presets.matmul ~version:Accel_matmul.V3 ~size:4 ~flow:"Cs" () in
+  let bench = Axi4mlir.create accel in
+  let a, b, c = Axi4mlir.alloc_matmul_operands bench ~m:8 ~n:8 ~k:8 in
+  let ir = Axi4mlir.compile_matmul bench ~m:8 ~n:8 ~k:8 () in
+  let tracer = Axi4mlir.enable_tracing bench in
+  let counters =
+    Axi4mlir.measure bench (fun () -> Axi4mlir.run_matmul bench ir ~a ~b ~c)
+  in
+  (bench, tracer, counters)
+
+(* ------------------------------------------------------------------ *)
+(* Perf_counters reflection                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_counter_fields_roundtrip () =
+  let a = Perf_counters.create () in
+  a.Perf_counters.cycles <- 123.0;
+  a.Perf_counters.dma_words_sent <- 17.0;
+  a.Perf_counters.l2_misses <- 3.0;
+  let kvs = Perf_counters.fields a in
+  Alcotest.(check int) "one entry per field" (List.length Perf_counters.field_names)
+    (List.length kvs);
+  Alcotest.(check (float 0.0)) "fields reads cycles" 123.0 (List.assoc "cycles" kvs);
+  let b = Perf_counters.of_fields kvs in
+  Alcotest.(check string) "of_fields round-trips" (Perf_counters.to_string a)
+    (Perf_counters.to_string b);
+  let c = Perf_counters.of_json (Perf_counters.to_json a) in
+  Alcotest.(check string) "JSON round-trips" (Perf_counters.to_string a)
+    (Perf_counters.to_string c);
+  Alcotest.check_raises "unknown field rejected"
+    (Invalid_argument "Perf_counters.of_fields: unknown field bogus") (fun () ->
+      ignore (Perf_counters.of_fields [ ("bogus", 1.0) ]))
+
+let test_counter_arith_via_fields () =
+  let a = Perf_counters.create () and b = Perf_counters.create () in
+  a.Perf_counters.cycles <- 100.0;
+  a.Perf_counters.flops <- 8.0;
+  b.Perf_counters.cycles <- 40.0;
+  b.Perf_counters.branches <- 5.0;
+  let d = Perf_counters.diff a b in
+  Alcotest.(check (float 0.0)) "diff cycles" 60.0 d.Perf_counters.cycles;
+  Alcotest.(check (float 0.0)) "diff branches" (-5.0) d.Perf_counters.branches;
+  let s = Perf_counters.scale a 0.5 in
+  Alcotest.(check (float 0.0)) "scale flops" 4.0 s.Perf_counters.flops;
+  let sum = Perf_counters.add a b in
+  Alcotest.(check (float 0.0)) "add cycles" 140.0 sum.Perf_counters.cycles;
+  Perf_counters.accumulate b a;
+  Alcotest.(check (float 0.0)) "accumulate cycles" 140.0 b.Perf_counters.cycles;
+  (* every field participates: diff of identical counters is all-zero *)
+  let z = Perf_counters.diff a (Perf_counters.copy a) in
+  List.iter
+    (fun (name, v) -> Alcotest.(check (float 0.0)) ("zero " ^ name) 0.0 v)
+    (Perf_counters.fields z)
+
+(* ------------------------------------------------------------------ *)
+(* Tracer core                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_disabled_tracer_is_inert () =
+  let t = Trace.create () in
+  Alcotest.(check bool) "starts disabled" false (Trace.enabled t);
+  Trace.begin_span t "x";
+  Trace.instant t "y";
+  Trace.end_span t;
+  Alcotest.(check int) "no events" 0 (List.length (Trace.events t));
+  Alcotest.(check int) "no open spans" 0 (Trace.open_spans t);
+  Alcotest.(check int) "with_span passes value through" 41
+    (Trace.with_span t "z" (fun () -> 41))
+
+let test_span_deltas () =
+  let clock = ref 0.0 and counter = ref 0.0 in
+  let t = Trace.create () in
+  Trace.enable t
+    ~clock:(fun () -> !clock)
+    ~snapshot:(fun () -> [ ("c", !counter) ]);
+  Trace.begin_span t ~cat:"outer" "o";
+  clock := 10.0;
+  counter := 4.0;
+  Trace.with_span t ~cat:"inner" "i" (fun () ->
+      clock := 25.0;
+      counter := 7.0);
+  Trace.end_span t;
+  match Trace.events t with
+  | [ ob; ib; ie; oe ] ->
+    Alcotest.(check bool) "begin kinds" true
+      (ob.Trace.ev_kind = Trace.Begin && ib.Trace.ev_kind = Trace.Begin);
+    Alcotest.(check (float 0.0)) "inner delta" 3.0
+      (match List.assoc "d_c" ie.Trace.ev_args with
+      | Trace.Num v -> v
+      | _ -> nan);
+    Alcotest.(check (float 0.0)) "outer delta spans both" 7.0
+      (match List.assoc "d_c" oe.Trace.ev_args with
+      | Trace.Num v -> v
+      | _ -> nan);
+    Alcotest.(check (float 0.0)) "end timestamp" 25.0 oe.Trace.ev_ts
+  | evs -> Alcotest.failf "expected 4 events, got %d" (List.length evs)
+
+let test_traced_run_well_formed () =
+  let _bench, tracer, _counters = traced_matmul_run () in
+  let events = Trace.events tracer in
+  Alcotest.(check bool) "events recorded" true (events <> []);
+  Alcotest.(check int) "all spans closed" 0 (Trace.open_spans tracer);
+  let host =
+    List.filter (fun e -> e.Trace.ev_track = Trace.host_track) events
+  in
+  let begins =
+    List.length (List.filter (fun e -> e.Trace.ev_kind = Trace.Begin) host)
+  in
+  let ends = List.length (List.filter (fun e -> e.Trace.ev_kind = Trace.End) host) in
+  Alcotest.(check int) "balanced begin/end" begins ends;
+  (* the host track rides the simulated cycle counter: non-decreasing *)
+  ignore
+    (List.fold_left
+       (fun prev e ->
+         Alcotest.(check bool)
+           (Printf.sprintf "monotonic at %s (%g >= %g)" e.Trace.ev_name e.Trace.ev_ts
+              prev)
+           true
+           (e.Trace.ev_ts >= prev);
+         e.Trace.ev_ts)
+       0.0 host)
+
+let test_measure_clears_trace () =
+  let bench, tracer, _counters = traced_matmul_run () in
+  let before = List.length (Trace.events tracer) in
+  Alcotest.(check bool) "first run recorded" true (before > 0);
+  let _ = Axi4mlir.measure bench (fun () -> ()) in
+  Alcotest.(check int) "reset drops stale events" 0 (List.length (Trace.events tracer))
+
+(* ------------------------------------------------------------------ *)
+(* Exporters                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_chrome_export_valid_json () =
+  let _bench, tracer, _counters = traced_matmul_run () in
+  let doc = Json.of_string (Chrome_trace.to_string ~cpu_freq_mhz:650.0 (Trace.events tracer)) in
+  let records = Json.to_list (Json.member "traceEvents" doc) in
+  Alcotest.(check bool) "has records beyond metadata" true (List.length records > 6);
+  List.iter
+    (fun r ->
+      let ph = Json.to_str (Json.member "ph" r) in
+      Alcotest.(check bool) ("known phase " ^ ph) true
+        (List.mem ph [ "B"; "E"; "i"; "X"; "M" ]))
+    records
+
+let test_phase_sum_matches_aggregate () =
+  let _bench, tracer, counters = traced_matmul_run () in
+  let total = Perf_counters.fields counters in
+  let phases = Perf_report.phase_breakdown ~total (Trace.events tracer) in
+  let cycle_sum =
+    List.fold_left (fun acc ph -> acc +. Perf_report.phase_field ph "cycles") 0.0 phases
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "phase cycles %.3f sum to aggregate %.3f" cycle_sum
+       counters.Perf_counters.cycles)
+    true
+    (Float.abs (cycle_sum -. counters.Perf_counters.cycles)
+    <= 1e-6 *. Float.max 1.0 counters.Perf_counters.cycles);
+  (* the breakdown names the phases the instrumentation emits *)
+  let names = List.map (fun p -> p.Perf_report.ph_name) phases in
+  List.iter
+    (fun expected ->
+      Alcotest.(check bool) ("has phase " ^ expected) true (List.mem expected names))
+    [ "init"; "dma_send"; "dma_recv"; "copy_to_accel"; "host" ]
+
+let test_render_report () =
+  let _bench, tracer, counters = traced_matmul_run () in
+  let report =
+    Perf_report.render ~cpu_freq_mhz:650.0 ~bus_words_per_cpu_cycle:0.25
+      ~accel_freq_mhz:100.0
+      ~total:(Perf_counters.fields counters)
+      (Trace.events tracer)
+  in
+  List.iter
+    (fun needle ->
+      let found =
+        let nl = String.length needle and rl = String.length report in
+        let rec scan i = i + nl <= rl && (String.sub report i nl = needle || scan (i + 1)) in
+        scan 0
+      in
+      Alcotest.(check bool) ("report mentions " ^ needle) true found)
+    [ "dma_send"; "task clock"; "occupancy"; "DMA bandwidth" ]
+
+(* ------------------------------------------------------------------ *)
+(* Pass stats                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_pass_stats () =
+  let accel = Presets.matmul ~version:Accel_matmul.V3 ~size:4 ~flow:"Cs" () in
+  let bench = Axi4mlir.create accel in
+  let stats = ref [] in
+  let tracer = Trace.create () in
+  Trace.enable tracer ~clock:(fun () -> 0.0);
+  let _ir =
+    Axi4mlir.compile bench ~stats ~tracer (Axi4mlir.build_matmul_module ~m:8 ~n:8 ~k:8 ())
+  in
+  Alcotest.(check bool) "one stat per pass" true (List.length !stats >= 4);
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) (s.Pass.st_pass ^ " counts ops") true
+        (s.Pass.st_ops_before > 0 && s.Pass.st_ops_after > 0);
+      Alcotest.(check bool) (s.Pass.st_pass ^ " non-negative time") true
+        (s.Pass.st_seconds >= 0.0))
+    !stats;
+  let compile_events = Trace.events tracer in
+  Alcotest.(check int) "one compile-track event per pass" (List.length !stats)
+    (List.length
+       (List.filter (fun e -> e.Trace.ev_track = Trace.compile_track) compile_events));
+  let report = Pass.report_stats !stats in
+  Alcotest.(check bool) "report names a pass" true
+    (List.exists
+       (fun s ->
+         let needle = s.Pass.st_pass in
+         let nl = String.length needle and rl = String.length report in
+         let rec scan i = i + nl <= rl && (String.sub report i nl = needle || scan (i + 1)) in
+         scan 0)
+       !stats)
+
+(* ------------------------------------------------------------------ *)
+(* Zero-cost when disabled                                             *)
+(* ------------------------------------------------------------------ *)
+
+let run_once ~traced () =
+  let accel = Presets.matmul ~version:Accel_matmul.V3 ~size:4 ~flow:"Cs" () in
+  let bench = Axi4mlir.create accel in
+  let a, b, c = Axi4mlir.alloc_matmul_operands bench ~m:8 ~n:12 ~k:16 in
+  let ir = Axi4mlir.compile_matmul bench ~m:8 ~n:12 ~k:16 () in
+  if traced then ignore (Axi4mlir.enable_tracing bench);
+  Axi4mlir.measure bench (fun () -> Axi4mlir.run_matmul bench ir ~a ~b ~c)
+
+let test_tracing_does_not_perturb_counters () =
+  let off = run_once ~traced:false () in
+  let on = run_once ~traced:true () in
+  List.iter2
+    (fun (name, v_off) (_, v_on) ->
+      Alcotest.(check (float 0.0)) ("identical " ^ name) v_off v_on)
+    (Perf_counters.fields off) (Perf_counters.fields on)
+
+let tests =
+  [
+    Alcotest.test_case "counter fields/JSON round-trip" `Quick test_counter_fields_roundtrip;
+    Alcotest.test_case "counter arithmetic via fields" `Quick test_counter_arith_via_fields;
+    Alcotest.test_case "disabled tracer is inert" `Quick test_disabled_tracer_is_inert;
+    Alcotest.test_case "span deltas" `Quick test_span_deltas;
+    Alcotest.test_case "traced run is well-formed" `Quick test_traced_run_well_formed;
+    Alcotest.test_case "measure clears stale events" `Quick test_measure_clears_trace;
+    Alcotest.test_case "chrome export is valid JSON" `Quick test_chrome_export_valid_json;
+    Alcotest.test_case "phase cycles sum to aggregate" `Quick test_phase_sum_matches_aggregate;
+    Alcotest.test_case "perf report renders" `Quick test_render_report;
+    Alcotest.test_case "pass stats and compile events" `Quick test_pass_stats;
+    Alcotest.test_case "tracing does not perturb counters" `Quick
+      test_tracing_does_not_perturb_counters;
+  ]

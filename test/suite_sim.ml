@@ -36,7 +36,7 @@ let tile_words data = Array.map (fun v -> Axi_word.Data v) data
 let concat = Array.concat
 
 let test_matmul_device_v3 () =
-  let dev = Accel_matmul.create ~version:Accel_matmul.V3 ~size:2 in
+  let dev = Accel_matmul.create ~version:Accel_matmul.V3 ~size:2 () in
   let a = [| 1.0; 2.0; 3.0; 4.0 |] in
   let b = [| 5.0; 6.0; 7.0; 8.0 |] in
   let expected = Gold.matmul ~m:2 ~n:2 ~k:2 a b in
@@ -57,7 +57,7 @@ let test_matmul_device_v3 () =
   Alcotest.(check (float 1e-9)) "result" 0.0 (Gold.max_abs_diff expected out)
 
 let test_matmul_device_accumulates () =
-  let dev = Accel_matmul.create ~version:Accel_matmul.V3 ~size:2 in
+  let dev = Accel_matmul.create ~version:Accel_matmul.V3 ~size:2 () in
   let a = [| 1.0; 0.0; 0.0; 1.0 |] in
   (* identity *)
   let b = [| 1.0; 2.0; 3.0; 4.0 |] in
@@ -78,7 +78,7 @@ let test_matmul_device_accumulates () =
   Alcotest.(check (float 1e-9)) "cleared after drain" 0.0 (Gold.max_abs_diff b out2)
 
 let test_matmul_device_v1_fused () =
-  let dev = Accel_matmul.create ~version:Accel_matmul.V1 ~size:2 in
+  let dev = Accel_matmul.create ~version:Accel_matmul.V1 ~size:2 () in
   let a = [| 1.0; 2.0; 3.0; 4.0 |] and b = [| 1.0; 0.0; 0.0; 1.0 |] in
   ignore
     (dev.Accel_device.consume
@@ -87,19 +87,19 @@ let test_matmul_device_v1_fused () =
   Alcotest.(check (float 1e-9)) "fused result" 0.0 (Gold.max_abs_diff a out)
 
 let test_matmul_device_version_gating () =
-  let dev = Accel_matmul.create ~version:Accel_matmul.V1 ~size:2 in
+  let dev = Accel_matmul.create ~version:Accel_matmul.V1 ~size:2 () in
   (match dev.Accel_device.consume [| Axi_word.Inst Isa.mm_load_a |] with
   | exception Failure msg ->
     Alcotest.(check bool) "names the op" true
       (String.length msg > 0)
   | _ -> Alcotest.fail "v1 accepted a split load");
-  let v3 = Accel_matmul.create ~version:Accel_matmul.V3 ~size:2 in
+  let v3 = Accel_matmul.create ~version:Accel_matmul.V3 ~size:2 () in
   (match v3.Accel_device.consume [| Axi_word.Inst Isa.mm_set_tm; Axi_word.Inst 4 |] with
   | exception Failure _ -> ()
   | _ -> Alcotest.fail "v3 accepted tile configuration")
 
 let test_matmul_device_v4_flex () =
-  let dev = Accel_matmul.create ~version:Accel_matmul.V4 ~size:2 in
+  let dev = Accel_matmul.create ~version:Accel_matmul.V4 ~size:2 () in
   let m, n, k = (4, 2, 6) in
   let a = Array.init (m * k) float_of_int in
   let b = Array.init (k * n) (fun i -> float_of_int (i mod 5)) in
@@ -125,11 +125,11 @@ let test_matmul_device_v4_flex () =
   | _ -> Alcotest.fail "odd tile accepted"
 
 let test_matmul_device_protocol_errors () =
-  let dev = Accel_matmul.create ~version:Accel_matmul.V3 ~size:2 in
+  let dev = Accel_matmul.create ~version:Accel_matmul.V3 ~size:2 () in
   (match dev.Accel_device.consume [| Axi_word.Inst Isa.mm_load_a; Axi_word.Data 1.0 |] with
   | exception Failure _ -> () (* truncated payload *)
   | _ -> Alcotest.fail "truncated payload accepted");
-  let dev2 = Accel_matmul.create ~version:Accel_matmul.V3 ~size:2 in
+  let dev2 = Accel_matmul.create ~version:Accel_matmul.V3 ~size:2 () in
   match dev2.Accel_device.drain 1 with
   | exception Failure _ -> ()
   | _ -> Alcotest.fail "drained an empty queue"

@@ -362,8 +362,9 @@ let test_pass_failure_reporting () =
   in
   let modul = Axi4mlir.build_matmul_module ~m:4 ~n:4 ~k:4 () in
   match Pass.run_pipeline [ broken ] modul with
-  | exception Pass.Pass_failure (name, _) ->
-    Alcotest.(check string) "names the pass" "break-ssa" name
+  | exception Pass.Pass_failure { pass; failing_op; _ } ->
+    Alcotest.(check string) "names the pass" "break-ssa" pass;
+    Alcotest.(check string) "names the failing op" "arith.mulf" failing_op
   | _ -> Alcotest.fail "broken pass not caught"
 
 let tests =

@@ -10,6 +10,7 @@ let () =
       ("parser", Suite_parser.tests);
       ("cache", Suite_cache.tests);
       ("sim", Suite_sim.tests);
+      ("obs", Suite_obs.tests);
       ("runtime", Suite_runtime.tests);
       ("config", Suite_config.tests);
       ("transforms", Suite_transforms.tests);
