@@ -29,17 +29,24 @@ let parse_tiles = function
   | None -> None
   | Some text -> Some (List.map int_of_string (String.split_on_char ',' text))
 
-let run_tool config_path input emit_matmul flow tiles no_cpu_tiling no_copy_spec coalesce
-    double_buffer accel_only cpu_only pretty =
+let run_tool config_path input emit_matmul emit_conv flow tiles no_cpu_tiling no_copy_spec
+    coalesce double_buffer accel_only cpu_only pretty =
   Dialects.register_all ();
   let modul =
-    match (emit_matmul, input) with
-    | Some dims, _ -> (
+    match (emit_matmul, emit_conv, input) with
+    | Some _, Some _, _ -> failwith "--emit-matmul and --emit-conv are exclusive"
+    | Some dims, None, _ -> (
       match List.map int_of_string (String.split_on_char ',' dims) with
       | [ m; n; k ] -> Axi4mlir.build_matmul_module ~m ~n ~k ()
       | _ -> failwith "--emit-matmul expects M,N,K")
-    | None, Some path -> Parser_ir.parse_op (read_input path)
-    | None, None -> failwith "provide an input file (or '-') or --emit-matmul"
+    | None, Some dims, _ -> (
+      match List.map int_of_string (String.split_on_char ',' dims) with
+      | [ ic; ihw; oc; fhw ] ->
+        Axi4mlir.build_conv_module ~n:1 ~ic ~ih:ihw ~iw:ihw ~oc ~fh:fhw ~fw:fhw ()
+      | _ -> failwith "--emit-conv expects IC,IHW,OC,FHW")
+    | None, None, Some path -> Parser_ir.parse_op (read_input path)
+    | None, None, None ->
+      failwith "provide an input file (or '-'), --emit-matmul or --emit-conv"
   in
   let result =
     if cpu_only then Axi4mlir.compile_cpu modul
@@ -79,6 +86,11 @@ let input =
 let emit_matmul =
   Arg.(value & opt (some string) None & info [ "emit-matmul" ] ~docv:"M,N,K"
          ~doc:"Ignore INPUT and start from a fresh linalg matmul module.")
+
+let emit_conv =
+  Arg.(value & opt (some string) None & info [ "emit-conv" ] ~docv:"IC,IHW,OC,FHW"
+         ~doc:"Ignore INPUT and start from a fresh linalg conv2d module \
+               (batch 1, square input/filter, stride 1).")
 
 let flow =
   Arg.(value & opt (some string) None & info [ "flow" ] ~docv:"NAME"
@@ -120,7 +132,8 @@ let cmd =
     (Cmd.info "axi4mlir-opt" ~doc)
     Term.(
       ret
-        (const run_tool $ config $ input $ emit_matmul $ flow $ tiles $ no_cpu_tiling
-       $ no_copy_spec $ coalesce $ double_buffer $ accel_only $ cpu_only $ pretty))
+        (const run_tool $ config $ input $ emit_matmul $ emit_conv $ flow $ tiles
+       $ no_cpu_tiling $ no_copy_spec $ coalesce $ double_buffer $ accel_only $ cpu_only
+       $ pretty))
 
 let () = exit (Cmd.eval cmd)

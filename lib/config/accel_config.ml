@@ -121,59 +121,108 @@ let attach soc t =
 (* JSON                                                                *)
 (* ------------------------------------------------------------------ *)
 
+(* Field accessor with a path-qualified structured error: a missing
+   field, a type mismatch, or a conversion failure (bad opcode syntax,
+   unknown engine name, ...) all report as "accel_config.FIELD: WHY". *)
+let field ?(path = "accel_config") name json convert =
+  match Json.member_opt name json with
+  | None -> Error (Printf.sprintf "%s.%s: missing field" path name)
+  | Some v -> (
+    match convert v with
+    | ok -> Ok ok
+    | exception Json.Type_error msg -> Error (Printf.sprintf "%s.%s: %s" path name msg)
+    | exception Failure msg -> Error (Printf.sprintf "%s.%s: %s" path name msg)
+    | exception Opcode.Syntax_error msg -> Error (Printf.sprintf "%s.%s: %s" path name msg))
+
 let engine_of_json json =
-  match Json.to_str (Json.member "engine" json) with
-  | "conv" -> Conv_engine
+  let* name = field "engine" json Json.to_str in
+  match name with
+  | "conv" -> Ok Conv_engine
   | v -> (
     match Accel_matmul.version_of_string v with
-    | Some version -> Matmul_engine (version, Json.to_int (Json.member "size" json))
-    | None -> failwith (Printf.sprintf "Accel_config: unknown engine %s" v))
+    | Some version ->
+      let* size = field "size" json Json.to_int in
+      Ok (Matmul_engine (version, size))
+    | None -> Error (Printf.sprintf "accel_config.engine: unknown engine %s" v))
 
 let dma_of_json json =
-  {
-    dma_id = Json.to_int (Json.member "id" json);
-    input_address = Json.to_int (Json.member "input_address" json);
-    input_buffer_size = Json.to_int (Json.member "input_buffer_size" json);
-    output_address = Json.to_int (Json.member "output_address" json);
-    output_buffer_size = Json.to_int (Json.member "output_buffer_size" json);
-  }
+  let path = "accel_config.dma" in
+  let* dma_id = field ~path "id" json Json.to_int in
+  let* input_address = field ~path "input_address" json Json.to_int in
+  let* input_buffer_size = field ~path "input_buffer_size" json Json.to_int in
+  let* output_address = field ~path "output_address" json Json.to_int in
+  let* output_buffer_size = field ~path "output_buffer_size" json Json.to_int in
+  Ok { dma_id; input_address; input_buffer_size; output_address; output_buffer_size }
+
+let of_json_result json =
+  match json with
+  | Json.Obj _ ->
+    let* accel_name = field "name" json Json.to_str in
+    let* engine = engine_of_json json in
+    let* op_kind = field "operation" json Json.to_str in
+    let* data_type_name = field "data_type" json Json.to_str in
+    let* data_type =
+      match Ty.dtype_of_string data_type_name with
+      | Some d -> Ok d
+      | None ->
+        Error (Printf.sprintf "accel_config.data_type: unknown data type %s" data_type_name)
+    in
+    let* accel_dims =
+      field "dims" json (fun v -> List.map Json.to_int (Json.to_list v))
+    in
+    let* flexible =
+      match Json.member_opt "flexible" json with
+      | None -> Ok false
+      | Some v -> (
+        match Json.to_bool v with
+        | b -> Ok b
+        | exception Json.Type_error msg ->
+          Error (Printf.sprintf "accel_config.flexible: %s" msg))
+    in
+    let* buffer_capacity_elems = field "buffer_elems" json Json.to_int in
+    let* frequency_mhz = field "frequency_mhz" json Json.to_float in
+    let* ops_per_cycle = field "ops_per_cycle" json Json.to_float in
+    let* dma_json = field "dma" json (fun v -> v) in
+    let* dma = dma_of_json dma_json in
+    let* opcode_map =
+      field "opcode_map" json (fun v -> Opcode.parse_map (Json.to_str v))
+    in
+    let* opcode_flows =
+      field "opcode_flows" json (fun v ->
+          List.map
+            (fun (name, f) -> (name, Opcode.parse_flow (Json.to_str f)))
+            (Json.to_obj v))
+    in
+    let* selected_flow = field "flow" json Json.to_str in
+    let* init_opcodes =
+      field "init_opcodes" json (fun v ->
+          Opcode.flow_opcodes (Opcode.parse_flow (Json.to_str v)))
+    in
+    let config =
+      {
+        accel_name;
+        engine;
+        op_kind;
+        data_type;
+        accel_dims;
+        flexible;
+        buffer_capacity_elems;
+        frequency_mhz;
+        ops_per_cycle;
+        dma;
+        opcode_map;
+        opcode_flows;
+        selected_flow;
+        init_opcodes;
+      }
+    in
+    (match validate config with
+    | Ok () -> Ok config
+    | Error msg -> Error (Printf.sprintf "accel_config %s: %s" accel_name msg))
+  | _ -> Error "accel_config: expected a JSON object"
 
 let of_json json =
-  let data_type_name = Json.to_str (Json.member "data_type" json) in
-  let data_type =
-    match Ty.dtype_of_string data_type_name with
-    | Some d -> d
-    | None -> failwith (Printf.sprintf "Accel_config: unknown data type %s" data_type_name)
-  in
-  let config =
-    {
-      accel_name = Json.to_str (Json.member "name" json);
-      engine = engine_of_json json;
-      op_kind = Json.to_str (Json.member "operation" json);
-      data_type;
-      accel_dims = List.map Json.to_int (Json.to_list (Json.member "dims" json));
-      flexible =
-        (match Json.member_opt "flexible" json with
-        | Some v -> Json.to_bool v
-        | None -> false);
-      buffer_capacity_elems = Json.to_int (Json.member "buffer_elems" json);
-      frequency_mhz = Json.to_float (Json.member "frequency_mhz" json);
-      ops_per_cycle = Json.to_float (Json.member "ops_per_cycle" json);
-      dma = dma_of_json (Json.member "dma" json);
-      opcode_map = Opcode.parse_map (Json.to_str (Json.member "opcode_map" json));
-      opcode_flows =
-        List.map
-          (fun (name, v) -> (name, Opcode.parse_flow (Json.to_str v)))
-          (Json.to_obj (Json.member "opcode_flows" json));
-      selected_flow = Json.to_str (Json.member "flow" json);
-      init_opcodes =
-        Opcode.flow_opcodes (Opcode.parse_flow (Json.to_str (Json.member "init_opcodes" json)));
-    }
-  in
-  (match validate config with
-  | Ok () -> ()
-  | Error msg -> failwith (Printf.sprintf "Accel_config %s: %s" config.accel_name msg));
-  config
+  match of_json_result json with Ok config -> config | Error msg -> failwith msg
 
 let to_json t =
   let engine_fields =

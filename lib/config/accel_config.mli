@@ -63,8 +63,15 @@ val attach : Soc.t -> t -> Dma_engine.t
 (** Create the device and register a DMA engine under [dma.dma_id] with
     region capacities from the config. *)
 
+val of_json_result : Json.t -> (t, string) result
+(** Parse and {!validate} a configuration. Every malformed input — a
+    missing or mistyped field, bad opcode syntax, an unknown engine or
+    data type, a failed consistency check — yields [Error] with a
+    field-qualified message ("accel_config.dma.id: ..."), never an
+    exception. *)
+
 val of_json : Json.t -> t
-(** Raises [Json.Type_error], [Opcode.Syntax_error] or [Failure] with a
-    descriptive message. *)
+(** As {!of_json_result}; raises [Failure] with the same structured
+    message on malformed input. *)
 
 val to_json : t -> Json.t

@@ -2,9 +2,17 @@
     Fig. 4): parses the JSON file of Fig. 5 into validated host and
     accelerator descriptions, and can serialise them back. *)
 
+val parse_string_result : string -> (Host_config.t * Accel_config.t, string) result
+(** Every malformed input — invalid JSON, a missing section, a missing
+    or mistyped field, a failed consistency check — yields [Error] with
+    a field-qualified message, never an exception. *)
+
 val parse_string : string -> Host_config.t * Accel_config.t
-(** Raises [Json.Parse_error], [Json.Type_error],
-    [Opcode.Syntax_error] or [Failure] with field-qualified messages. *)
+(** As {!parse_string_result}; raises [Failure] with the same
+    structured message. *)
+
+val parse_file_result : string -> (Host_config.t * Accel_config.t, string) result
+(** [Error] additionally covers unreadable files. *)
 
 val parse_file : string -> Host_config.t * Accel_config.t
 

@@ -21,13 +21,35 @@ let geometry_of_json json =
     assoc = Json.to_int (Json.member "assoc" json);
   }
 
+let of_json_result json =
+  let ( let* ) = Result.bind in
+  let field name convert =
+    match Json.member_opt name json with
+    | None -> Error (Printf.sprintf "cpu.%s: missing field" name)
+    | Some v -> (
+      match convert v with
+      | ok -> Ok ok
+      | exception Json.Type_error msg -> Error (Printf.sprintf "cpu.%s: %s" name msg))
+  in
+  match json with
+  | Json.Obj _ ->
+    let* cpu_name =
+      match Json.member_opt "name" json with
+      | None -> Ok "cpu"
+      | Some v -> (
+        match Json.to_str v with
+        | s -> Ok s
+        | exception Json.Type_error msg -> Error ("cpu.name: " ^ msg))
+    in
+    let* frequency_mhz = field "frequency_mhz" Json.to_float in
+    let* caches =
+      field "caches" (fun v -> List.map geometry_of_json (Json.to_list v))
+    in
+    Ok { cpu_name; frequency_mhz; caches }
+  | _ -> Error "cpu: expected a JSON object"
+
 let of_json json =
-  {
-    cpu_name =
-      (match Json.member_opt "name" json with Some v -> Json.to_str v | None -> "cpu");
-    frequency_mhz = Json.to_float (Json.member "frequency_mhz" json);
-    caches = List.map geometry_of_json (Json.to_list (Json.member "caches" json));
-  }
+  match of_json_result json with Ok host -> host | Error msg -> failwith msg
 
 let to_json t =
   Json.Obj

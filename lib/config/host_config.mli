@@ -12,9 +12,13 @@ val pynq_z2 : t
 (** The paper's evaluation platform: Cortex-A9 at 650 MHz with 32 KiB
     L1 and 512 KiB L2. *)
 
+val of_json_result : Json.t -> (t, string) result
+(** Parse the ["cpu"] object. Malformed input yields [Error] with a
+    field-qualified message ("cpu.frequency_mhz: ..."). *)
+
 val of_json : Json.t -> t
-(** Parse the ["cpu"] object. Raises [Json.Type_error] or
-    [Invalid_argument] with a field-qualified message. *)
+(** As {!of_json_result}; raises [Failure] with the same structured
+    message on malformed input. *)
 
 val to_json : t -> Json.t
 

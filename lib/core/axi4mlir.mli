@@ -32,6 +32,10 @@ val alloc_view : t -> label:string -> int list -> Memref_view.t
 (** Allocate a buffer of the given shape in simulated memory, filled
     with deterministic pseudo-random data. *)
 
+val alloc_zero : t -> label:string -> int list -> Memref_view.t
+(** As {!alloc_view} but zero-initialised, for callers (the fuzzer)
+    that supply their own operand data via {!Memref_view.fill_from}. *)
+
 val alloc_matmul_operands :
   t -> m:int -> n:int -> k:int -> Memref_view.t * Memref_view.t * Memref_view.t
 (** A(m,k), B(k,n) random; C(m,n) zero. *)
@@ -113,6 +117,10 @@ val tracer : t -> Trace.t
 (** The SoC's tracer (enabled or not). *)
 
 (** {1 Execution} *)
+
+val sole_func_name : Ir.op -> string
+(** The name of the module's single function; fails if there is not
+    exactly one. *)
 
 val run_func :
   t -> ?copy_strategy:Dma_library.strategy -> Ir.op -> string -> Interp.value list -> unit

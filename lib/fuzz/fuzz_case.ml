@@ -1,0 +1,169 @@
+(* One differential-testing scenario: a workload (shape + data seed)
+   plus a complete accelerator-configuration choice. Cases serialise to
+   a single JSON object so a failing case can be written to a corpus
+   file and replayed bit-for-bit. *)
+
+type workload =
+  | Matmul of { m : int; n : int; k : int }
+  | Conv of { ic : int; ihw : int; oc : int; fhw : int; stride : int }
+
+type t = {
+  engine : string;  (* "v1".."v4" for matmul engines, "conv" *)
+  size : int;  (* matmul engine edge; ignored for conv *)
+  flow : string;
+  workload : workload;
+  tiles : int list option;  (* tile override (flexible engines only) *)
+  cpu_tiling : bool;
+  copy_specialization : bool;
+  coalesce_transfers : bool;
+  double_buffer : bool;
+  to_runtime_calls : bool;
+  dma_buffer_bytes : int;
+  data_seed : int;
+  init_c : bool;  (* non-zero initial output, exercising accumulation *)
+}
+
+let workload_to_string = function
+  | Matmul { m; n; k } -> Printf.sprintf "matmul %dx%dx%d" m n k
+  | Conv { ic; ihw; oc; fhw; stride } ->
+    Printf.sprintf "conv ic=%d ihw=%d oc=%d fhw=%d stride=%d" ic ihw oc fhw stride
+
+let to_string t =
+  let opts =
+    String.concat ""
+      [
+        (if t.cpu_tiling then " +cpu-tiling" else "");
+        (if t.copy_specialization then " +copy-spec" else "");
+        (if t.coalesce_transfers then " +coalesce" else "");
+        (if t.double_buffer then " +double-buffer" else "");
+        (if t.to_runtime_calls then "" else " accel-level");
+        (if t.init_c then " init-C" else "");
+        (match t.tiles with
+        | None -> ""
+        | Some ts -> " tiles=" ^ String.concat "," (List.map string_of_int ts));
+      ]
+  in
+  Printf.sprintf "%s on %s_%d/%s%s seed=%d" (workload_to_string t.workload) t.engine
+    t.size t.flow opts t.data_seed
+
+(* ------------------------------------------------------------------ *)
+(* JSON (corpus lines)                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let workload_to_json = function
+  | Matmul { m; n; k } ->
+    Json.Obj
+      [
+        ("kind", Json.String "matmul");
+        ("m", Json.Int m);
+        ("n", Json.Int n);
+        ("k", Json.Int k);
+      ]
+  | Conv { ic; ihw; oc; fhw; stride } ->
+    Json.Obj
+      [
+        ("kind", Json.String "conv");
+        ("ic", Json.Int ic);
+        ("ihw", Json.Int ihw);
+        ("oc", Json.Int oc);
+        ("fhw", Json.Int fhw);
+        ("stride", Json.Int stride);
+      ]
+
+let to_json t =
+  Json.Obj
+    ([
+       ("engine", Json.String t.engine);
+       ("size", Json.Int t.size);
+       ("flow", Json.String t.flow);
+       ("workload", workload_to_json t.workload);
+     ]
+    @ (match t.tiles with
+      | None -> []
+      | Some ts -> [ ("tiles", Json.List (List.map (fun x -> Json.Int x) ts)) ])
+    @ [
+        ("cpu_tiling", Json.Bool t.cpu_tiling);
+        ("copy_specialization", Json.Bool t.copy_specialization);
+        ("coalesce_transfers", Json.Bool t.coalesce_transfers);
+        ("double_buffer", Json.Bool t.double_buffer);
+        ("to_runtime_calls", Json.Bool t.to_runtime_calls);
+        ("dma_buffer_bytes", Json.Int t.dma_buffer_bytes);
+        ("data_seed", Json.Int t.data_seed);
+        ("init_c", Json.Bool t.init_c);
+      ])
+
+let ( let* ) = Result.bind
+
+let field name json f =
+  match Json.member_opt name json with
+  | None -> Error (Printf.sprintf "case.%s: missing field" name)
+  | Some v -> (
+    match f v with
+    | ok -> Ok ok
+    | exception Json.Type_error msg -> Error (Printf.sprintf "case.%s: %s" name msg))
+
+let workload_of_json json =
+  let* kind = field "kind" json Json.to_str in
+  match kind with
+  | "matmul" ->
+    let* m = field "m" json Json.to_int in
+    let* n = field "n" json Json.to_int in
+    let* k = field "k" json Json.to_int in
+    Ok (Matmul { m; n; k })
+  | "conv" ->
+    let* ic = field "ic" json Json.to_int in
+    let* ihw = field "ihw" json Json.to_int in
+    let* oc = field "oc" json Json.to_int in
+    let* fhw = field "fhw" json Json.to_int in
+    let* stride = field "stride" json Json.to_int in
+    Ok (Conv { ic; ihw; oc; fhw; stride })
+  | other -> Error (Printf.sprintf "case.workload.kind: unknown kind %s" other)
+
+let of_json_result json =
+  match json with
+  | Json.Obj _ ->
+    let* engine = field "engine" json Json.to_str in
+    let* size = field "size" json Json.to_int in
+    let* flow = field "flow" json Json.to_str in
+    let* workload_json = field "workload" json (fun j -> j) in
+    let* workload = workload_of_json workload_json in
+    let* tiles =
+      match Json.member_opt "tiles" json with
+      | None -> Ok None
+      | Some v -> (
+        match List.map Json.to_int (Json.to_list v) with
+        | ts -> Ok (Some ts)
+        | exception Json.Type_error msg -> Error (Printf.sprintf "case.tiles: %s" msg))
+    in
+    let* cpu_tiling = field "cpu_tiling" json Json.to_bool in
+    let* copy_specialization = field "copy_specialization" json Json.to_bool in
+    let* coalesce_transfers = field "coalesce_transfers" json Json.to_bool in
+    let* double_buffer = field "double_buffer" json Json.to_bool in
+    let* to_runtime_calls = field "to_runtime_calls" json Json.to_bool in
+    let* dma_buffer_bytes = field "dma_buffer_bytes" json Json.to_int in
+    let* data_seed = field "data_seed" json Json.to_int in
+    let* init_c = field "init_c" json Json.to_bool in
+    Ok
+      {
+        engine;
+        size;
+        flow;
+        workload;
+        tiles;
+        cpu_tiling;
+        copy_specialization;
+        coalesce_transfers;
+        double_buffer;
+        to_runtime_calls;
+        dma_buffer_bytes;
+        data_seed;
+        init_c;
+      }
+  | _ -> Error "case: expected a JSON object"
+
+let of_string_result line =
+  match Json.of_string line with
+  | json -> of_json_result json
+  | exception Json.Parse_error msg -> Error ("case: invalid JSON: " ^ msg)
+
+let equal a b = a = b

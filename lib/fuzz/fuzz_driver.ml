@@ -1,0 +1,99 @@
+(* Campaign driver: generates the deterministic case sequence for a
+   root seed, runs each case through the differential oracle, tallies
+   outcomes, and (optionally) shrinks failures and appends them to a
+   corpus file. Also replays previously recorded corpora. *)
+
+type failure_record = {
+  index : int;  (* position in the campaign sequence; -1 for replays *)
+  case : Fuzz_case.t;
+  outcome : Fuzz_oracle.outcome;
+  shrunk : Fuzz_shrink.result option;
+}
+
+type report = {
+  seed : int;
+  total : int;
+  passed : int;
+  rejected : int;
+  failed : int;
+  failures : failure_record list;
+}
+
+(* The oracle guards each execution path, but a generator or harness
+   bug must register as a failure rather than abort the campaign. *)
+let run_case case =
+  match Fuzz_oracle.run case with
+  | outcome -> outcome
+  | exception exn ->
+    Fuzz_oracle.Failed
+      [ Fuzz_oracle.Crash { path = "harness"; message = Printexc.to_string exn } ]
+
+let still_fails case =
+  match run_case case with Fuzz_oracle.Failed _ -> true | _ -> false
+
+let shrink case = Fuzz_shrink.minimise ~still_fails case
+
+let run_cases ?(seed = 0) ?(shrink_failures = false) ?on_case cases =
+  let passed = ref 0 and rejected = ref 0 and failed = ref 0 in
+  let failures = ref [] in
+  List.iteri
+    (fun i (index, case) ->
+      ignore i;
+      let outcome = run_case case in
+      (match on_case with Some f -> f ~index ~case ~outcome | None -> ());
+      match outcome with
+      | Fuzz_oracle.Pass -> incr passed
+      | Fuzz_oracle.Rejected _ -> incr rejected
+      | Fuzz_oracle.Failed _ ->
+        incr failed;
+        let shrunk = if shrink_failures then Some (shrink case) else None in
+        failures := { index; case; outcome; shrunk } :: !failures)
+    cases;
+  {
+    seed;
+    total = List.length cases;
+    passed = !passed;
+    rejected = !rejected;
+    failed = !failed;
+    failures = List.rev !failures;
+  }
+
+let campaign ?only ?shrink_failures ?on_case ~seed ~count () =
+  let cases =
+    List.init count (fun index -> (index, Fuzz_gen.case_at ?only ~seed ~index ()))
+  in
+  run_cases ~seed ?shrink_failures ?on_case cases
+
+let replay ?shrink_failures ?on_case cases =
+  run_cases ?shrink_failures ?on_case (List.mapi (fun _ c -> (-1, c)) cases)
+
+let record_failures ~corpus report =
+  List.iter
+    (fun f ->
+      let case =
+        match f.shrunk with Some s -> s.Fuzz_shrink.minimised | None -> f.case
+      in
+      Fuzz_corpus.append corpus case)
+    report.failures
+
+let report_lines report =
+  Printf.sprintf "%d cases: %d passed, %d rejected, %d failed" report.total
+    report.passed report.rejected report.failed
+  :: List.concat_map
+       (fun f ->
+         let head =
+           Printf.sprintf "  [%s] %s\n      %s"
+             (if f.index >= 0 then string_of_int f.index else "replay")
+             (Fuzz_case.to_string f.case)
+             (Fuzz_oracle.outcome_to_string f.outcome)
+         in
+         match f.shrunk with
+         | None -> [ head ]
+         | Some s ->
+           [
+             head;
+             Printf.sprintf "      shrunk (%d steps, %d attempts) to: %s"
+               s.Fuzz_shrink.steps s.Fuzz_shrink.attempts
+               (Fuzz_case.to_string s.Fuzz_shrink.minimised);
+           ])
+       report.failures

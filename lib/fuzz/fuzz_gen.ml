@@ -1,0 +1,120 @@
+(* Random-but-mostly-valid workload and configuration generators.
+
+   The generator aims the bulk of its cases at the legal configuration
+   space (so the differential oracle compares real executions), and a
+   deliberate minority at illegal corners — non-dividing tile sizes,
+   extents smaller than the accelerator tile, bad override arities — so
+   every run also checks that the pipeline rejects those with a
+   structured reason instead of mis-executing. *)
+
+type only = Matmul_only | Conv_only
+
+let matmul_versions =
+  (* weighted towards the richer engines, which have more flows *)
+  [ "v1"; "v2"; "v2"; "v3"; "v3"; "v3"; "v4"; "v4"; "v4" ]
+
+let conv_flows = [ "Ws"; "Os"; "Ns" ]
+
+let dma_buffer_candidates = [ 0x1000; 0x4000; 0xFF00 ]
+
+(* Divisors of [n], smallest first. *)
+let divisors n =
+  List.filter (fun d -> n mod d = 0) (List.init n (fun i -> i + 1))
+
+let workload_elems = function
+  | Fuzz_case.Matmul { m; n; k } -> (m * k) + (k * n) + (m * n)
+  | Fuzz_case.Conv { ic; ihw; oc; fhw; _ } ->
+    (ic * ihw * ihw) + (oc * ic * fhw * fhw) + (oc * ihw * ihw)
+
+(* A DMA window large enough for the worst coalesced transaction of the
+   case (all operand tiles staged in one region, plus opcode words). *)
+let choose_dma_buffer rng workload =
+  let needed_bytes = 4 * (workload_elems workload + 32) in
+  match List.filter (fun b -> b >= needed_bytes) dma_buffer_candidates with
+  | [] -> 0xFF00
+  | fits -> Fuzz_rng.pick rng fits
+
+let gen_matmul rng =
+  let version_name = Fuzz_rng.pick rng matmul_versions in
+  let version =
+    match Accel_matmul.version_of_string version_name with
+    | Some v -> v
+    | None -> assert false
+  in
+  let size = Fuzz_rng.pick rng [ 4; 4; 4; 8; 8; 16 ] in
+  let flow = Fuzz_rng.pick rng (Presets.matmul_flows version) in
+  let dim () = size * Fuzz_rng.int_range rng 1 4 in
+  let m = ref (dim ()) and n = ref (dim ()) and k = ref (dim ()) in
+  (* A small minority of cases get one deliberately-illegal extent: the
+     pipeline must reject it (non-dividing, or smaller than the tile). *)
+  if Fuzz_rng.chance rng 12 then begin
+    let awkward =
+      if Fuzz_rng.chance rng 60 then (dim ()) + Fuzz_rng.int_range rng 1 (size - 1)
+      else Fuzz_rng.int_range rng 1 (size - 1)
+    in
+    match Fuzz_rng.int_range rng 0 2 with
+    | 0 -> m := awkward
+    | 1 -> n := awkward
+    | _ -> k := awkward
+  end;
+  let tiles =
+    if version = Accel_matmul.V4 && Fuzz_rng.chance rng 35 then
+      let tile_for extent =
+        if extent mod size = 0 && Fuzz_rng.chance rng 85 then
+          (* a multiple of the granule that divides the extent *)
+          size * Fuzz_rng.pick rng (divisors (extent / size))
+        else (* deliberately non-dividing: must be rejected *)
+          size + 1
+      in
+      Some [ tile_for !m; tile_for !n; tile_for !k ]
+    else None
+  in
+  let workload = Fuzz_case.Matmul { m = !m; n = !n; k = !k } in
+  {
+    Fuzz_case.engine = version_name;
+    size;
+    flow;
+    workload;
+    tiles;
+    cpu_tiling = Fuzz_rng.chance rng 80;
+    copy_specialization = Fuzz_rng.chance rng 50;
+    coalesce_transfers = Fuzz_rng.chance rng 30;
+    double_buffer = Fuzz_rng.chance rng 20;
+    to_runtime_calls = Fuzz_rng.chance rng 70;
+    dma_buffer_bytes = choose_dma_buffer rng workload;
+    data_seed = 1 + (Fuzz_rng.bits rng land 0xFFFFFF);
+    init_c = Fuzz_rng.chance rng 40;
+  }
+
+let gen_conv rng =
+  let flow = Fuzz_rng.pick rng conv_flows in
+  let fhw = Fuzz_rng.pick rng [ 1; 3 ] in
+  let ihw = Fuzz_rng.int_range rng (max 3 fhw) 8 in
+  let ic = Fuzz_rng.int_range rng 1 4 in
+  let oc = Fuzz_rng.int_range rng 1 3 in
+  let stride = if flow = "Ws" && ihw > fhw && Fuzz_rng.chance rng 25 then 2 else 1 in
+  let workload = Fuzz_case.Conv { ic; ihw; oc; fhw; stride } in
+  {
+    Fuzz_case.engine = "conv";
+    size = 0;
+    flow;
+    workload;
+    tiles = None;
+    cpu_tiling = Fuzz_rng.chance rng 80;
+    copy_specialization = Fuzz_rng.chance rng 50;
+    coalesce_transfers = false;
+    double_buffer = false;
+    to_runtime_calls = Fuzz_rng.chance rng 70;
+    dma_buffer_bytes = choose_dma_buffer rng workload;
+    data_seed = 1 + (Fuzz_rng.bits rng land 0xFFFFFF);
+    init_c = false;
+  }
+
+let gen ?only rng =
+  match only with
+  | Some Matmul_only -> gen_matmul rng
+  | Some Conv_only -> gen_conv rng
+  | None -> if Fuzz_rng.chance rng 75 then gen_matmul rng else gen_conv rng
+
+(* The case at position [index] of the sequence rooted at [seed]. *)
+let case_at ?only ~seed ~index () = gen ?only (Fuzz_rng.derive ~seed ~index)

@@ -1,0 +1,18 @@
+(* IR round-trip law: parse (print m) must be structurally equal to m,
+   and printing must be a fixed point after one round. Checked on every
+   module the differential oracle touches, at every lowering level. *)
+
+let check ~stage m =
+  let printed = Printer.to_generic m in
+  match Parser_ir.parse_op printed with
+  | exception Parser_ir.Parse_error msg ->
+    Error (Printf.sprintf "%s: printed module does not re-parse: %s" stage msg)
+  | reparsed -> (
+    let reprinted = Printer.to_generic reparsed in
+    if printed <> reprinted then
+      Error (Printf.sprintf "%s: print -> parse -> print is not a fixed point" stage)
+    else
+      match Ir_compare.diff_op m reparsed with
+      | None -> Ok ()
+      | Some diff ->
+        Error (Printf.sprintf "%s: reparsed module differs structurally: %s" stage diff))

@@ -1,0 +1,102 @@
+(* Delta-debugging shrinker.
+
+   Given a failing case and a predicate "does this case still fail?",
+   greedily applies the largest simplification that preserves the
+   failure, restarting from the simplified case, until no candidate
+   helps. Candidates shrink problem extents toward the accelerator
+   granule (halving, rounded to a granule multiple, so shrunken cases
+   stay inside the legal configuration space), drop the tile override,
+   and switch optional pipeline features off — so the minimised repro
+   exercises as little machinery as possible. *)
+
+let granule (case : Fuzz_case.t) = if case.engine = "conv" then 1 else case.size
+
+(* Shrink one extent: to the granule itself, then by halving rounded
+   down to a granule multiple. *)
+let extent_candidates ~granule extent =
+  if extent <= granule then []
+  else begin
+    let halved = extent / 2 / granule * granule in
+    let halved = max granule halved in
+    if halved = extent then [ granule ] else [ granule; halved ]
+  end
+
+let with_workload (case : Fuzz_case.t) workload = { case with Fuzz_case.workload }
+
+let workload_candidates (case : Fuzz_case.t) =
+  let g = granule case in
+  match case.workload with
+  | Fuzz_case.Matmul { m; n; k } ->
+    List.concat
+      [
+        List.map
+          (fun m' -> with_workload case (Fuzz_case.Matmul { m = m'; n; k }))
+          (extent_candidates ~granule:g m);
+        List.map
+          (fun n' -> with_workload case (Fuzz_case.Matmul { m; n = n'; k }))
+          (extent_candidates ~granule:g n);
+        List.map
+          (fun k' -> with_workload case (Fuzz_case.Matmul { m; n; k = k' }))
+          (extent_candidates ~granule:g k);
+      ]
+  | Fuzz_case.Conv { ic; ihw; oc; fhw; stride } ->
+    List.concat
+      [
+        List.map
+          (fun ic' -> with_workload case (Fuzz_case.Conv { ic = ic'; ihw; oc; fhw; stride }))
+          (extent_candidates ~granule:1 ic);
+        List.map
+          (fun oc' -> with_workload case (Fuzz_case.Conv { ic; ihw; oc = oc'; fhw; stride }))
+          (extent_candidates ~granule:1 oc);
+        (* spatial extent can only shrink to the filter edge *)
+        List.filter_map
+          (fun ihw' ->
+            if ihw' >= fhw then
+              Some (with_workload case (Fuzz_case.Conv { ic; ihw = ihw'; oc; fhw; stride }))
+            else None)
+          (extent_candidates ~granule:1 ihw);
+      ]
+
+let option_candidates (case : Fuzz_case.t) =
+  List.filter_map
+    (fun c -> c)
+    [
+      (match case.tiles with None -> None | Some _ -> Some { case with Fuzz_case.tiles = None });
+      (if case.coalesce_transfers then Some { case with Fuzz_case.coalesce_transfers = false }
+       else None);
+      (if case.double_buffer then Some { case with Fuzz_case.double_buffer = false } else None);
+      (if case.copy_specialization then
+         Some { case with Fuzz_case.copy_specialization = false }
+       else None);
+      (if case.cpu_tiling then Some { case with Fuzz_case.cpu_tiling = false } else None);
+      (if case.init_c then Some { case with Fuzz_case.init_c = false } else None);
+      (if case.data_seed <> 1 then Some { case with Fuzz_case.data_seed = 1 } else None);
+    ]
+
+let candidates case = workload_candidates case @ option_candidates case
+
+type result = { minimised : Fuzz_case.t; steps : int; attempts : int }
+
+(* [minimise ~still_fails case] assumes [still_fails case] holds. *)
+let minimise ?(max_attempts = 500) ~still_fails case =
+  let attempts = ref 0 in
+  let steps = ref 0 in
+  let rec go case =
+    let next =
+      List.find_opt
+        (fun candidate ->
+          !attempts < max_attempts
+          && begin
+               incr attempts;
+               still_fails candidate
+             end)
+        (candidates case)
+    in
+    match next with
+    | Some simpler ->
+      incr steps;
+      go simpler
+    | None -> case
+  in
+  let minimised = go case in
+  { minimised; steps = !steps; attempts = !attempts }

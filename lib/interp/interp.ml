@@ -320,5 +320,15 @@ let invoke t name args =
   | Some f -> exec_func t f args
   | None -> error "no function named %s" name
 
+(* Structured execution for harnesses (the differential fuzzer): any
+   interpreter, runtime-library or simulated-device error comes back as
+   [Error message] instead of escaping as an exception. *)
+let try_invoke t name args =
+  match invoke t name args with
+  | results -> Ok results
+  | exception Runtime_error msg -> Error ("interpreter: " ^ msg)
+  | exception Failure msg -> Error msg
+  | exception Invalid_argument msg -> Error msg
+
 let view_of_alloc t (v : Ir.value) =
   match Hashtbl.find_opt t.last_env v.vid with Some (M view) -> Some view | _ -> None

@@ -39,6 +39,12 @@ val invoke : t -> string -> value list -> value list
     buffers allocated in the SoC's memory. Raises {!Runtime_error} on
     type/arity mismatches or protocol errors. *)
 
+val try_invoke : t -> string -> value list -> (value list, string) result
+(** As {!invoke}, but turns {!Runtime_error} (and the [Failure] /
+    [Invalid_argument] raised by device models and views on malformed
+    traffic) into [Error] — the form the differential fuzzer's oracle
+    classifies as a crash. *)
+
 val view_of_alloc : t -> Ir.value -> Memref_view.t option
 (** Look up the view bound to a value in the last invocation (for
     tests inspecting allocations). *)

@@ -85,8 +85,28 @@ let copy c = { c with cycles = c.cycles }
 
 let to_json c = Json.Obj (List.map (fun (name, v) -> (name, Json.Float v)) (fields c))
 
+let of_json_result json =
+  match json with
+  | Json.Obj kvs ->
+    let c = create () in
+    let rec fill = function
+      | [] -> Ok c
+      | (name, v) :: rest -> (
+        match List.assoc_opt name setters with
+        | None -> Error (Printf.sprintf "perf_counters.%s: unknown counter" name)
+        | Some set -> (
+          match Json.to_float v with
+          | value ->
+            set c value;
+            fill rest
+          | exception Json.Type_error msg ->
+            Error (Printf.sprintf "perf_counters.%s: %s" name msg)))
+    in
+    fill kvs
+  | _ -> Error "perf_counters: expected a JSON object"
+
 let of_json json =
-  of_fields (List.map (fun (name, v) -> (name, Json.to_float v)) (Json.to_obj json))
+  match of_json_result json with Ok c -> c | Error msg -> invalid_arg msg
 
 let cache_references c = c.l1_accesses +. c.l2_accesses
 

@@ -53,9 +53,14 @@ val to_json : t -> Json.t
 (** An object with one number per counter (used by the trace
     exporters). [of_json (to_json c)] equals [c]. *)
 
+val of_json_result : Json.t -> (t, string) result
+(** Inverse of {!to_json}. Malformed input — a non-object, an unknown
+    counter name, a non-numeric value — yields [Error] with a
+    field-qualified message ("perf_counters.cycles: ..."). *)
+
 val of_json : Json.t -> t
-(** Raises {!Json.Type_error} / [Invalid_argument] on malformed
-    input. *)
+(** As {!of_json_result}; raises [Invalid_argument] with the same
+    structured message on malformed input. *)
 
 val cache_references : t -> float
 (** [l1_accesses + l2_accesses]. *)

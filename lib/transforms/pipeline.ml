@@ -23,6 +23,19 @@ let run ?pass_options ?stats ?tracer t m =
   Dialects.register_all ();
   Pass.run_pipeline ?options:pass_options ?stats ?tracer (passes t) m
 
+(* Structured rejection: an [on_skip] callback that raises [Rejected]
+   turns "this op cannot be offloaded" into a classifiable outcome
+   instead of an anonymous [Failure]. The differential fuzzer relies on
+   this to tell a clean rejection apart from a mis-execution. *)
+exception Rejected of string
+
+let reject reason = raise (Rejected reason)
+
+let run_result ?pass_options ?stats ?tracer t m =
+  match run ?pass_options ?stats ?tracer t m with
+  | compiled -> Ok compiled
+  | exception Rejected reason -> Error reason
+
 let cpu_passes = [ Lower_linalg_to_loops.pass ]
 
 let run_cpu ?pass_options ?stats ?tracer m =

@@ -40,6 +40,24 @@ val run :
     [tracer] are forwarded to {!Pass.run_pipeline} for per-pass timing
     and compile-track trace events. *)
 
+exception Rejected of string
+(** Raised by {!reject} to signal a structured "cannot offload". *)
+
+val reject : string -> unit
+(** For use as [Match_annotate.options.on_skip]: raising {!Rejected}
+    lets {!run_result} report the reason as a classifiable [Error]
+    instead of an anonymous failure — the differential fuzzer depends
+    on this to tell clean rejections apart from mis-executions. *)
+
+val run_result :
+  ?pass_options:Pass.options ->
+  ?stats:Pass.pass_stat list ref ->
+  ?tracer:Trace.t ->
+  t ->
+  Ir.op ->
+  (Ir.op, string) result
+(** As {!run}, but catches {!Rejected} (other exceptions propagate). *)
+
 val cpu_passes : Pass.t list
 (** The CPU-only reference pipeline: [linalg.generic] -> loops. *)
 

@@ -38,6 +38,29 @@ let check_buffers (config : Accel_config.t) ~maps ~ranges ~accel_dim =
          config.buffer_capacity_elems)
   else Ok ()
 
+(* Test-only fault injection. [Off_by_one_first_tile] widens the first
+   multi-tile host dimension by one element *after* all validation, the
+   way a real tiling bug would slip past the checks. The differential
+   fuzzer's acceptance test flips this on to prove the oracle catches
+   and shrinks such a bug, then reverts it. Never set outside tests. *)
+type fault = No_fault | Off_by_one_first_tile
+
+let fault = ref No_fault
+
+let apply_fault ~ranges tiles =
+  match !fault with
+  | No_fault -> tiles
+  | Off_by_one_first_tile ->
+    let applied = ref false in
+    List.map2
+      (fun t extent ->
+        if (not !applied) && t > 0 && extent > t then begin
+          applied := true;
+          t + 1
+        end
+        else t)
+      tiles ranges
+
 let resolve_accel_dims (config : Accel_config.t) ~maps ~ranges ?tile_override () =
   let n = List.length config.accel_dims in
   let* () =
@@ -87,7 +110,7 @@ let resolve_accel_dims (config : Accel_config.t) ~maps ~ranges ?tile_override ()
     else Ok ()
   in
   let* () = check_buffers config ~maps ~ranges ~accel_dim:tiles in
-  Ok tiles
+  Ok (apply_fault ~ranges tiles)
 
 let derive_permutation ~flow ~opcode_map ~maps ~accel_dim =
   let n = List.length accel_dim in

@@ -4,6 +4,16 @@
     deriving the loop permutation implied by an opcode flow's
     stationarity structure. *)
 
+type fault = No_fault | Off_by_one_first_tile
+
+val fault : fault ref
+(** Test-only fault injection, applied by {!resolve_accel_dims} after
+    all validation. [Off_by_one_first_tile] widens the first multi-tile
+    host dimension's tile by one element, the way a real tiling bug
+    would slip past the checks — the differential fuzzer's acceptance
+    test flips this on to prove its oracle catches and shrinks such a
+    bug, then restores [No_fault]. Never set outside tests. *)
+
 val resolve_accel_dims :
   Accel_config.t ->
   maps:Affine_map.t list ->

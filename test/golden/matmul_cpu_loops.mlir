@@ -1,0 +1,33 @@
+"builtin.module"() ({
+  "func.func"() ({
+    ^bb(%0: memref<16x16xf32>, %1: memref<16x16xf32>, %2: memref<16x16xf32>):
+    %3 = "arith.constant"() {value = 0} : () -> (index)
+    %4 = "arith.constant"() {value = 16} : () -> (index)
+    %5 = "arith.constant"() {value = 1} : () -> (index)
+    "scf.for"(%3, %4, %5) ({
+      ^bb(%6: index):
+      %7 = "arith.constant"() {value = 0} : () -> (index)
+      %8 = "arith.constant"() {value = 16} : () -> (index)
+      %9 = "arith.constant"() {value = 1} : () -> (index)
+      "scf.for"(%7, %8, %9) ({
+        ^bb(%10: index):
+        %11 = "arith.constant"() {value = 0} : () -> (index)
+        %12 = "arith.constant"() {value = 16} : () -> (index)
+        %13 = "arith.constant"() {value = 1} : () -> (index)
+        "scf.for"(%11, %12, %13) ({
+          ^bb(%14: index):
+          %15 = "memref.load"(%0, %6, %14) : (memref<16x16xf32>, index, index) -> (f32)
+          %16 = "memref.load"(%1, %14, %10) : (memref<16x16xf32>, index, index) -> (f32)
+          %17 = "memref.load"(%2, %6, %10) : (memref<16x16xf32>, index, index) -> (f32)
+          %18 = "arith.mulf"(%15, %16) : (f32, f32) -> (f32)
+          %19 = "arith.addf"(%17, %18) : (f32, f32) -> (f32)
+          "memref.store"(%19, %2, %6, %10) : (f32, memref<16x16xf32>, index, index) -> ()
+          "scf.yield"() : () -> ()
+        }) : (index, index, index) -> ()
+        "scf.yield"() : () -> ()
+      }) : (index, index, index) -> ()
+      "scf.yield"() : () -> ()
+    }) : (index, index, index) -> ()
+    "func.return"() : () -> ()
+  }) {sym_name = "matmul_call", function_type = type((memref<16x16xf32>, memref<16x16xf32>, memref<16x16xf32>) -> ())} : () -> ()
+}) : () -> ()

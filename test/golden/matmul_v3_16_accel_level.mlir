@@ -1,0 +1,42 @@
+"builtin.module"() ({
+  "func.func"() ({
+    ^bb(%0: memref<32x32xf32>, %1: memref<32x32xf32>, %2: memref<32x32xf32>):
+    %3 = "arith.constant"() {value = 65346} : () -> (i32)
+    %4 = "arith.constant"() {value = 32} : () -> (index)
+    %5 = "arith.constant"() {value = 0} : () -> (i32)
+    %6 = "arith.constant"() {value = 16} : () -> (index)
+    %7 = "arith.constant"() {value = 34} : () -> (i32)
+    %8 = "arith.constant"() {value = 36} : () -> (i32)
+    %9 = "arith.constant"() {value = 66} : () -> (i32)
+    %10 = "arith.constant"() {value = 255} : () -> (i32)
+    %11 = "arith.constant"() {value = 240} : () -> (i32)
+    %12 = "arith.constant"() {value = 65280} : () -> (i32)
+    %13 = "arith.constant"() {value = 0} : () -> (index)
+    %14 = "arith.constant"() {value = 35} : () -> (i32)
+    "accel.dma_init"(%5, %9, %12, %3, %12) : (i32, i32, i32, i32, i32) -> ()
+    %15 = "accel.sendLiteral"(%10, %5) {flush = true} : (i32, i32) -> (i32)
+    "scf.for"(%13, %4, %6) ({
+      ^bb(%16: index):
+      "scf.for"(%13, %4, %6) ({
+        ^bb(%17: index):
+        "scf.for"(%13, %4, %6) ({
+          ^bb(%18: index):
+          %19 = "accel.sendLiteral"(%7, %5) : (i32, i32) -> (i32)
+          %20 = "memref.subview"(%0, %16, %18) {static_sizes = dense<[16, 16]>, static_strides = dense<[1, 1]>} : (memref<32x32xf32>, index, index) -> (memref<16x16xf32, strided<[32, 1], offset: ?>>)
+          %21 = "accel.send"(%20, %19) {flush = true} : (memref<16x16xf32, strided<[32, 1], offset: ?>>, i32) -> (i32)
+          %22 = "accel.sendLiteral"(%14, %5) : (i32, i32) -> (i32)
+          %23 = "memref.subview"(%1, %18, %17) {static_sizes = dense<[16, 16]>, static_strides = dense<[1, 1]>} : (memref<32x32xf32>, index, index) -> (memref<16x16xf32, strided<[32, 1], offset: ?>>)
+          %24 = "accel.send"(%23, %22) {flush = true} : (memref<16x16xf32, strided<[32, 1], offset: ?>>, i32) -> (i32)
+          %25 = "accel.sendLiteral"(%11, %5) {flush = true} : (i32, i32) -> (i32)
+          "scf.yield"() : () -> ()
+        }) : (index, index, index) -> ()
+        %26 = "accel.sendLiteral"(%8, %5) {flush = true} : (i32, i32) -> (i32)
+        %27 = "memref.subview"(%2, %16, %17) {static_sizes = dense<[16, 16]>, static_strides = dense<[1, 1]>} : (memref<32x32xf32>, index, index) -> (memref<16x16xf32, strided<[32, 1], offset: ?>>)
+        %28 = "accel.recv"(%27, %26) {mode = "accumulate"} : (memref<16x16xf32, strided<[32, 1], offset: ?>>, i32) -> (i32)
+        "scf.yield"() : () -> ()
+      }) : (index, index, index) -> ()
+      "scf.yield"() : () -> ()
+    }) : (index, index, index) -> ()
+    "func.return"() : () -> ()
+  }) {sym_name = "matmul_call", function_type = type((memref<32x32xf32>, memref<32x32xf32>, memref<32x32xf32>) -> ())} : () -> ()
+}) : () -> ()

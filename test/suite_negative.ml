@@ -125,6 +125,130 @@ let test_facade_reports_unoffloadable () =
     Alcotest.(check bool) "reason included" true (String.length msg > 0)
   | _ -> Alcotest.fail "non-divisible problem silently accepted"
 
+(* ------------------------------------------------------------------ *)
+(* Structured parser errors: malformed JSON configurations and counter
+   snapshots must come back as field-qualified [Error]s, never as bare
+   exceptions.                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let contains hay needle =
+  let nl = String.length needle in
+  let rec go i = i + nl <= String.length hay && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let expect_error name result fragment =
+  match result with
+  | Ok _ -> Alcotest.fail (name ^ ": malformed input accepted")
+  | Error msg ->
+    Alcotest.(check bool)
+      (Printf.sprintf "%s mentions \"%s\" (got: %s)" name fragment msg)
+      true (contains msg fragment)
+
+let test_perf_counters_structured_errors () =
+  expect_error "non-object"
+    (Perf_counters.of_json_result (Json.List []))
+    "expected a JSON object";
+  expect_error "unknown counter"
+    (Perf_counters.of_json_result (Json.Obj [ ("cycels", Json.Float 1.0) ]))
+    "perf_counters.cycels: unknown counter";
+  expect_error "non-numeric value"
+    (Perf_counters.of_json_result (Json.Obj [ ("cycles", Json.String "fast") ]))
+    "perf_counters.cycles";
+  (* the exception API carries the same structured message *)
+  (match Perf_counters.of_json (Json.Obj [ ("bogus", Json.Float 0.0) ]) with
+  | exception Invalid_argument msg ->
+    Alcotest.(check bool) "of_json mirrors of_json_result" true
+      (contains msg "perf_counters.bogus")
+  | _ -> Alcotest.fail "unknown counter accepted");
+  (* well-formed input still round-trips *)
+  let c = Perf_counters.create () in
+  c.Perf_counters.cycles <- 42.0;
+  match Perf_counters.of_json_result (Perf_counters.to_json c) with
+  | Ok c' -> Alcotest.(check (float 0.0)) "round trip" 42.0 c'.Perf_counters.cycles
+  | Error msg -> Alcotest.fail msg
+
+let valid_accel_json () = Accel_config.to_json (Presets.matmul ~version:Accel_matmul.V3 ~size:4 ())
+
+let without_key key = function
+  | Json.Obj kvs -> Json.Obj (List.remove_assoc key kvs)
+  | j -> j
+
+let with_key key v = function
+  | Json.Obj kvs -> Json.Obj ((key, v) :: List.remove_assoc key kvs)
+  | j -> j
+
+let test_accel_config_structured_errors () =
+  (* the valid baseline parses *)
+  (match Accel_config.of_json_result (valid_accel_json ()) with
+  | Ok config ->
+    Alcotest.(check string) "baseline name" "v3_4" config.Accel_config.accel_name
+  | Error msg -> Alcotest.fail msg);
+  expect_error "non-object" (Accel_config.of_json_result Json.Null) "expected a JSON object";
+  expect_error "missing name"
+    (Accel_config.of_json_result (without_key "name" (valid_accel_json ())))
+    "accel_config.name: missing field";
+  expect_error "mistyped dims"
+    (Accel_config.of_json_result (with_key "dims" (Json.String "4x4x4") (valid_accel_json ())))
+    "accel_config.dims";
+  expect_error "unknown engine"
+    (Accel_config.of_json_result (with_key "engine" (Json.String "v9") (valid_accel_json ())))
+    "accel_config.engine: unknown engine v9";
+  expect_error "unknown data type"
+    (Accel_config.of_json_result
+       (with_key "data_type" (Json.String "f13") (valid_accel_json ())))
+    "accel_config.data_type";
+  expect_error "bad opcode syntax"
+    (Accel_config.of_json_result
+       (with_key "opcode_map" (Json.String "sA = [send(") (valid_accel_json ())))
+    "accel_config.opcode_map";
+  expect_error "missing dma field"
+    (Accel_config.of_json_result
+       (with_key "dma" (Json.Obj [ ("id", Json.Int 0) ]) (valid_accel_json ())))
+    "accel_config.dma.input_address: missing field";
+  (* consistency violations surface through the same channel *)
+  expect_error "undefined selected flow"
+    (Accel_config.of_json_result
+       (with_key "flow" (Json.String "Zs") (valid_accel_json ())))
+    "selected flow Zs is not defined"
+
+let test_config_parser_structured_errors () =
+  expect_error "invalid JSON" (Config_parser.parse_string_result "{ nope") "config:";
+  expect_error "missing cpu section"
+    (Config_parser.parse_string_result "{\"accelerator\": {}}")
+    "missing \"cpu\" section";
+  expect_error "missing accelerator section"
+    (Config_parser.parse_string_result
+       "{\"cpu\": {\"frequency_mhz\": 650.0, \"caches\": []}}")
+    "missing \"accelerator\" section";
+  expect_error "cpu field error"
+    (Config_parser.parse_string_result "{\"cpu\": {\"caches\": []}, \"accelerator\": {}}")
+    "cpu.frequency_mhz: missing field";
+  expect_error "unreadable file"
+    (Config_parser.parse_file_result "/nonexistent/config.json")
+    "/nonexistent/config.json";
+  (* the round trip through to_string stays parseable *)
+  let host = Host_config.pynq_z2 in
+  let accel = Presets.matmul ~version:Accel_matmul.V4 ~size:8 () in
+  match Config_parser.parse_string_result (Config_parser.to_string host accel) with
+  | Ok (host', accel') ->
+    Alcotest.(check string) "cpu name survives" host.Host_config.cpu_name
+      host'.Host_config.cpu_name;
+    Alcotest.(check string) "accel name survives" accel.Accel_config.accel_name
+      accel'.Accel_config.accel_name
+  | Error msg -> Alcotest.fail msg
+
+let test_fuzz_case_structured_errors () =
+  expect_error "invalid JSON" (Fuzz_case.of_string_result "{") "case: invalid JSON";
+  expect_error "non-object" (Fuzz_case.of_string_result "[1, 2]") "expected a JSON object";
+  expect_error "missing field"
+    (Fuzz_case.of_string_result "{\"engine\": \"v3\"}")
+    "case.size: missing field";
+  let valid = Fuzz_gen.case_at ~seed:7 ~index:0 () in
+  let line = Json.to_string (Fuzz_case.to_json valid) in
+  match Fuzz_case.of_string_result line with
+  | Ok case -> Alcotest.(check bool) "round trip" true (Fuzz_case.equal valid case)
+  | Error msg -> Alcotest.fail msg
+
 let tests =
   [
     Alcotest.test_case "codegen rejects over-deep flows" `Quick test_codegen_rejects_deep_flow;
@@ -135,4 +259,12 @@ let tests =
     Alcotest.test_case "mismatched micro-ISA rejected" `Quick test_wrong_engine_opcodes_rejected;
     Alcotest.test_case "facade reports unoffloadable ops" `Quick
       test_facade_reports_unoffloadable;
+    Alcotest.test_case "perf counters: structured parse errors" `Quick
+      test_perf_counters_structured_errors;
+    Alcotest.test_case "accel config: structured parse errors" `Quick
+      test_accel_config_structured_errors;
+    Alcotest.test_case "config parser: structured parse errors" `Quick
+      test_config_parser_structured_errors;
+    Alcotest.test_case "fuzz case: structured parse errors" `Quick
+      test_fuzz_case_structured_errors;
   ]

@@ -133,6 +133,70 @@ let prop_whitespace_insensitive =
       in
       Printer.to_generic (Parser_ir.parse_op padded) = printed)
 
+(* ------------------------------------------------------------------ *)
+(* Golden files: committed expected IR for modules compiled from every
+   configuration under examples/configs. Each test regenerates the
+   module through the library pipeline and checks the printed output
+   byte-for-byte against the committed file, then re-parses the file
+   and checks print(parse(golden)) is byte-identical — so both the
+   code generator's output and the printer/parser round trip are
+   pinned. Regenerate with bin/axi4mlir_opt (see test/golden/). *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let check_golden name ~golden m =
+  let path = Filename.concat "golden" golden in
+  let expected = read_file path in
+  Alcotest.(check string) (name ^ ": codegen output matches " ^ path) expected
+    (Printer.to_generic m);
+  let reparsed =
+    try Parser_ir.parse_op expected
+    with Parser_ir.Parse_error msg ->
+      Alcotest.fail (Printf.sprintf "%s: golden file does not parse: %s" path msg)
+  in
+  Alcotest.(check string) (name ^ ": byte-for-byte round trip") expected
+    (Printer.to_generic reparsed);
+  match Ir_compare.diff_op m reparsed with
+  | None -> ()
+  | Some diff -> Alcotest.fail (Printf.sprintf "%s: structural difference: %s" path diff)
+
+let config_path file = Filename.concat (Filename.concat ".." "examples/configs") file
+
+let compile_from_config ?(options = Axi4mlir.default_codegen) ~config m =
+  let host, accel = Config_parser.parse_file (config_path config) in
+  let bench = Axi4mlir.create ~host accel in
+  Axi4mlir.compile bench ~options m
+
+let test_golden_v3_matmul () =
+  check_golden "v3/Cs matmul" ~golden:"matmul_v3_16_cs.mlir"
+    (compile_from_config ~config:"v3_16_cs.json"
+       (Axi4mlir.build_matmul_module ~m:64 ~n:64 ~k:64 ()))
+
+let test_golden_v4_tiled_matmul () =
+  check_golden "v4 tiled matmul" ~golden:"matmul_v4_16_tiles.mlir"
+    (compile_from_config ~config:"v4_16.json"
+       ~options:{ Axi4mlir.default_codegen with tiles = Some [ 32; 16; 16 ] }
+       (Axi4mlir.build_matmul_module ~m:64 ~n:48 ~k:32 ()))
+
+let test_golden_conv () =
+  check_golden "conv2d/Ws" ~golden:"conv2d_ws.mlir"
+    (compile_from_config ~config:"conv2d.json"
+       (Axi4mlir.build_conv_module ~n:1 ~ic:2 ~ih:8 ~iw:8 ~oc:2 ~fh:3 ~fw:3 ()))
+
+let test_golden_accel_level () =
+  check_golden "v3 accel-level" ~golden:"matmul_v3_16_accel_level.mlir"
+    (compile_from_config ~config:"v3_16_cs.json"
+       ~options:{ Axi4mlir.default_codegen with to_runtime_calls = false }
+       (Axi4mlir.build_matmul_module ~m:32 ~n:32 ~k:32 ()))
+
+let test_golden_cpu_loops () =
+  check_golden "cpu loop nest" ~golden:"matmul_cpu_loops.mlir"
+    (Axi4mlir.compile_cpu (Axi4mlir.build_matmul_module ~m:16 ~n:16 ~k:16 ()))
+
 let tests =
   [
     Alcotest.test_case "parse types" `Quick test_parse_type;
@@ -146,5 +210,10 @@ let tests =
     Alcotest.test_case "roundtrip: annotated trait" `Quick test_annotated_trait_roundtrip;
     Alcotest.test_case "parse errors" `Quick test_parse_errors;
     Alcotest.test_case "comments" `Quick test_parse_comments;
+    Alcotest.test_case "golden: v3/Cs matmul" `Quick test_golden_v3_matmul;
+    Alcotest.test_case "golden: v4 tiled matmul" `Quick test_golden_v4_tiled_matmul;
+    Alcotest.test_case "golden: conv2d" `Quick test_golden_conv;
+    Alcotest.test_case "golden: accel level" `Quick test_golden_accel_level;
+    Alcotest.test_case "golden: cpu loops" `Quick test_golden_cpu_loops;
     QCheck_alcotest.to_alcotest prop_whitespace_insensitive;
   ]

@@ -246,6 +246,80 @@ let test_soc_reset_run_state () =
   Alcotest.(check (float 0.0)) "counters cleared" 0.0 soc.Soc.counters.Perf_counters.cycles;
   Alcotest.(check (float 0.0)) "memory preserved" 9.0 (Sim_memory.get buf 0)
 
+(* ------------------------------------------------------------------ *)
+(* Cache property tests: the LRU law, warm-up behaviour, and miss-rate
+   monotonicity under repeated sweeps.                                 *)
+(* ------------------------------------------------------------------ *)
+
+let rec take n = function
+  | [] -> []
+  | x :: rest -> if n <= 0 then [] else x :: take (n - 1) rest
+
+(* A single-set 4-way cache makes the LRU replacement order directly
+   observable: every line maps to the same set. *)
+let one_set = { Cache.size_bytes = 128; line_bytes = 32; assoc = 4 }
+
+let prop_lru_eviction_order =
+  QCheck.Test.make ~name:"single set follows exact LRU order" ~count:300
+    QCheck.(list_of_size Gen.(int_range 1 40) (int_range 0 7))
+    (fun lines ->
+      let cache = Cache.create [ one_set ] in
+      (* reference model: resident lines, most recently used first *)
+      let model = ref [] in
+      List.iter
+        (fun line ->
+          ignore (Cache.access cache (line * one_set.Cache.line_bytes));
+          let rest = List.filter (( <> ) line) !model in
+          model := line :: take (one_set.Cache.assoc - 1) rest)
+        lines;
+      List.for_all
+        (fun line ->
+          Cache.resident cache ~level:1 (line * one_set.Cache.line_bytes)
+          = List.mem line !model)
+        (List.init 8 Fun.id))
+
+(* 4 KiB, 4-way, 32 sets: big enough to stripe across sets, small
+   enough that the generators cover both the fits and thrashes regimes. *)
+let small_l1 = { Cache.size_bytes = 4096; line_bytes = 32; assoc = 4 }
+
+let capacity_lines g = g.Cache.size_bytes / g.Cache.line_bytes
+
+let sweep_misses cache g n_lines =
+  let misses = ref 0 in
+  for line = 0 to n_lines - 1 do
+    if (Cache.access cache (line * g.Cache.line_bytes)).Cache.level_hit > 1 then
+      incr misses
+  done;
+  !misses
+
+let prop_warm_footprint_all_hits =
+  QCheck.Test.make
+    ~name:"footprint within capacity never misses after warm-up" ~count:200
+    QCheck.(
+      pair
+        (int_range 1 (capacity_lines small_l1))
+        (list_of_size Gen.(int_range 1 60) small_nat))
+    (fun (n_lines, accesses) ->
+      let cache = Cache.create [ small_l1 ] in
+      (* warm-up sweep: a contiguous footprint of at most the capacity
+         places at most [assoc] lines in each set, so nothing evicts *)
+      ignore (sweep_misses cache small_l1 n_lines);
+      List.for_all
+        (fun a ->
+          (Cache.access cache (a mod n_lines * small_l1.Cache.line_bytes)).Cache.level_hit
+          = 1)
+        accesses)
+
+let prop_sweep_misses_monotone =
+  QCheck.Test.make ~name:"per-sweep misses are non-increasing" ~count:200
+    QCheck.(int_range 1 (2 * capacity_lines small_l1))
+    (fun n_lines ->
+      let cache = Cache.create [ small_l1 ] in
+      let m1 = sweep_misses cache small_l1 n_lines in
+      let m2 = sweep_misses cache small_l1 n_lines in
+      let m3 = sweep_misses cache small_l1 n_lines in
+      m2 <= m1 && m3 <= m2)
+
 let tests =
   [
     Alcotest.test_case "sim memory" `Quick test_sim_memory;
@@ -263,4 +337,7 @@ let tests =
     Alcotest.test_case "dma/device overlap" `Quick test_dma_overlap_timing;
     Alcotest.test_case "soc event costs" `Quick test_soc_event_costs;
     Alcotest.test_case "soc reset preserves memory" `Quick test_soc_reset_run_state;
+    QCheck_alcotest.to_alcotest prop_lru_eviction_order;
+    QCheck_alcotest.to_alcotest prop_warm_footprint_all_hits;
+    QCheck_alcotest.to_alcotest prop_sweep_misses_monotone;
   ]

@@ -97,6 +97,75 @@ let test_resolve_v4_override () =
        (Tiling.resolve_accel_dims config ~maps:matmul_maps ~ranges:[ 32; 256; 512 ]
           ~tile_override:[ 24; 16; 16 ] ()))
 
+(* Regression pins for the tiling edge cases the differential fuzzer
+   exercises: a tile larger than the problem extent, tile size 1, and
+   non-dividing tile sizes must all resolve to the same structured
+   errors (or tile lists) they do today. *)
+let test_tiling_edge_cases () =
+  let contains hay needle =
+    let nl = String.length needle in
+    let rec go i = i + nl <= String.length hay && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  let expect_error name result fragment =
+    match result with
+    | Ok tiles ->
+      Alcotest.fail
+        (Printf.sprintf "%s: expected an error, got tiles %s" name
+           (String.concat "," (List.map string_of_int tiles)))
+    | Error msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s mentions \"%s\" (got: %s)" name fragment msg)
+        true (contains msg fragment)
+  in
+  let v4 = Presets.matmul ~version:Accel_matmul.V4 ~size:4 () in
+  (* tile > dim: both via an engine tile larger than the extent and via
+     an explicit override *)
+  expect_error "fixed tile > extent"
+    (Tiling.resolve_accel_dims v4 ~maps:matmul_maps ~ranges:[ 2; 8; 8 ] ())
+    "problem extent is smaller than the accelerator tile";
+  expect_error "override tile > extent"
+    (Tiling.resolve_accel_dims v4 ~maps:matmul_maps ~ranges:[ 8; 8; 8 ]
+       ~tile_override:[ 16; 4; 4 ] ())
+    "problem extent is smaller than the accelerator tile";
+  (* tile exactly the extent: a single accelerator call, legal *)
+  (match
+     Tiling.resolve_accel_dims v4 ~maps:matmul_maps ~ranges:[ 8; 8; 8 ]
+       ~tile_override:[ 8; 8; 8 ] ()
+   with
+  | Ok tiles -> Alcotest.(check (list int)) "tile = extent" [ 8; 8; 8 ] tiles
+  | Error e -> Alcotest.fail e);
+  (* tile size 1 on a granule-1 flexible engine iterates elementwise *)
+  let v4_1 = Presets.matmul ~version:Accel_matmul.V4 ~size:1 () in
+  (match
+     Tiling.resolve_accel_dims v4_1 ~maps:matmul_maps ~ranges:[ 3; 5; 7 ]
+       ~tile_override:[ 1; 1; 1 ] ()
+   with
+  | Ok tiles -> Alcotest.(check (list int)) "tile size 1" [ 1; 1; 1 ] tiles
+  | Error e -> Alcotest.fail e);
+  (* tile size 1 on a granule-4 engine violates granularity *)
+  expect_error "tile 1 below granularity"
+    (Tiling.resolve_accel_dims v4 ~maps:matmul_maps ~ranges:[ 8; 8; 8 ]
+       ~tile_override:[ 1; 4; 4 ] ())
+    "multiples of the accelerator granularity";
+  (* non-dividing tiles: granule-aligned but not dividing the extent,
+     and extent not divisible by the engine tile *)
+  expect_error "tile does not divide extent"
+    (Tiling.resolve_accel_dims v4 ~maps:matmul_maps ~ranges:[ 12; 8; 8 ]
+       ~tile_override:[ 8; 4; 4 ] ())
+    "divide the problem extents";
+  expect_error "extent not a tile multiple"
+    (Tiling.resolve_accel_dims v4 ~maps:matmul_maps ~ranges:[ 10; 8; 8 ] ())
+    "divide the problem extents";
+  (* arity mismatches stay structured errors too *)
+  expect_error "override arity"
+    (Tiling.resolve_accel_dims v4 ~maps:matmul_maps ~ranges:[ 8; 8; 8 ]
+       ~tile_override:[ 8; 8 ] ())
+    "tile_override arity mismatch";
+  expect_error "ranges arity"
+    (Tiling.resolve_accel_dims v4 ~maps:matmul_maps ~ranges:[ 8; 8 ] ())
+    "expected 3 iteration dims"
+
 let flow_of config name = Accel_config.flow_exn config name
 
 let test_derive_permutation () =
@@ -376,6 +445,7 @@ let tests =
     Alcotest.test_case "matcher rejects wrong kernels" `Quick test_matcher_rejects_wrong_kernel;
     Alcotest.test_case "resolve accel dims" `Quick test_resolve_accel_dims;
     Alcotest.test_case "resolve v4 overrides" `Quick test_resolve_v4_override;
+    Alcotest.test_case "tiling edge cases" `Quick test_tiling_edge_cases;
     Alcotest.test_case "derive permutation (matmul flows)" `Quick test_derive_permutation;
     Alcotest.test_case "derive permutation (conv)" `Quick test_derive_permutation_conv;
     Alcotest.test_case "cpu tile choice" `Quick test_cpu_tiles;

@@ -21,4 +21,5 @@ let () =
       ("integration", Suite_integration.tests);
       ("multi-accel", Suite_multi_accel.tests);
       ("negative", Suite_negative.tests);
+      ("fuzz", Suite_fuzz.tests);
     ]
