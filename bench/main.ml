@@ -107,22 +107,29 @@ let run_bechamel () =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  (* --trace DIR consumes its value; extract it before the generic
-     flag/selection split. *)
-  let rec extract_trace = function
+  (* --trace DIR / --json DIR consume their value; extract them before
+     the generic flag/selection split. *)
+  let rec extract_dir flag = function
     | [] -> (None, [])
-    | "--trace" :: dir :: rest ->
-      let _, others = extract_trace rest in
+    | a :: dir :: rest when a = flag ->
+      let _, others = extract_dir flag rest in
       (Some dir, others)
     | a :: rest ->
-      let dir, others = extract_trace rest in
+      let dir, others = extract_dir flag rest in
       (dir, a :: others)
   in
-  let trace, args = extract_trace args in
+  let trace, args = extract_dir "--trace" args in
+  let json, args = extract_dir "--json" args in
   (match trace with
   | Some dir ->
     (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
     Report.trace_dir := Some dir
+  | None -> ());
+  (match json with
+  | Some dir ->
+    (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+    Report.json_dir := Some dir;
+    Metrics.enable Metrics.default
   | None -> ());
   let bechamel = List.mem "--bechamel" args in
   Report.quick := List.mem "--quick" args;
@@ -150,9 +157,10 @@ let () =
     List.iter
       (fun (name, descr, f) ->
         Printf.printf "\n>>> %s\n%!" descr;
-        Report.current_experiment := name;
+        Report.begin_experiment name;
         let t0 = Unix.gettimeofday () in
         f ();
+        Report.end_experiment ();
         Printf.printf "<<< done in %.1fs (host wall clock)\n%!" (Unix.gettimeofday () -. t0))
       to_run
   end

@@ -30,7 +30,8 @@ let parse_tiles = function
   | Some text -> Some (List.map int_of_string (String.split_on_char ',' text))
 
 let run_tool config_path input emit_matmul emit_conv flow tiles no_cpu_tiling no_copy_spec
-    coalesce double_buffer accel_only cpu_only pretty =
+    coalesce double_buffer accel_only cpu_only pretty remarks metrics_out =
+  Tool_common.with_observability ~remarks ~metrics:metrics_out @@ fun () ->
   Dialects.register_all ();
   let modul =
     match (emit_matmul, emit_conv, input) with
@@ -134,6 +135,6 @@ let cmd =
       ret
         (const run_tool $ config $ input $ emit_matmul $ emit_conv $ flow $ tiles
        $ no_cpu_tiling $ no_copy_spec $ coalesce $ double_buffer $ accel_only $ cpu_only
-       $ pretty))
+       $ pretty $ Tool_common.remarks_flag $ Tool_common.metrics_out))
 
 let () = exit (Cmd.eval cmd)

@@ -12,7 +12,8 @@
 open Cmdliner
 
 let run_tool config_path matmul conv flow tiles coalesce double_buffer cpu_only
-    trace_out timing =
+    trace_out timing remarks metrics_out =
+  Tool_common.with_observability ~remarks ~metrics:metrics_out @@ fun () ->
   Dialects.register_all ();
   let config_path =
     match config_path with Some p -> p | None -> failwith "--config is required"
@@ -156,6 +157,7 @@ let cmd =
     Term.(
       ret
         (const run_tool $ config $ matmul $ conv $ flow $ tiles $ coalesce $ double_buffer
-       $ cpu_only $ trace_out $ timing))
+       $ cpu_only $ trace_out $ timing $ Tool_common.remarks_flag
+       $ Tool_common.metrics_out))
 
 let () = exit (Cmd.eval cmd)

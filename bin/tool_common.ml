@@ -1,0 +1,62 @@
+(* Observability flags shared by the axi4mlir_* tools.
+
+   Every tool that compiles through the pass pipeline accepts the same
+   two flags, parsed by the same terms, so `--remarks` and `--metrics`
+   behave identically in axi4mlir-opt and axi4mlir-run: enable the
+   collectors before any work, dump on the way out (including the
+   failure path — a Missed remark explaining *why* compilation bailed
+   is most valuable exactly then). *)
+
+open Cmdliner
+
+let remarks_flag =
+  Arg.(
+    value & flag
+    & info [ "remarks" ]
+        ~doc:
+          "Collect optimization remarks from the transform passes (transfer \
+           hoisting, copy specialisation, offload rejections) and print them \
+           to stderr as LLVM-style YAML documents.")
+
+let metrics_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write a JSON dump of the metrics registry (and any collected \
+           remarks) to $(docv) on exit.")
+
+let setup ~remarks ~metrics =
+  if remarks then Remarks.enable ();
+  if metrics <> None then Metrics.enable (Metrics.default)
+
+(* The metrics artifact carries the remarks too: one self-describing
+   file per run is easier to archive next to a trace than two. *)
+let metrics_json () =
+  match Metrics.to_json () with
+  | Json.Obj fields -> Json.Obj (fields @ [ ("remarks", Remarks.all_to_json ()) ])
+  | other -> other
+
+let finish ~remarks ~metrics =
+  if remarks then prerr_string (Remarks.render_all ());
+  match metrics with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Json.to_string ~indent:2 (metrics_json ()));
+    output_char oc '\n';
+    close_out oc;
+    Printf.eprintf "metrics      : %s\n" path
+
+(* Run [body], dumping remarks/metrics on both the success and the
+   failure path; a [Failure] becomes a cmdliner error (non-zero exit). *)
+let with_observability ~remarks ~metrics body =
+  setup ~remarks ~metrics;
+  match body () with
+  | result ->
+    finish ~remarks ~metrics;
+    result
+  | exception Failure msg ->
+    finish ~remarks ~metrics;
+    `Error (false, msg)

@@ -225,11 +225,43 @@ let accel_pipeline host accel (case : Fuzz_case.t) =
   Pipeline.make ~accel ~host ~options ~copy_specialization:case.copy_specialization
     ~coalesce_transfers:case.coalesce_transfers ~to_runtime_calls:case.to_runtime_calls ()
 
+(* The metrics registry mirrors the DMA engine's perf-counter bumps
+   (see Dma_engine); over a measured run the totals must agree exactly,
+   or the two observability surfaces have drifted apart. *)
+let metrics_parity (c : Perf_counters.t) =
+  let pairs =
+    [
+      ("sim.dma_transactions", c.Perf_counters.dma_transactions);
+      ("sim.dma_words_sent", c.Perf_counters.dma_words_sent);
+      ("sim.dma_words_received", c.Perf_counters.dma_words_received);
+      ("sim.accel_busy_cycles", c.Perf_counters.accel_busy_cycles);
+    ]
+  in
+  List.filter_map
+    (fun (name, field) ->
+      let total = Metrics.total name in
+      if Float.abs (total -. field) > 1e-6 *. Float.max 1.0 (Float.abs field) then
+        Some
+          (Invariant
+             (Printf.sprintf
+                "metrics registry total %s (%g) disagrees with the perf counter (%g)"
+                name total field))
+      else None)
+    pairs
+
 let run_accel host accel case ops compiled =
   guard ~path:"accel" (fun () ->
       let bench, views = setup_path host accel case ops in
+      (* Enable and reset the registry for the measured run so its
+         totals cover exactly what the perf counters cover ([measure]
+         zeroes the counters when the thunk starts). *)
+      let was_enabled = Metrics.enabled Metrics.default in
+      Metrics.enable Metrics.default;
+      Metrics.reset Metrics.default;
       let counters = run_module bench case compiled views in
-      (Memref_view.to_array (output_view views), counters))
+      let parity = metrics_parity counters in
+      if not was_enabled then Metrics.disable Metrics.default;
+      (Memref_view.to_array (output_view views), counters, parity))
 
 (* ------------------------------------------------------------------ *)
 (* Verdict                                                             *)
@@ -299,8 +331,9 @@ let run (case : Fuzz_case.t) =
     | Ok compiled -> (
       add (roundtrip ~stage:"accel-compiled" compiled);
       (match run_accel host accel case ops compiled with
-      | Ok (output, counters) ->
+      | Ok (output, counters, parity) ->
         add (compare_output ~path:"accel" ops.gold output);
-        add (check_invariants case counters)
+        add (check_invariants case counters);
+        add parity
       | Error f -> add [ f ]);
       match !failures with [] -> Pass | fs -> Failed fs))

@@ -88,6 +88,7 @@ let runtime_call t frame (o : Ir.op) callee =
     | _ -> error "runtime calls return at most one value"
   in
   let arg n = List.nth o.Ir.operands n in
+  Metrics.incr "interp.runtime_calls" ~labels:[ ("callee", callee) ];
   (* No dispatch cost here: the library entry points account for their
      own call overhead, exactly as when the manual drivers call them. *)
   if callee = Runtime_abi.dma_init then
@@ -317,7 +318,9 @@ and exec_func t (f : Ir.op) args =
 
 let invoke t name args =
   match Hashtbl.find_opt t.funcs name with
-  | Some f -> exec_func t f args
+  | Some f ->
+    Metrics.incr "interp.invocations" ~labels:[ ("func", name) ];
+    exec_func t f args
   | None -> error "no function named %s" name
 
 (* Structured execution for harnesses (the differential fuzzer): any

@@ -36,6 +36,13 @@ let run_pipeline ?(options = default_options) ?stats ?(tracer = Trace.noop) pass
       let ir = pass.run ir in
       let seconds = Sys.time () -. t0 in
       let ops_after = count_all ir in
+      Metrics.incr "compiler.pass_runs" ~labels:[ ("pass", pass.pass_name) ];
+      Metrics.observe "compiler.pass_us"
+        ~labels:[ ("pass", pass.pass_name) ]
+        (seconds *. 1e6);
+      Metrics.observe "compiler.pass_ops_after"
+        ~labels:[ ("pass", pass.pass_name) ]
+        (float_of_int ops_after);
       (* Compile-side events live on their own track with real
          (process-time) microsecond stamps — the simulated clock has not
          started yet. *)

@@ -109,6 +109,49 @@ let phase_breakdown ~total events =
     phases
 
 (* ------------------------------------------------------------------ *)
+(* Derived metrics                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Every derived metric is a ratio; a zero denominator (a phase or run
+   with zero cycles, a run with no DMA traffic) must yield None — never
+   nan/inf — so renderers print "n/a" and JSON consumers get null. *)
+
+let ratio num den = if den > 0.0 then Some (num /. den) else None
+
+let task_clock_ms ~cpu_freq_mhz ~total =
+  ratio (field total "cycles") (cpu_freq_mhz *. 1000.0)
+
+let flops_per_cycle ~total = ratio (field total "flops") (field total "cycles")
+
+let transfer_words total = field total "dma_words_sent" +. field total "dma_words_received"
+
+let arithmetic_intensity ~total =
+  (* flops per byte crossing the AXI stream (4-byte words) *)
+  ratio (field total "flops") (4.0 *. transfer_words total)
+
+let dma_bandwidth_pct ~bus_words_per_cpu_cycle ~total phases =
+  let transfer_cycles =
+    List.fold_left
+      (fun acc ph ->
+        if ph.ph_name = "dma_send" || ph.ph_name = "dma_recv" then
+          acc +. phase_field ph "cycles"
+        else acc)
+      0.0 phases
+  in
+  match ratio (transfer_words total) transfer_cycles with
+  | None -> None
+  | Some words_per_cycle ->
+    Option.map (fun r -> 100.0 *. r) (ratio words_per_cycle bus_words_per_cpu_cycle)
+
+let occupancy_pct ~cpu_freq_mhz ~accel_freq_mhz ~total =
+  match ratio cpu_freq_mhz accel_freq_mhz with
+  | None -> None
+  | Some cpu_per_accel ->
+    Option.map
+      (fun r -> 100.0 *. r)
+      (ratio (field total "accel_busy_cycles" *. cpu_per_accel) (field total "cycles"))
+
+(* ------------------------------------------------------------------ *)
 (* Rendering                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -164,34 +207,33 @@ let render ?cpu_freq_mhz ?bus_words_per_cpu_cycle ?accel_freq_mhz ~total events 
   Buffer.add_string buf (Tabulate.render table);
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
   line "";
+  let metric label render_value = function
+    | Some v -> line "%s: %s" label (render_value v)
+    | None -> line "%s: n/a" label
+  in
   (match cpu_freq_mhz with
-  | Some mhz when mhz > 0.0 ->
-    line "task clock            : %.3f ms" (total_cycles /. (mhz *. 1000.0))
-  | _ -> ());
+  | Some mhz ->
+    metric "task clock            "
+      (Printf.sprintf "%.3f ms")
+      (task_clock_ms ~cpu_freq_mhz:mhz ~total)
+  | None -> ());
   let flops = field total "flops" in
-  if total_cycles > 0.0 then
-    line "host FLOPs/cycle      : %.3f (%.0f flops)" (flops /. total_cycles) flops;
-  let words = field total "dma_words_sent" +. field total "dma_words_received" in
-  if words > 0.0 then
-    line "arithmetic intensity  : %.3f flops/byte over the AXI stream"
-      (flops /. (4.0 *. words));
+  metric "host FLOPs/cycle      "
+    (fun r -> Printf.sprintf "%.3f (%.0f flops)" r flops)
+    (flops_per_cycle ~total);
+  metric "arithmetic intensity  "
+    (fun r -> Printf.sprintf "%.3f flops/byte over the AXI stream" r)
+    (arithmetic_intensity ~total);
   (match bus_words_per_cpu_cycle with
-  | Some bus when bus > 0.0 && words > 0.0 ->
-    let transfer_cycles =
-      List.fold_left
-        (fun acc ph ->
-          if ph.ph_name = "dma_send" || ph.ph_name = "dma_recv" then
-            acc +. phase_field ph "cycles"
-          else acc)
-        0.0 phases
-    in
-    if transfer_cycles > 0.0 then
-      line "DMA bandwidth         : %.1f%% of the AXI-S peak during transfer phases"
-        (100.0 *. (words /. transfer_cycles) /. bus)
-  | _ -> ());
+  | Some bus ->
+    metric "DMA bandwidth         "
+      (fun r -> Printf.sprintf "%.1f%% of the AXI-S peak during transfer phases" r)
+      (dma_bandwidth_pct ~bus_words_per_cpu_cycle:bus ~total phases)
+  | None -> ());
   (match (accel_freq_mhz, cpu_freq_mhz) with
-  | Some accel_mhz, Some cpu_mhz when accel_mhz > 0.0 && total_cycles > 0.0 ->
-    let busy_cpu = field total "accel_busy_cycles" *. (cpu_mhz /. accel_mhz) in
-    line "accelerator occupancy : %.1f%% of the run" (100.0 *. busy_cpu /. total_cycles)
+  | Some accel_mhz, Some cpu_mhz ->
+    metric "accelerator occupancy "
+      (fun r -> Printf.sprintf "%.1f%% of the run" r)
+      (occupancy_pct ~cpu_freq_mhz:cpu_mhz ~accel_freq_mhz:accel_mhz ~total)
   | _ -> ());
   Buffer.contents buf

@@ -37,6 +37,34 @@ val phase_breakdown : total:(string * float) list -> Trace.event list -> phase l
 val phase_field : phase -> string -> float
 (** A field total, 0 if absent. *)
 
+(** {1 Derived metrics}
+
+    All derived metrics are ratios and all return [None] — never NaN or
+    infinity — when their denominator is zero (a phase or run that
+    accumulated no cycles, a run with no DMA traffic, a zero frequency).
+    {!render} prints such metrics as ["n/a"]. *)
+
+val task_clock_ms : cpu_freq_mhz:float -> total:(string * float) list -> float option
+(** Host cycles as milliseconds; [None] when [cpu_freq_mhz <= 0]. *)
+
+val flops_per_cycle : total:(string * float) list -> float option
+(** Achieved host FLOPs per cycle; [None] for a zero-cycle run. *)
+
+val arithmetic_intensity : total:(string * float) list -> float option
+(** FLOPs per byte crossing the AXI stream; [None] when no DMA words
+    moved. *)
+
+val dma_bandwidth_pct :
+  bus_words_per_cpu_cycle:float -> total:(string * float) list -> phase list -> float option
+(** Achieved share (percent) of the AXI-S peak during the [dma_send] /
+    [dma_recv] phases; [None] when those phases have zero cycles, no
+    words moved, or the bus rate is zero. *)
+
+val occupancy_pct :
+  cpu_freq_mhz:float -> accel_freq_mhz:float -> total:(string * float) list -> float option
+(** Share (percent) of the run the accelerator was busy; [None] for a
+    zero-cycle run or a zero frequency. *)
+
 (** {1 Rendering} *)
 
 val render :

@@ -1,0 +1,95 @@
+type arg = Str of string | Int of int | Num of float | Bool of bool
+
+type kind = Applied | Missed | Analysis
+
+type t = {
+  r_kind : kind;
+  r_pass : string;
+  r_name : string;
+  r_loc : string;
+  r_message : string;
+  r_args : (string * arg) list;
+}
+
+let kind_to_string = function
+  | Applied -> "Applied"
+  | Missed -> "Missed"
+  | Analysis -> "Analysis"
+
+type collector = { mutable on : bool; mutable remarks : t list (* newest first *) }
+
+let create () = { on = false; remarks = [] }
+
+let default = create ()
+
+let enable ?(col = default) () =
+  col.on <- true;
+  col.remarks <- []
+
+let disable ?(col = default) () = col.on <- false
+
+let enabled ?(col = default) () = col.on
+
+let clear ?(col = default) () = col.remarks <- []
+
+let emit ?(col = default) ~kind ~pass ~name ?(loc = "?") ?(args = []) message =
+  if col.on then
+    col.remarks <-
+      { r_kind = kind; r_pass = pass; r_name = name; r_loc = loc; r_message = message;
+        r_args = args }
+      :: col.remarks
+
+let all ?(col = default) () = List.rev col.remarks
+
+let count ?(col = default) kind =
+  List.length (List.filter (fun r -> r.r_kind = kind) col.remarks)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let arg_to_string = function
+  | Str s -> s
+  | Int n -> string_of_int n
+  | Num f -> Printf.sprintf "%g" f
+  | Bool b -> string_of_bool b
+
+let render r =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "--- !%s\n" (kind_to_string r.r_kind));
+  Buffer.add_string buf (Printf.sprintf "Pass:    %s\n" r.r_pass);
+  Buffer.add_string buf (Printf.sprintf "Name:    %s\n" r.r_name);
+  Buffer.add_string buf (Printf.sprintf "Loc:     %s\n" r.r_loc);
+  Buffer.add_string buf (Printf.sprintf "Message: %s\n" r.r_message);
+  if r.r_args <> [] then begin
+    Buffer.add_string buf "Args:\n";
+    List.iter
+      (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "  - %s: %s\n" k (arg_to_string v)))
+      r.r_args
+  end;
+  Buffer.add_string buf "...\n";
+  Buffer.contents buf
+
+let render_all ?(col = default) () =
+  match all ~col () with
+  | [] -> "(no remarks collected)\n"
+  | rs -> String.concat "" (List.map render rs)
+
+let arg_to_json = function
+  | Str s -> Json.String s
+  | Int n -> Json.Int n
+  | Num f -> Json.Float f
+  | Bool b -> Json.Bool b
+
+let to_json r =
+  Json.Obj
+    [
+      ("kind", Json.String (kind_to_string r.r_kind));
+      ("pass", Json.String r.r_pass);
+      ("name", Json.String r.r_name);
+      ("loc", Json.String r.r_loc);
+      ("message", Json.String r.r_message);
+      ("args", Json.Obj (List.map (fun (k, v) -> (k, arg_to_json v)) r.r_args));
+    ]
+
+let all_to_json ?(col = default) () = Json.List (List.map to_json (all ~col ()))

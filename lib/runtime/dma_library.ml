@@ -29,6 +29,8 @@ let init ?(double_buffer = false) soc ~dma_id ~strategy =
         ("double_buffer", Trace.Bool double_buffer);
       ]
     "dma_init";
+  Metrics.incr "runtime.dma_inits"
+    ~labels:[ ("strategy", strategy_to_string strategy) ];
   soc.Soc.counters.cycles <- soc.Soc.counters.cycles +. init_cycles;
   Trace.end_span soc.Soc.tracer;
   { soc; engine; strategy; double_buffer }
@@ -139,6 +141,11 @@ let copy_to_dma_region_with t strategy view ~offset =
       ]
     "copy_to_dma_region"
     (fun () ->
+      let labels = [ ("strategy", strategy_to_string strategy) ] in
+      Metrics.incr "runtime.copies" ~labels:(("dir", "to_accel") :: labels);
+      Metrics.observe "runtime.copy_words"
+        ~labels:(("dir", "to_accel") :: labels)
+        (float_of_int (Memref_view.num_elements view));
       match strategy with
       | Generic -> generic_copy_out t view ~offset
       | Bare -> bare_copy_out t view ~offset
@@ -217,6 +224,11 @@ let copy_from_data_with t strategy view ~accumulate data =
       ]
     "copy_from_data"
     (fun () ->
+      let labels = [ ("strategy", strategy_to_string strategy) ] in
+      Metrics.incr "runtime.copies" ~labels:(("dir", "from_accel") :: labels);
+      Metrics.observe "runtime.copy_words"
+        ~labels:(("dir", "from_accel") :: labels)
+        (float_of_int (Memref_view.num_elements view));
       match strategy with
       | Generic -> generic_copy_in t view ~accumulate data
       | Bare -> bare_copy_in t view ~accumulate data

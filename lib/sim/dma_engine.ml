@@ -31,6 +31,15 @@ let create ~cost ~counters ?tracer ~device ~in_capacity_words ~out_capacity_word
 let device t = t.dev
 let in_capacity_words t = Array.length t.in_region
 
+(* Registry mirrors of the perf-counter bumps below. The metric totals
+   must stay exactly equal to the corresponding Perf_counters fields
+   over a measured run — the fuzz oracle asserts it — so every counter
+   update site pairs with one of these. *)
+let m_transaction () = Metrics.incr "sim.dma_transactions"
+let m_words_sent len = Metrics.incr "sim.dma_words_sent" ~by:(float_of_int len)
+let m_words_received len = Metrics.incr "sim.dma_words_received" ~by:(float_of_int len)
+let m_accel_busy cycles = Metrics.incr "sim.accel_busy_cycles" ~by:cycles
+
 let stage t ~offset word =
   if offset < 0 || offset >= Array.length t.in_region then
     failwith
@@ -60,6 +69,7 @@ let start_send t ~offset ~len_words =
   t.counters.cycles <- t.counters.cycles +. t.cost.dma_program_cycles;
   t.counters.instructions <- t.counters.instructions +. 20.0;
   t.counters.dma_transactions <- t.counters.dma_transactions +. 1.0;
+  m_transaction ();
   Trace.end_span t.tracer;
   t.pending_send <- Some (offset, len_words)
 
@@ -74,9 +84,12 @@ let wait_send t =
     let transfer = float_of_int len *. Cost_model.cpu_cycles_per_word t.cost in
     t.counters.cycles <- t.counters.cycles +. transfer +. t.cost.dma_wait_cycles;
     t.counters.dma_words_sent <- t.counters.dma_words_sent +. float_of_int len;
+    m_words_sent len;
+    Metrics.observe "sim.dma_send_len_words" (float_of_int len);
     let words = Array.sub t.in_region offset len in
     let accel_cycles = t.dev.Accel_device.consume words in
     t.counters.accel_busy_cycles <- t.counters.accel_busy_cycles +. accel_cycles;
+    m_accel_busy accel_cycles;
     (* The device starts processing when the stream arrives and runs
        concurrently with the host from then on. *)
     let start = Float.max t.counters.cycles t.ready_at in
@@ -107,11 +120,15 @@ let send_staged_async t =
     t.counters.instructions <- t.counters.instructions +. 20.0;
     t.counters.dma_transactions <- t.counters.dma_transactions +. 1.0;
     t.counters.dma_words_sent <- t.counters.dma_words_sent +. float_of_int len;
+    m_transaction ();
+    m_words_sent len;
+    Metrics.observe "sim.dma_send_len_words" (float_of_int len);
     let transfer = float_of_int len *. Cost_model.cpu_cycles_per_word t.cost in
     t.send_done_at <- t.counters.cycles +. transfer;
     let words = Array.sub t.in_region 0 len in
     let accel_cycles = t.dev.Accel_device.consume words in
     t.counters.accel_busy_cycles <- t.counters.accel_busy_cycles +. accel_cycles;
+    m_accel_busy accel_cycles;
     (* the device starts once the stream has fully arrived *)
     let start = Float.max t.send_done_at t.ready_at in
     t.ready_at <- start +. Cost_model.accel_to_cpu_cycles t.cost accel_cycles;
@@ -129,6 +146,7 @@ let start_recv t ~len_words =
   t.counters.cycles <- t.counters.cycles +. t.cost.dma_program_cycles;
   t.counters.instructions <- t.counters.instructions +. 20.0;
   t.counters.dma_transactions <- t.counters.dma_transactions +. 1.0;
+  m_transaction ();
   Trace.end_span t.tracer;
   t.pending_recv <- Some len_words
 
@@ -151,6 +169,8 @@ let wait_recv t =
     let transfer = float_of_int len *. Cost_model.cpu_cycles_per_word t.cost in
     t.counters.cycles <- t.counters.cycles +. transfer +. t.cost.dma_wait_cycles;
     t.counters.dma_words_received <- t.counters.dma_words_received +. float_of_int len;
+    m_words_received len;
+    Metrics.observe "sim.dma_recv_len_words" (float_of_int len);
     let data = t.dev.Accel_device.drain len in
     Trace.end_span t.tracer;
     data

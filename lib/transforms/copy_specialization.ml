@@ -19,8 +19,18 @@ let rewrite (o : Ir.op) =
       match spec_callee callee with
       | Some specialised when unit_innermost_stride memref ->
         ignore operands;
+        Remarks.emit ~kind:Remarks.Applied ~pass:"copy-specialization"
+          ~name:"specialize-copy" ~loc:o.name
+          ~args:[ ("callee", Remarks.Str specialised) ]
+          (Printf.sprintf "rewrote %s to the memcpy-based fast path" callee);
         Ir.set_attr o "callee" (Attribute.Str specialised)
-      | Some _ | None -> o)
+      | Some _ ->
+        Remarks.emit ~kind:Remarks.Missed ~pass:"copy-specialization"
+          ~name:"strided-copy" ~loc:o.name
+          ~args:[ ("callee", Remarks.Str callee) ]
+          "innermost stride is not 1: keeping the generic element-wise copy";
+        o
+      | None -> o)
     | _ -> o
 
 let pass = Pass.make "copy-specialization" (fun m -> Ir.map_nested rewrite m)

@@ -17,6 +17,67 @@ let default_options =
 
 let ( let* ) r f = Result.bind r f
 
+let pass_name = "match-and-annotate"
+
+(* One Applied remark per opcode the flow places above the innermost
+   loop: that operand tile stays stationary in the accelerator across
+   the loops below it, which is the data-movement saving the paper's
+   Ns/Bs flows exist for. Guarded on [Remarks.enabled] because the
+   per-operand footprint computation is not free. *)
+let emit_success_remarks ~(accel : Accel_config.t) ~maps ~ranges ~accel_dim ~flow
+    ~flow_name ~cpu_tile op =
+  if Remarks.enabled () then begin
+    Remarks.emit ~kind:Remarks.Applied ~pass:pass_name ~name:"offload"
+      ~loc:op.Ir.name
+      ~args:
+        [
+          ("accel", Remarks.Str accel.Accel_config.accel_name);
+          ("flow", Remarks.Str flow_name);
+          ("accel_dims", Remarks.Str (Util.string_of_list string_of_int accel_dim));
+        ]
+      (Printf.sprintf "offloading to %s with opcode flow %s"
+         accel.Accel_config.accel_name flow_name);
+    let per_operand = Tiling.operand_tile_elems ~maps ~ranges ~accel_dim in
+    let flow_d = Opcode.flow_depth flow in
+    List.iter
+      (fun (key, depth) ->
+        if depth < flow_d then
+          match Opcode.find accel.opcode_map key with
+          | None -> ()
+          | Some entry ->
+            let args =
+              Opcode.sends_of_actions entry.Opcode.actions
+              @ Opcode.recvs_of_actions entry.Opcode.actions
+            in
+            if args <> [] then begin
+              let words =
+                List.fold_left
+                  (fun acc a ->
+                    acc + Option.value ~default:0 (List.nth_opt per_operand a))
+                  0 args
+              in
+              Remarks.emit ~kind:Remarks.Applied ~pass:pass_name
+                ~name:"hoist-transfer" ~loc:op.Ir.name
+                ~args:
+                  [
+                    ("opcode", Remarks.Str key);
+                    ("depth", Remarks.Int depth);
+                    ("flow_depth", Remarks.Int flow_d);
+                    ("words_per_call", Remarks.Int words);
+                  ]
+                (Printf.sprintf
+                   "hoisted opcode %s to loop depth %d of %d: its %d-word tile \
+                    stays stationary across the inner loop(s)"
+                   key depth flow_d words)
+            end)
+      (Opcode.flow_placements flow);
+    if List.exists (fun t -> t > 0) cpu_tile then
+      Remarks.emit ~kind:Remarks.Applied ~pass:pass_name ~name:"cpu-tiling"
+        ~loc:op.Ir.name
+        ~args:[ ("tiles", Remarks.Str (Util.string_of_list string_of_int cpu_tile)) ]
+        "added a cache-blocking CPU tiling level above the accelerator tiles"
+  end
+
 let annotate_op ~(accel : Accel_config.t) ~host ~options op =
   let maps = Linalg.indexing_maps op in
   let ranges = Linalg.loop_ranges op in
@@ -76,6 +137,7 @@ let annotate_op ~(accel : Accel_config.t) ~host ~options op =
   let* () =
     Trait.validate trait ~n_dims:(List.length ranges) ~n_args:(List.length op.Ir.operands)
   in
+  emit_success_remarks ~accel ~maps ~ranges ~accel_dim ~flow ~flow_name ~cpu_tile op;
   Ok (Trait.attach op trait)
 
 let pass ~accel ~host ?(options = default_options) () =
@@ -87,6 +149,12 @@ let pass ~accel ~host ?(options = default_options) () =
       match annotate_op ~accel ~host ~options op with
       | Ok annotated -> annotated
       | Error reason ->
+        (* Remark first: [on_skip] may raise, and the Missed remark is
+           how the user learns why the op stayed on the CPU path. *)
+        Remarks.emit ~kind:Remarks.Missed ~pass:pass_name ~name:"not-offloaded"
+          ~loc:op.Ir.name
+          ~args:[ ("accel", Remarks.Str accel.Accel_config.accel_name) ]
+          (Printf.sprintf "op left on the CPU path: %s" reason);
         (match options.on_skip with
         | Some f -> f (Printf.sprintf "%s: %s" accel.Accel_config.accel_name reason)
         | None -> ());

@@ -21,6 +21,20 @@ let passes t =
 
 let run ?pass_options ?stats ?tracer t m =
   Dialects.register_all ();
+  Remarks.emit ~kind:Remarks.Analysis ~pass:"pipeline" ~name:"config" ~loc:"module"
+    ~args:
+      [
+        ("accel", Remarks.Str t.accel.Accel_config.accel_name);
+        ( "flow",
+          Remarks.Str
+            (match t.options.Match_annotate.flow with
+            | Some f -> f
+            | None -> t.accel.Accel_config.selected_flow) );
+        ("copy_specialization", Remarks.Bool t.copy_specialization);
+        ("coalesce_transfers", Remarks.Bool t.coalesce_transfers);
+        ("double_buffer", Remarks.Bool t.options.Match_annotate.double_buffer);
+      ]
+    (Printf.sprintf "lowering for accelerator %s" t.accel.Accel_config.accel_name);
   Pass.run_pipeline ?options:pass_options ?stats ?tracer (passes t) m
 
 (* Structured rejection: an [on_skip] callback that raises [Rejected]

@@ -94,20 +94,24 @@ let resolve_accel_dims (config : Accel_config.t) ~maps ~ranges ?tile_override ()
     else Ok ()
   in
   let* () =
-    let bad =
-      List.exists
+    match
+      List.find_opt
         (fun ((base, t), extent) ->
           base > 0 && (t mod base <> 0 || extent mod t <> 0))
         (List.combine (List.combine config.accel_dims tiles) ranges)
-    in
-    if bad then
+    with
+    | None -> Ok ()
+    | Some ((base, t), extent) ->
       Error
         (Printf.sprintf
            "tile sizes must be multiples of the accelerator granularity and divide the \
-            problem extents (tiles: %s, extents: %s)"
+            problem extents: tile %d %s (tiles: %s, extents: %s)"
+           t
+           (if t mod base <> 0 then
+              Printf.sprintf "is not a multiple of granularity %d" base
+            else Printf.sprintf "does not divide extent %d" extent)
            (Util.string_of_list string_of_int tiles)
            (Util.string_of_list string_of_int ranges))
-    else Ok ()
   in
   let* () = check_buffers config ~maps ~ranges ~accel_dim:tiles in
   Ok (apply_fault ~ranges tiles)

@@ -189,6 +189,33 @@ let test_render_report () =
       Alcotest.(check bool) ("report mentions " ^ needle) true found)
     [ "dma_send"; "task clock"; "occupancy"; "DMA bandwidth" ]
 
+(* Division-by-zero regression: every derived metric must degrade to
+   [None] / "n/a" on an empty run instead of printing nan. *)
+let test_derived_metrics_zero_guard () =
+  let zero = Perf_counters.fields (Perf_counters.create ()) in
+  Alcotest.(check bool) "task clock guards zero frequency" true
+    (Perf_report.task_clock_ms ~cpu_freq_mhz:0.0 ~total:zero = None);
+  Alcotest.(check bool) "flops/cycle guards zero cycles" true
+    (Perf_report.flops_per_cycle ~total:zero = None);
+  Alcotest.(check bool) "arithmetic intensity guards zero DMA traffic" true
+    (Perf_report.arithmetic_intensity ~total:zero = None);
+  Alcotest.(check bool) "occupancy guards zero cycles" true
+    (Perf_report.occupancy_pct ~cpu_freq_mhz:650.0 ~accel_freq_mhz:100.0 ~total:zero
+    = None);
+  Alcotest.(check bool) "bandwidth guards empty phase list" true
+    (Perf_report.dma_bandwidth_pct ~bus_words_per_cpu_cycle:0.25 ~total:zero [] = None);
+  let report =
+    Perf_report.render ~cpu_freq_mhz:650.0 ~bus_words_per_cpu_cycle:0.25
+      ~accel_freq_mhz:100.0 ~total:zero []
+  in
+  let contains needle =
+    let nl = String.length needle and rl = String.length report in
+    let rec scan i = i + nl <= rl && (String.sub report i nl = needle || scan (i + 1)) in
+    scan 0
+  in
+  Alcotest.(check bool) "report prints n/a" true (contains "n/a");
+  Alcotest.(check bool) "report never prints nan" false (contains "nan")
+
 (* ------------------------------------------------------------------ *)
 (* Pass stats                                                          *)
 (* ------------------------------------------------------------------ *)
@@ -255,6 +282,8 @@ let tests =
     Alcotest.test_case "chrome export is valid JSON" `Quick test_chrome_export_valid_json;
     Alcotest.test_case "phase cycles sum to aggregate" `Quick test_phase_sum_matches_aggregate;
     Alcotest.test_case "perf report renders" `Quick test_render_report;
+    Alcotest.test_case "derived metrics guard division by zero" `Quick
+      test_derived_metrics_zero_guard;
     Alcotest.test_case "pass stats and compile events" `Quick test_pass_stats;
     Alcotest.test_case "tracing does not perturb counters" `Quick
       test_tracing_does_not_perturb_counters;
