@@ -18,6 +18,7 @@ let experiments =
     ("fig14", "Fig. 14: v4 tiling/dataflow heuristics", Exp_fig14.run);
     ("fig16", "Fig. 16: ResNet-18 convolution layers", Exp_fig16.run);
     ("fig17", "Fig. 17: TinyBERT end-to-end", Exp_fig17.run);
+    ("fig_async", "Async: blocking vs double-buffered transfers", Exp_fig_async.run);
     ("ablation", "Ablation: codegen design choices", Exp_ablation.run);
   ]
 

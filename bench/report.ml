@@ -99,7 +99,8 @@ let measure (bench : Axi4mlir.t) thunk =
         Hashtbl.add traced !current_experiment ();
         let path = Filename.concat dir (!current_experiment ^ ".trace.json") in
         Chrome_trace.write_file
-          ~cpu_freq_mhz:bench.Axi4mlir.host.Host_config.frequency_mhz path events;
+          ~cpu_freq_mhz:bench.Axi4mlir.host.Host_config.frequency_mhz
+          ~track_names:(Soc.engine_track_names bench.Axi4mlir.soc) path events;
         Printf.printf "  [trace: %s (%d events)]\n" path (List.length events)
       end;
       counters

@@ -103,7 +103,9 @@ let run_tool config_path matmul conv flow tiles coalesce double_buffer cpu_only
     let run_events = Trace.events (Axi4mlir.tracer bench) in
     let events = Trace.events compile_tracer @ run_events in
     let cpu_freq_mhz = host.Host_config.frequency_mhz in
-    Chrome_trace.write_file ~cpu_freq_mhz path events;
+    Chrome_trace.write_file ~cpu_freq_mhz
+      ~track_names:(Soc.engine_track_names bench.Axi4mlir.soc)
+      path events;
     Printf.printf "trace        : %d events -> %s (load in ui.perfetto.dev)\n"
       (List.length events) path;
     let cost = bench.Axi4mlir.soc.Soc.cost in

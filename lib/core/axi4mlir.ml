@@ -129,6 +129,10 @@ let run_matmul t ?(options = default_codegen) m ~a ~b ~c =
 let measure t thunk =
   Soc.reset_run_state t.soc;
   thunk ();
+  (* Reported task_clock is the makespan: the host's own clock extended
+     to cover any DMA/accelerator agent still busy past it. Identity
+     for blocking runs (the timeline is empty there). *)
+  Soc.absorb_makespan t.soc;
   Perf_counters.copy t.soc.Soc.counters
 
 let task_clock_ms t counters =

@@ -5,6 +5,9 @@ let send_name = "accel.send"
 let send_dim_name = "accel.sendDim"
 let send_idx_name = "accel.sendIdx"
 let recv_name = "accel.recv"
+let start_send_name = "accel.start_send"
+let start_recv_name = "accel.start_recv"
+let wait_name = "accel.wait"
 
 let op_names =
   [
@@ -15,6 +18,9 @@ let op_names =
     send_dim_name;
     send_idx_name;
     recv_name;
+    start_send_name;
+    start_recv_name;
+    wait_name;
   ]
 
 let flush_attr flush = if flush then [ ("flush", Attribute.Bool true) ] else []
@@ -65,6 +71,21 @@ let recv b ~mode ~dst ~offset =
     (Ir.op recv_name ~operands:[ dst; offset ] ~results:[ offset_result () ]
        ~attrs:[ ("mode", Attribute.Str (mode_string mode)) ])
 
+(* Non-blocking halves: [start_send] flushes everything staged since
+   the last flush as one background transfer; [start_recv] programs a
+   background receive into [dst]; both return an [!accel.token] that a
+   later [wait] consumes (exactly once — the verifier enforces it). *)
+let start_send b =
+  Builder.emit_result b (Ir.op start_send_name ~results:[ Ir.fresh_value Ty.token ])
+
+let start_recv b ~mode ~dst =
+  Builder.emit_result b
+    (Ir.op start_recv_name ~operands:[ dst ]
+       ~results:[ Ir.fresh_value Ty.token ]
+       ~attrs:[ ("mode", Attribute.Str (mode_string mode)) ])
+
+let wait b ~token = Builder.emit b (Ir.op wait_name ~operands:[ token ])
+
 let recv_mode_of (o : Ir.op) =
   match Ir.attr o "mode" with
   | Some (Attribute.Str "accumulate") -> Accumulate
@@ -96,6 +117,23 @@ let verify_offset_chain ~data (o : Ir.op) =
     else Ok ()
   | _ -> Error "expected (payload, offset) operands and one offset result"
 
+let is_token (v : Ir.value) = Ty.equal v.Ir.vty Ty.token
+
+let verify_start_send (o : Ir.op) =
+  match (o.operands, o.results) with
+  | [], [ r ] when is_token r -> Ok ()
+  | _ -> Error "start_send takes no operands and returns one !accel.token"
+
+let verify_start_recv (o : Ir.op) =
+  match (o.operands, o.results) with
+  | [ dst ], [ r ] when is_memref dst && is_token r -> Ok ()
+  | _ -> Error "start_recv requires one memref operand and one !accel.token result"
+
+let verify_wait (o : Ir.op) =
+  match (o.operands, o.results) with
+  | [ tok ], [] when is_token tok -> Ok ()
+  | _ -> Error "wait consumes exactly one !accel.token and returns nothing"
+
 let registered =
   lazy
     (Verifier.register_op_verifier dma_init_name verify_dma_init;
@@ -103,7 +141,10 @@ let registered =
      Verifier.register_op_verifier recv_name (verify_offset_chain ~data:true);
      Verifier.register_op_verifier send_literal_name (verify_offset_chain ~data:false);
      Verifier.register_op_verifier send_dim_name (verify_offset_chain ~data:true);
-     Verifier.register_op_verifier send_idx_name (verify_offset_chain ~data:false))
+     Verifier.register_op_verifier send_idx_name (verify_offset_chain ~data:false);
+     Verifier.register_op_verifier start_send_name verify_start_send;
+     Verifier.register_op_verifier start_recv_name verify_start_recv;
+     Verifier.register_op_verifier wait_name verify_wait)
 
 let register () = Lazy.force registered
 

@@ -59,11 +59,36 @@ type recv_mode = Store | Accumulate
 val recv : Builder.t -> mode:recv_mode -> dst:Ir.value -> offset:Ir.value -> Ir.value
 (** [accel.recv {mode}(%tile, %offset) : memref, i32 -> i32]. *)
 
+(** {1 Non-blocking transfers}
+
+    The asynchronous halves the double-buffering pass emits:
+    [start_send] flushes everything staged since the last flush as one
+    background transfer (so staging ops before it carry
+    [flush = false]); [start_recv] programs a background receive into a
+    memref. Both return an [!accel.token]; [wait] consumes it. The
+    verifier requires every token to be waited exactly once. *)
+
+val start_send : Builder.t -> Ir.value
+(** [%t = accel.start_send() : () -> !accel.token]. *)
+
+val start_recv : Builder.t -> mode:recv_mode -> dst:Ir.value -> Ir.value
+(** [%t = accel.start_recv {mode}(%tile) : memref -> !accel.token]. *)
+
+val wait : Builder.t -> token:Ir.value -> unit
+(** [accel.wait(%t)]: synchronise the host with the transfer; for
+    recv tokens this is when the data lands in the destination. *)
+
 val recv_mode_of : Ir.op -> recv_mode
 val is_flush : Ir.op -> bool
 val is_accel : Ir.op -> bool
 
 val op_names : string list
 (** All accel op names (for matching in passes). *)
+
+val dma_init_name : string
+val recv_name : string
+val start_send_name : string
+val start_recv_name : string
+val wait_name : string
 
 val register : unit -> unit

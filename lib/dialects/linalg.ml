@@ -156,7 +156,7 @@ let verify_generic (o : Ir.op) =
            (fun (m : Affine_map.t) (v : Ir.value) ->
              match v.vty with
              | Ty.Memref mr -> Affine_map.n_results m = Ty.rank mr
-             | Ty.Scalar _ | Ty.Func _ -> false)
+             | Ty.Scalar _ | Ty.Func _ | Ty.Token -> false)
            maps o.operands)
     then Error "indexing map results must match operand memref ranks"
     else begin

@@ -2,7 +2,7 @@ let alloc b ty =
   (match ty with
   | Ty.Memref m when Ty.is_identity_layout m -> ()
   | Ty.Memref _ -> invalid_arg "Memref_d.alloc: layout must be identity"
-  | Ty.Scalar _ | Ty.Func _ -> invalid_arg "Memref_d.alloc: not a memref type");
+  | Ty.Scalar _ | Ty.Func _ | Ty.Token -> invalid_arg "Memref_d.alloc: not a memref type");
   Builder.emit_result b (Ir.op "memref.alloc" ~results:[ Ir.fresh_value ty ])
 
 let dealloc b v = Builder.emit b (Ir.op "memref.dealloc" ~operands:[ v ])

@@ -1,5 +1,11 @@
 (** The [scf] dialect: structured control flow ([scf.for] loops). *)
 
+val for_name : string
+(** ["scf.for"] *)
+
+val yield_name : string
+(** ["scf.yield"] *)
+
 val for_ :
   Builder.t ->
   lb:Ir.value ->

@@ -263,6 +263,48 @@ let run_accel host accel case ops compiled =
       if not was_enabled then Metrics.disable Metrics.default;
       (Memref_view.to_array (output_view views), counters, parity))
 
+(* Double-buffering differential twin: when a case enables async
+   double buffering, recompile and re-run it with the feature off on a
+   fresh SoC. Pipelining is a pure schedule change, so the async run
+   must produce bit-identical output bytes, move exactly the same
+   number of DMA words in total, and never report a longer task clock
+   than its blocking twin. *)
+let check_double_buffer_twin host accel (case : Fuzz_case.t) ops ~async_output
+    ~async_counters =
+  let blocking = { case with Fuzz_case.double_buffer = false } in
+  match Pipeline.run_result (accel_pipeline host accel blocking) (build_module case) with
+  | Error _ -> [] (* the blocking twin was rejected: nothing to compare *)
+  | exception Failure msg -> [ Crash { path = "blocking-twin-compile"; message = msg } ]
+  | Ok compiled -> (
+    let run =
+      guard ~path:"blocking-twin" (fun () ->
+          let bench, views = setup_path host accel blocking ops in
+          let counters = run_module bench blocking compiled views in
+          (Memref_view.to_array (output_view views), counters))
+    in
+    match run with
+    | Error f -> [ f ]
+    | Ok (blocking_output, bc) ->
+      let problems = ref [] in
+      let require cond msg = if not cond then problems := Invariant msg :: !problems in
+      require
+        (async_output = blocking_output)
+        "double-buffered output differs from the blocking twin";
+      let total_words (c : Perf_counters.t) =
+        c.Perf_counters.dma_words_sent +. c.Perf_counters.dma_words_received
+      in
+      require
+        (total_words async_counters = total_words bc)
+        (Printf.sprintf
+           "double buffering changed total DMA traffic (%.0f words async vs %.0f blocking)"
+           (total_words async_counters) (total_words bc));
+      require
+        (async_counters.Perf_counters.cycles <= bc.Perf_counters.cycles)
+        (Printf.sprintf
+           "double buffering slowed the task clock (%.1f cycles async vs %.1f blocking)"
+           async_counters.Perf_counters.cycles bc.Perf_counters.cycles);
+      List.rev !problems)
+
 (* ------------------------------------------------------------------ *)
 (* Verdict                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -334,6 +376,10 @@ let run (case : Fuzz_case.t) =
       | Ok (output, counters, parity) ->
         add (compare_output ~path:"accel" ops.gold output);
         add (check_invariants case counters);
-        add parity
+        add parity;
+        if case.double_buffer then
+          add
+            (check_double_buffer_twin host accel case ops ~async_output:output
+               ~async_counters:counters)
       | Error f -> add [ f ]);
       match !failures with [] -> Pass | fs -> Failed fs))

@@ -1,4 +1,4 @@
-type value = I of int | F of float | M of Memref_view.t
+type value = I of int | F of float | M of Memref_view.t | T of Dma_library.token
 
 exception Runtime_error of string
 
@@ -59,17 +59,22 @@ let lookup frame (v : Ir.value) =
 let as_int frame v =
   match lookup frame v with
   | I n -> n
-  | F _ | M _ -> error "expected an integer value"
+  | F _ | M _ | T _ -> error "expected an integer value"
 
 let as_float frame v =
   match lookup frame v with
   | F f -> f
-  | I _ | M _ -> error "expected a float value"
+  | I _ | M _ | T _ -> error "expected a float value"
 
 let as_view frame v =
   match lookup frame v with
   | M view -> view
-  | I _ | F _ -> error "expected a memref value"
+  | I _ | F _ | T _ -> error "expected a memref value"
+
+let as_token frame v =
+  match lookup frame v with
+  | T tok -> tok
+  | I _ | F _ | M _ -> error "expected an !accel.token value"
 
 (* ------------------------------------------------------------------ *)
 (* Runtime-library call dispatch                                       *)
@@ -102,6 +107,24 @@ let runtime_call t frame (o : Ir.op) callee =
   else if callee = Runtime_abi.dma_flush_send then Dma_library.flush_send (lib t)
   else if callee = Runtime_abi.dma_start_recv then
     Dma_engine.start_recv (Dma_library.engine (lib t)) ~len_words:(as_int frame (arg 0))
+  else if callee = Runtime_abi.dma_start_send_async then
+    bind_result (T (Dma_library.start_send (lib t)))
+  else if
+    callee = Runtime_abi.dma_start_recv_async
+    || callee = Runtime_abi.dma_start_recv_async_spec
+  then begin
+    let view = as_view frame (arg 0) in
+    let accumulate =
+      match Ir.attr o "mode" with Some (Attribute.Str "accumulate") -> true | _ -> false
+    in
+    let strategy =
+      if callee = Runtime_abi.dma_start_recv_async_spec then Dma_library.Specialized
+      else Dma_library.Generic
+    in
+    bind_result (T (Dma_library.start_recv (lib t) ~strategy view ~accumulate))
+  end
+  else if callee = Runtime_abi.dma_wait then
+    Dma_library.wait (lib t) (as_token frame (arg 0))
   else if callee = Runtime_abi.dma_wait_recv then begin
     let data = Dma_engine.wait_recv (Dma_library.engine (lib t)) in
     (* Stash for the following copy_from call. *)
@@ -195,6 +218,13 @@ let accel_op t frame (o : Ir.op) =
     let data = Dma_engine.wait_recv (Dma_library.engine (lib t)) in
     Dma_library.copy_from_data_with (lib t) t.copy_strategy view ~accumulate data;
     bind_result (I 0)
+  | "accel.start_send" -> bind_result (T (Dma_library.start_send (lib t)))
+  | "accel.start_recv" ->
+    let view = as_view frame (arg 0) in
+    let accumulate = Accel.recv_mode_of o = Accel.Accumulate in
+    bind_result
+      (T (Dma_library.start_recv (lib t) ~strategy:t.copy_strategy view ~accumulate))
+  | "accel.wait" -> Dma_library.wait (lib t) (as_token frame (arg 0))
   | other -> error "unsupported accel op %s" other
 
 (* ------------------------------------------------------------------ *)

@@ -23,6 +23,7 @@ type value =
   | I of int  (** index or i32 *)
   | F of float
   | M of Memref_view.t
+  | T of Dma_library.token  (** an in-flight asynchronous transfer *)
 
 exception Runtime_error of string
 

@@ -233,6 +233,12 @@ let rec parse_ty st =
     let results = parse_ty_list st ')' in
     Ty.Func (args, results)
   end
+  else if accept st '!' then begin
+    (* dialect type: the only one we model is !accel.token *)
+    let name = scan_id st in
+    if name = "accel.token" then Ty.Token
+    else fail st "unknown dialect type !%s" name
+  end
   else begin
     match peek_id st with
     | Some "memref" ->

@@ -7,7 +7,7 @@ type memref = {
   strides : int list;
 }
 
-type t = Scalar of dtype | Memref of memref | Func of t list * t list
+type t = Scalar of dtype | Memref of memref | Func of t list * t list | Token
 
 let f32 = Scalar F32
 let f64 = Scalar F64
@@ -16,6 +16,7 @@ let i8 = Scalar I8
 let i32 = Scalar I32
 let i64 = Scalar I64
 let index = Scalar Index
+let token = Token
 
 let dtype_size_bytes = function
   | F32 | I32 -> 4
@@ -43,7 +44,7 @@ let memref ?(offset = 0) ?strides shape elem =
 
 let memref_of = function
   | Memref m -> m
-  | Scalar _ | Func _ -> invalid_arg "Ty.memref_of: not a memref type"
+  | Scalar _ | Func _ | Token -> invalid_arg "Ty.memref_of: not a memref type"
 
 let rank m = List.length m.shape
 let num_elements m = List.fold_left ( * ) 1 m.shape
@@ -109,5 +110,6 @@ let rec to_string = function
   | Func (args, results) ->
     let list l = String.concat ", " (List.map to_string l) in
     Printf.sprintf "(%s) -> (%s)" (list args) (list results)
+  | Token -> "!accel.token"
 
 let equal a b = a = b

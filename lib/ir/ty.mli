@@ -17,6 +17,10 @@ type t =
   | Scalar of dtype
   | Memref of memref
   | Func of t list * t list  (** argument types, result types *)
+  | Token
+      (** [!accel.token]: the handle returned by a non-blocking
+          [accel.start_send]/[accel.start_recv] and consumed (exactly
+          once) by [accel.wait]. *)
 
 val f32 : t
 val f64 : t
@@ -25,6 +29,9 @@ val i8 : t
 val i32 : t
 val i64 : t
 val index : t
+
+val token : t
+(** [!accel.token], see {!Token}. *)
 
 val dtype_size_bytes : dtype -> int
 (** Storage size of one element. [Index] is modelled as 8 bytes. *)

@@ -53,8 +53,50 @@ let check_ssa root =
   in
   check_op root
 
+(* Token linearity: every !accel.token-typed result must be consumed by
+   exactly one op (in practice accel.wait / the dma_wait runtime call).
+   Tokens are affine handles to in-flight hardware transfers — dropping
+   one leaks a transfer the program never synchronised with, and waiting
+   twice double-frees it. This is a whole-function check, so it lives
+   here rather than in a per-op verifier. *)
+let check_token_linearity root =
+  let producers : (int, string) Hashtbl.t = Hashtbl.create 16 in
+  let uses : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  Ir.walk
+    (fun (o : Ir.op) ->
+      List.iter
+        (fun (v : Ir.value) ->
+          if Ty.equal v.vty Ty.token then Hashtbl.replace producers v.vid o.name)
+        o.results;
+      List.iter
+        (fun (v : Ir.value) ->
+          if Ty.equal v.vty Ty.token then
+            Hashtbl.replace uses v.vid
+              (1 + Option.value ~default:0 (Hashtbl.find_opt uses v.vid)))
+        o.operands)
+    root;
+  Hashtbl.fold
+    (fun vid producer acc ->
+      let* () = acc in
+      match Option.value ~default:0 (Hashtbl.find_opt uses vid) with
+      | 0 ->
+        Error
+          {
+            failing_op = producer;
+            reason = Printf.sprintf "token %%v%d is never waited" vid;
+          }
+      | 1 -> Ok ()
+      | n ->
+        Error
+          {
+            failing_op = producer;
+            reason = Printf.sprintf "token %%v%d is consumed %d times (must be exactly once)" vid n;
+          })
+    producers (Ok ())
+
 let verify_structured root =
   let* () = check_ssa root in
+  let* () = check_token_linearity root in
   let failure = ref None in
   (try
      Ir.walk

@@ -18,6 +18,10 @@ let event_to_json ~scale (e : Trace.event) =
     | Trace.Instant -> ("i", [ ("s", Json.String "t") ])
     | Trace.Complete dur ->
       ("X", [ ("dur", Json.Float (if on_compile_track then dur else dur /. scale)) ])
+    | Trace.Flow_start id ->
+      ("s", [ ("id", Json.Int id); ("bp", Json.String "e") ])
+    | Trace.Flow_finish id ->
+      ("f", [ ("id", Json.Int id); ("bp", Json.String "e") ])
   in
   Json.Obj
     ([
@@ -54,21 +58,25 @@ let preamble =
     metadata "thread_name" compiler_pid Trace.compile_track "pass pipeline";
   ]
 
-let to_json ?(cpu_freq_mhz = 1.0) events =
+let to_json ?(cpu_freq_mhz = 1.0) ?(track_names = []) events =
   let scale = if cpu_freq_mhz > 0.0 then cpu_freq_mhz else 1.0 in
+  let extra_tracks =
+    List.map (fun (tid, name) -> metadata "thread_name" sim_pid tid name) track_names
+  in
   Json.Obj
     [
       ( "traceEvents",
-        Json.List (preamble @ List.map (event_to_json ~scale) events) );
+        Json.List (preamble @ extra_tracks @ List.map (event_to_json ~scale) events) );
       ("displayTimeUnit", Json.String "ms");
     ]
 
-let to_string ?cpu_freq_mhz events = Json.to_string ~indent:1 (to_json ?cpu_freq_mhz events)
+let to_string ?cpu_freq_mhz ?track_names events =
+  Json.to_string ~indent:1 (to_json ?cpu_freq_mhz ?track_names events)
 
-let write_file ?cpu_freq_mhz path events =
+let write_file ?cpu_freq_mhz ?track_names path events =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
-      output_string oc (to_string ?cpu_freq_mhz events);
+      output_string oc (to_string ?cpu_freq_mhz ?track_names events);
       output_char oc '\n')

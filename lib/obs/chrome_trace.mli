@@ -14,11 +14,21 @@
     Events on {!Trace.compile_track} are already in microseconds and
     are never scaled. *)
 
-val to_json : ?cpu_freq_mhz:float -> Trace.event list -> Json.t
+val to_json :
+  ?cpu_freq_mhz:float -> ?track_names:(int * string) list -> Trace.event list -> Json.t
 (** The full document: [{"traceEvents": [...], "displayTimeUnit": "ms"}]
-    plus process/thread-name metadata records. *)
+    plus process/thread-name metadata records. [track_names] adds
+    thread-name metadata for extra tracks (e.g.
+    {!Soc.engine_track_names} for the per-DMA-channel and
+    per-accelerator async tracks). *)
 
-val to_string : ?cpu_freq_mhz:float -> Trace.event list -> string
+val to_string :
+  ?cpu_freq_mhz:float -> ?track_names:(int * string) list -> Trace.event list -> string
 
-val write_file : ?cpu_freq_mhz:float -> string -> Trace.event list -> unit
+val write_file :
+  ?cpu_freq_mhz:float ->
+  ?track_names:(int * string) list ->
+  string ->
+  Trace.event list ->
+  unit
 (** Write {!to_string} to a path, creating or truncating the file. *)

@@ -47,7 +47,8 @@ let spans_of_events events =
                 sp_deltas = deltas_of_args e.ev_args;
                 sp_children = List.rev !children;
               })
-        | Trace.Instant | Trace.Complete _ -> ())
+        | Trace.Instant | Trace.Complete _ | Trace.Flow_start _ | Trace.Flow_finish _ ->
+          ())
     events;
   List.rev !roots
 
@@ -143,6 +144,21 @@ let dma_bandwidth_pct ~bus_words_per_cpu_cycle ~total phases =
   | Some words_per_cycle ->
     Option.map (fun r -> 100.0 *. r) (ratio words_per_cycle bus_words_per_cpu_cycle)
 
+let overlap_ratio ~total events =
+  (* Fraction of the run during which an asynchronous transfer or an
+     asynchronously-triggered compute was in flight: the sum of
+     Complete-event durations on the per-engine tracks over total
+     cycles. 0/None in blocking runs (no async events). *)
+  let async_cycles =
+    List.fold_left
+      (fun acc (e : Trace.event) ->
+        match e.ev_kind with
+        | Trace.Complete dur when e.ev_track >= 20 -> acc +. dur
+        | _ -> acc)
+      0.0 events
+  in
+  if async_cycles <= 0.0 then None else ratio async_cycles (field total "cycles")
+
 let occupancy_pct ~cpu_freq_mhz ~accel_freq_mhz ~total =
   match ratio cpu_freq_mhz accel_freq_mhz with
   | None -> None
@@ -236,4 +252,7 @@ let render ?cpu_freq_mhz ?bus_words_per_cpu_cycle ?accel_freq_mhz ~total events 
       (fun r -> Printf.sprintf "%.1f%% of the run" r)
       (occupancy_pct ~cpu_freq_mhz:cpu_mhz ~accel_freq_mhz:accel_mhz ~total)
   | _ -> ());
+  metric "transfer overlap      "
+    (fun r -> Printf.sprintf "%.2fx of the run spent with async DMA/compute in flight" r)
+    (overlap_ratio ~total events);
   Buffer.contents buf

@@ -65,6 +65,14 @@ val occupancy_pct :
 (** Share (percent) of the run the accelerator was busy; [None] for a
     zero-cycle run or a zero frequency. *)
 
+val overlap_ratio :
+  total:(string * float) list -> Trace.event list -> float option
+(** Async overlap: summed durations of Complete events on the
+    per-engine (async) tracks over total cycles — how much transfer /
+    accelerator time ran concurrently with the host. [None] when the
+    run issued no asynchronous operations (every blocking run). Can
+    exceed 1 when several agents overlap each other. *)
+
 (** {1 Rendering} *)
 
 val render :

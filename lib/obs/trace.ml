@@ -1,6 +1,12 @@
 type arg = Str of string | Num of float | Int of int | Bool of bool
 
-type kind = Begin | End | Instant | Complete of float
+type kind =
+  | Begin
+  | End
+  | Instant
+  | Complete of float
+  | Flow_start of int
+  | Flow_finish of int
 
 type event = {
   ev_name : string;
@@ -15,6 +21,12 @@ let host_track = 0
 let accel_track = 1
 let dma_track = 2
 let compile_track = 10
+
+(* Asynchronous activity gets one track per DMA channel and one per
+   accelerator device, interleaved so a channel sits next to its
+   device in the viewer. *)
+let dma_channel_track id = 20 + (2 * id)
+let accel_device_track id = 21 + (2 * id)
 
 (* An open span: what begin_span captured, waiting for its end. *)
 type open_span = {
@@ -128,6 +140,16 @@ let complete t ?(cat = "host") ?(track = host_track) ?(args = []) ~ts ~dur name 
         ev_track = track;
         ev_args = args;
       }
+
+let flow t ~kind ?(cat = "flow") ?(track = host_track) ?ts name =
+  match t.sink with
+  | Disabled -> ()
+  | Recording r ->
+    let ts = match ts with Some ts -> ts | None -> r.clock () in
+    push r { ev_name = name; ev_cat = cat; ev_kind = kind; ev_ts = ts; ev_track = track; ev_args = [] }
+
+let flow_start t ?cat ?track ?ts ~id name = flow t ~kind:(Flow_start id) ?cat ?track ?ts name
+let flow_finish t ?cat ?track ?ts ~id name = flow t ~kind:(Flow_finish id) ?cat ?track ?ts name
 
 let events t =
   match t.sink with Disabled -> [] | Recording r -> List.rev r.events

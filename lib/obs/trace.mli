@@ -29,6 +29,8 @@ type kind =
   | End  (** span closing ([ph:"E"]), carries the counter deltas *)
   | Instant  (** point event ([ph:"i"]) *)
   | Complete of float  (** pre-timed interval with a duration ([ph:"X"]) *)
+  | Flow_start of int  (** flow-arrow origin ([ph:"s"]), keyed by id *)
+  | Flow_finish of int  (** flow-arrow target ([ph:"f"]), keyed by id *)
 
 type event = {
   ev_name : string;
@@ -53,6 +55,13 @@ val dma_track : int
 val compile_track : int
 (** Compile-time (pass pipeline) events; timestamps are host-process
     microseconds, rendered under a separate Chrome pid. *)
+
+val dma_channel_track : int -> int
+(** Per-DMA-channel track for asynchronous transfer windows. *)
+
+val accel_device_track : int -> int
+(** Per-accelerator track for asynchronously-triggered busy windows;
+    sits next to its channel's track in the viewer. *)
 
 type t
 
@@ -107,6 +116,17 @@ val complete :
 (** Record an interval whose extent is known up front (e.g. an
     accelerator busy window computed by the DMA engine, or a pass
     timing). Does not consult the clock. *)
+
+val flow_start :
+  t -> ?cat:string -> ?track:int -> ?ts:float -> id:int -> string -> unit
+(** Open a flow arrow (Perfetto binds it to the slice enclosing [ts] on
+    [track]). [ts] defaults to the clock; the async DMA paths pass the
+    scheduled start explicitly. *)
+
+val flow_finish :
+  t -> ?cat:string -> ?track:int -> ?ts:float -> id:int -> string -> unit
+(** Terminate the flow arrow with the same [id] (the [accel.wait]
+    side). *)
 
 val events : t -> event list
 (** Recorded events in recording order (timestamps are non-decreasing

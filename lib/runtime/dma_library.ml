@@ -250,3 +250,34 @@ let send_reset t =
   let offset = stage_literal t Isa.reset ~offset:0 in
   ignore offset;
   flush_send t
+
+(* ------------------------------------------------------------------ *)
+(* Non-blocking transfers                                              *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | Send_token of Dma_engine.token
+  | Recv_token of {
+      rt_token : Dma_engine.token;
+      rt_view : Memref_view.t;
+      rt_accumulate : bool;
+      rt_strategy : strategy;
+    }
+
+let start_send t =
+  Soc.call_overhead t.soc;
+  Send_token (Dma_engine.start_send_token t.engine)
+
+let start_recv t ?(strategy = t.strategy) view ~accumulate =
+  Soc.call_overhead t.soc;
+  let n = Memref_view.num_elements view in
+  let tok = Dma_engine.start_recv_token t.engine ~len_words:n in
+  Recv_token { rt_token = tok; rt_view = view; rt_accumulate = accumulate; rt_strategy = strategy }
+
+let wait t token =
+  Soc.call_overhead t.soc;
+  match token with
+  | Send_token tok -> ignore (Dma_engine.wait_token t.engine tok)
+  | Recv_token { rt_token; rt_view; rt_accumulate; rt_strategy } ->
+    let data = Dma_engine.wait_token t.engine rt_token in
+    copy_from_data_with t rt_strategy rt_view ~accumulate:rt_accumulate data

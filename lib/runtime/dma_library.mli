@@ -93,3 +93,25 @@ val recv_into : t -> Memref_view.t -> accumulate:bool -> unit
 val send_reset : t -> unit
 (** Stage and flush the reset opcode ({!Isa.reset}) — the common
     [init_opcodes] flow. *)
+
+(** {1 Non-blocking transfers}
+
+    The library-level faces of [accel.start_send] / [accel.start_recv]
+    / [accel.wait]: the host pays only a call and the DMA programming
+    cost at start time; the transfer (and any accelerator compute it
+    triggers) proceeds on the SoC {!Timeline}'s agents. *)
+
+type token
+
+val start_send : t -> token
+(** Flush everything staged since the last flush as one background
+    transfer. *)
+
+val start_recv : t -> ?strategy:strategy -> Memref_view.t -> accumulate:bool -> token
+(** Program a background receive of [num_elements view] words. The
+    host-side copy into [view] happens at {!wait} time, with
+    [strategy] (default: the library's). *)
+
+val wait : t -> token -> unit
+(** Synchronise with the transfer; for recv tokens, also copy the
+    received words into the destination view. *)

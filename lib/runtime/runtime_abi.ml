@@ -5,6 +5,10 @@ let copy_to_dma_region = "copy_to_dma_region"
 let dma_flush_send = "dma_flush_send"
 let dma_start_recv = "dma_start_recv"
 let dma_wait_recv = "dma_wait_recv"
+let dma_start_send_async = "dma_start_send_async"
+let dma_start_recv_async = "dma_start_recv_async"
+let dma_start_recv_async_spec = "dma_start_recv_async_spec"
+let dma_wait = "dma_wait"
 let copy_from_dma_region = "copy_from_dma_region"
 let copy_from_dma_region_accumulate = "copy_from_dma_region_accumulate"
 let copy_to_dma_region_spec = "copy_to_dma_region_spec"
@@ -20,6 +24,10 @@ let all =
     dma_flush_send;
     dma_start_recv;
     dma_wait_recv;
+    dma_start_send_async;
+    dma_start_recv_async;
+    dma_start_recv_async_spec;
+    dma_wait;
     copy_from_dma_region;
     copy_from_dma_region_accumulate;
     copy_to_dma_region_spec;

@@ -11,6 +11,15 @@ val copy_to_dma_region : string  (* (memref, offset i32) -> i32 *)
 val dma_flush_send : string  (* () -> (): start_send + wait over staged words *)
 val dma_start_recv : string  (* (len i32) -> () *)
 val dma_wait_recv : string  (* () -> () *)
+
+(* Non-blocking halves (the double-buffering pass's output): start a
+   background transfer and return an !accel.token; dma_wait consumes
+   it. The recv variant carries the destination memref (and a [mode]
+   attr on the call) so the wait can land the data. *)
+val dma_start_send_async : string  (* () -> !accel.token *)
+val dma_start_recv_async : string  (* (memref) -> !accel.token *)
+val dma_start_recv_async_spec : string  (* specialised wait-time copy *)
+val dma_wait : string  (* (!accel.token) -> () *)
 val copy_from_dma_region : string  (* (memref, offset i32) -> i32, store mode *)
 val copy_from_dma_region_accumulate : string  (* accumulate mode *)
 

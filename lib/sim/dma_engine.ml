@@ -1,31 +1,64 @@
+type token = int
+
+(* A token-tracked asynchronous transfer. [fl_window] is the staged
+   word range in the input region (sends only) — used to detect staging
+   into a half that is still streaming out. *)
+type flight = {
+  fl_dir : [ `Send | `Recv ];
+  fl_window : int * int;
+  fl_finish : float;  (* transfer completion, CPU cycles *)
+  fl_data : float array;  (* drained output (recv tokens) *)
+  mutable fl_waited : bool;
+}
+
 type t = {
   cost : Cost_model.t;
   counters : Perf_counters.t;
   tracer : Trace.t;
   dev : Accel_device.t;
+  dma_id : int;
+  timeline : Timeline.t;
+  dma_agent : Timeline.agent;
+  accel_agent : Timeline.agent;
   in_region : Axi_word.t array;
   out_capacity : int;
   mutable high_water : int;  (* staged words since last send *)
+  mutable batch_lo : int;  (* lowest staged offset since last send *)
   mutable ready_at : float;  (* CPU-cycle time at which device output is ready *)
   mutable pending_send : (int * int) option;  (* offset, len *)
   mutable pending_recv : int option;  (* len *)
   mutable send_done_at : float;  (* completion time of an async send *)
+  flights : (token, flight) Hashtbl.t;
+  mutable next_token : int;
+  completions : float Queue.t;
+      (* per-batch device completion times, pushed in consume order by
+         token sends and popped by (token or blocking) receives *)
 }
 
-let create ~cost ~counters ?tracer ~device ~in_capacity_words ~out_capacity_words () =
+let create ~cost ~counters ?tracer ?timeline ?(dma_id = 0) ~device ~in_capacity_words
+    ~out_capacity_words () =
   let tracer = match tracer with Some t -> t | None -> Trace.noop in
+  let timeline = match timeline with Some tl -> tl | None -> Timeline.create () in
   {
     cost;
     counters;
     tracer;
     dev = device;
+    dma_id;
+    timeline;
+    dma_agent = Timeline.add_agent timeline ~name:(Printf.sprintf "dma%d" dma_id);
+    accel_agent = Timeline.add_agent timeline ~name:device.Accel_device.device_name;
     in_region = Array.make in_capacity_words (Axi_word.Inst 0);
     out_capacity = out_capacity_words;
     high_water = 0;
+    batch_lo = max_int;
     ready_at = 0.0;
     pending_send = None;
     pending_recv = None;
     send_done_at = 0.0;
+    flights = Hashtbl.create 16;
+    next_token = 0;
+    completions = Queue.create ();
   }
 
 let device t = t.dev
@@ -46,7 +79,8 @@ let stage t ~offset word =
       (Printf.sprintf "DMA input region overflow: offset %d, capacity %d" offset
          (Array.length t.in_region));
   t.in_region.(offset) <- word;
-  if offset + 1 > t.high_water then t.high_water <- offset + 1
+  if offset + 1 > t.high_water then t.high_water <- offset + 1;
+  if offset < t.batch_lo then t.batch_lo <- offset
 
 let staged_high_water t = t.high_water
 
@@ -103,7 +137,8 @@ let send_staged t =
     start_send t ~offset:0 ~len_words:len;
     wait_send t
   end;
-  t.high_water <- 0
+  t.high_water <- 0;
+  t.batch_lo <- max_int
 
 let sync_sends t =
   if t.send_done_at > t.counters.cycles then t.counters.cycles <- t.send_done_at
@@ -135,7 +170,8 @@ let send_staged_async t =
     note_accel_busy t ~accel_cycles ~start ~until:t.ready_at;
     Trace.end_span t.tracer
   end;
-  t.high_water <- 0
+  t.high_water <- 0;
+  t.batch_lo <- max_int
 
 let start_recv t ~len_words =
   if t.pending_recv <> None then failwith "DMA engine: recv already in flight";
@@ -158,6 +194,10 @@ let wait_recv t =
     Trace.begin_span t.tracer ~cat:"dma_recv"
       ~args:[ ("len_words", Trace.Int len) ]
       "wait_recv";
+    (* A blocking receive stalls to [ready_at], which dominates every
+       queued completion, so it consumes the whole FIFO; pure-blocking
+       runs are untouched — the queue is empty there. *)
+    Queue.clear t.completions;
     (* Receives observe completed sends. *)
     sync_sends t;
     (* Stall until the device has finished computing its queued work;
@@ -175,10 +215,164 @@ let wait_recv t =
     Trace.end_span t.tracer;
     data
 
+(* ------------------------------------------------------------------ *)
+(* Non-blocking (token) transfers                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Reading the DMA status register when the transfer has already
+   drained: one uncached load and a branch, versus the full
+   [dma_wait_cycles] poll loop a blocking wait pays. *)
+let status_check_cycles = 50.0
+
+let ranges_overlap (a_lo, a_hi) (b_lo, b_hi) = a_lo < b_hi && b_lo < a_hi
+
+let register_flight t fl =
+  let tok = t.next_token in
+  t.next_token <- tok + 1;
+  Hashtbl.replace t.flights tok fl;
+  tok
+
+let charge_program t =
+  t.counters.cycles <- t.counters.cycles +. t.cost.dma_program_cycles;
+  t.counters.instructions <- t.counters.instructions +. 20.0;
+  t.counters.dma_transactions <- t.counters.dma_transactions +. 1.0;
+  m_transaction ()
+
+let start_send_token t =
+  let lo = if t.batch_lo = max_int then 0 else t.batch_lo in
+  let len = max 0 (t.high_water - lo) in
+  t.high_water <- 0;
+  t.batch_lo <- max_int;
+  Hashtbl.iter
+    (fun _ fl ->
+      if (not fl.fl_waited) && fl.fl_dir = `Send && ranges_overlap fl.fl_window (lo, lo + len)
+      then failwith "DMA engine: staged batch overlaps a send still in flight")
+    t.flights;
+  charge_program t;
+  t.counters.dma_words_sent <- t.counters.dma_words_sent +. float_of_int len;
+  m_words_sent len;
+  Metrics.observe "sim.dma_send_len_words" (float_of_int len);
+  let transfer = float_of_int len *. Cost_model.cpu_cycles_per_word t.cost in
+  let tstart = Float.max t.counters.cycles (Timeline.busy_until t.dma_agent) in
+  let tfinish =
+    Timeline.schedule t.timeline t.dma_agent ~not_before:t.counters.cycles
+      ~duration:transfer ~label:"send"
+  in
+  let words = Array.sub t.in_region lo len in
+  let accel_cycles = t.dev.Accel_device.consume words in
+  t.counters.accel_busy_cycles <- t.counters.accel_busy_cycles +. accel_cycles;
+  m_accel_busy accel_cycles;
+  if accel_cycles > 0.0 then begin
+    let not_before = Float.max tfinish t.ready_at in
+    let astart = Float.max not_before (Timeline.busy_until t.accel_agent) in
+    let afinish =
+      Timeline.schedule t.timeline t.accel_agent ~not_before
+        ~duration:(Cost_model.accel_to_cpu_cycles t.cost accel_cycles)
+        ~label:"compute"
+    in
+    t.ready_at <- afinish;
+    Queue.push afinish t.completions;
+    Trace.complete t.tracer ~cat:"accel_busy"
+      ~track:(Trace.accel_device_track t.dma_id)
+      ~args:[ ("accel_cycles", Trace.Num accel_cycles) ]
+      ~ts:astart ~dur:(afinish -. astart) t.dev.Accel_device.device_name
+  end;
+  let tok =
+    register_flight t
+      {
+        fl_dir = `Send;
+        fl_window = (lo, lo + len);
+        fl_finish = tfinish;
+        fl_data = [||];
+        fl_waited = false;
+      }
+  in
+  Trace.complete t.tracer ~cat:"dma_async"
+    ~track:(Trace.dma_channel_track t.dma_id)
+    ~args:[ ("len_words", Trace.Int len); ("token", Trace.Int tok) ]
+    ~ts:tstart ~dur:transfer "async_send";
+  Trace.flow_start t.tracer
+    ~track:(Trace.dma_channel_track t.dma_id)
+    ~ts:(tstart +. (transfer /. 2.0))
+    ~id:((t.dma_id * 1_000_000) + tok)
+    "dma_token";
+  tok
+
+let start_recv_token t ~len_words =
+  if len_words > t.out_capacity then failwith "DMA engine: recv exceeds output region";
+  charge_program t;
+  t.counters.dma_words_received <- t.counters.dma_words_received +. float_of_int len_words;
+  m_words_received len_words;
+  Metrics.observe "sim.dma_recv_len_words" (float_of_int len_words);
+  (* The batch this receive drains is the oldest undrained compute. *)
+  let completion =
+    if Queue.is_empty t.completions then t.ready_at else Queue.pop t.completions
+  in
+  let transfer = float_of_int len_words *. Cost_model.cpu_cycles_per_word t.cost in
+  let not_before = Float.max t.counters.cycles completion in
+  let tstart = Float.max not_before (Timeline.busy_until t.dma_agent) in
+  let tfinish =
+    Timeline.schedule t.timeline t.dma_agent ~not_before ~duration:transfer ~label:"recv"
+  in
+  let data = t.dev.Accel_device.drain len_words in
+  let tok =
+    register_flight t
+      {
+        fl_dir = `Recv;
+        fl_window = (0, 0);
+        fl_finish = tfinish;
+        fl_data = data;
+        fl_waited = false;
+      }
+  in
+  Trace.complete t.tracer ~cat:"dma_async"
+    ~track:(Trace.dma_channel_track t.dma_id)
+    ~args:[ ("len_words", Trace.Int len_words); ("token", Trace.Int tok) ]
+    ~ts:tstart ~dur:transfer "async_recv";
+  Trace.flow_start t.tracer
+    ~track:(Trace.dma_channel_track t.dma_id)
+    ~ts:(tstart +. (transfer /. 2.0))
+    ~id:((t.dma_id * 1_000_000) + tok)
+    "dma_token";
+  tok
+
+let wait_token t tok =
+  match Hashtbl.find_opt t.flights tok with
+  | None -> failwith "DMA engine: wait on an unknown token"
+  | Some fl when fl.fl_waited -> failwith "DMA engine: token already waited"
+  | Some fl ->
+    fl.fl_waited <- true;
+    let now = t.counters.cycles in
+    if fl.fl_finish > now then begin
+      (* Transfer still in flight: stall to completion and pay the full
+         poll, exactly as a blocking wait would. *)
+      t.counters.cycles <- fl.fl_finish +. t.cost.dma_wait_cycles;
+      t.counters.instructions <- t.counters.instructions +. 4.0
+    end
+    else begin
+      t.counters.cycles <- t.counters.cycles +. status_check_cycles;
+      t.counters.instructions <- t.counters.instructions +. 4.0
+    end;
+    Trace.flow_finish t.tracer ~track:Trace.host_track
+      ~id:((t.dma_id * 1_000_000) + tok)
+      "dma_token";
+    Trace.instant t.tracer ~cat:"dma_async"
+      ~args:[ ("token", Trace.Int tok) ]
+      "wait";
+    fl.fl_data
+
+let outstanding_tokens t =
+  Hashtbl.fold (fun tok fl acc -> if fl.fl_waited then acc else tok :: acc) t.flights []
+  |> List.sort compare
+
 let reset_device t =
   t.dev.Accel_device.reset_device ();
   t.high_water <- 0;
+  t.batch_lo <- max_int;
   t.ready_at <- 0.0;
   t.pending_send <- None;
   t.pending_recv <- None;
-  t.send_done_at <- 0.0
+  t.send_done_at <- 0.0;
+  Hashtbl.reset t.flights;
+  t.next_token <- 0;
+  Queue.clear t.completions

@@ -15,10 +15,15 @@
 
 type t
 
+type token = int
+(** Handle to a non-blocking transfer (see {!start_send_token}). *)
+
 val create :
   cost:Cost_model.t ->
   counters:Perf_counters.t ->
   ?tracer:Trace.t ->
+  ?timeline:Timeline.t ->
+  ?dma_id:int ->
   device:Accel_device.t ->
   in_capacity_words:int ->
   out_capacity_words:int ->
@@ -27,7 +32,10 @@ val create :
 (** [tracer] (default {!Trace.noop}) receives [dma_send]/[dma_recv]
     spans for every transaction, an [accel_wait] span for host stalls on
     device completion, and accelerator busy intervals on
-    {!Trace.accel_track}. *)
+    {!Trace.accel_track}. [timeline] (default: a private one) carries
+    the engine's two asynchronous agents — the DMA channel and the
+    device — whose busy windows feed the makespan; [dma_id] names them
+    and selects the per-channel trace tracks. *)
 
 val device : t -> Accel_device.t
 val in_capacity_words : t -> int
@@ -70,3 +78,35 @@ val wait_recv : t -> float array
     them into the output region, and return them. *)
 
 val reset_device : t -> unit
+
+(** {1 Non-blocking (token) transfers}
+
+    The asynchronous halves of the blocking pairs above. The host pays
+    only the programming cost at [start_*]; the transfer itself (and
+    any accelerator compute it triggers) runs on the engine's
+    {!Timeline} agents, concurrently with subsequent host work. A later
+    {!wait_token} synchronises: it stalls the host clock up to the
+    transfer's completion (full [dma_wait_cycles] poll) or, when the
+    transfer already drained, pays only a cheap status-register check.
+    DMA word and transaction counters are charged at [start_*] time, so
+    totals match the blocking path exactly. *)
+
+val start_send_token : t -> token
+(** Flush everything staged since the last flush — the batch is the
+    [\[lowest, highest\)] staged range, so ping/pong codegen can stage
+    alternate halves — as one non-blocking transfer. Raises [Failure]
+    if the batch overlaps a send still in flight (a double-buffering
+    protocol violation). *)
+
+val start_recv_token : t -> len_words:int -> token
+(** Program a non-blocking receive of the oldest undrained batch; the
+    transfer starts when that batch's compute completes. *)
+
+val wait_token : t -> token -> float array
+(** Synchronise the host with a transfer. Returns the received words
+    for recv tokens ([[||]] for sends). Raises [Failure] on an unknown
+    or already-waited token. *)
+
+val outstanding_tokens : t -> token list
+(** Tokens not yet waited (ascending) — the interpreter's end-of-run
+    leak check. *)

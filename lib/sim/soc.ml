@@ -4,6 +4,7 @@ type t = {
   counters : Perf_counters.t;
   cost : Cost_model.t;
   tracer : Trace.t;
+  timeline : Timeline.t;
   mutable engines : (int * Dma_engine.t) list;
 }
 
@@ -16,6 +17,7 @@ let create ?(cost = Cost_model.default)
     counters = Perf_counters.create ();
     cost;
     tracer;
+    timeline = Timeline.create ();
     engines = [];
   }
 
@@ -27,8 +29,8 @@ let enable_tracing t =
 
 let attach_engine t ~dma_id ~device ~in_capacity_words ~out_capacity_words =
   let engine =
-    Dma_engine.create ~cost:t.cost ~counters:t.counters ~tracer:t.tracer ~device
-      ~in_capacity_words ~out_capacity_words ()
+    Dma_engine.create ~cost:t.cost ~counters:t.counters ~tracer:t.tracer
+      ~timeline:t.timeline ~dma_id ~device ~in_capacity_words ~out_capacity_words ()
   in
   t.engines <- (dma_id, engine) :: List.remove_assoc dma_id t.engines;
   engine
@@ -44,7 +46,27 @@ let reset_run_state t =
   (* The trace clock restarts from 0 with the counters; events recorded
      before the reset would break timestamp monotonicity. *)
   Trace.clear t.tracer;
+  Timeline.reset t.timeline;
   List.iter (fun (_, e) -> Dma_engine.reset_device e) t.engines
+
+let task_clock_cycles t = Float.max t.counters.Perf_counters.cycles (Timeline.makespan t.timeline)
+
+(* Fold asynchronous agents' completion into the serial counter so that
+   everything downstream of a measured run (perf reports, bench
+   artifacts, the fuzzer's invariants) reports the makespan. A blocking
+   run schedules nothing on the timeline, so this is the identity
+   there — bit-for-bit. *)
+let absorb_makespan t = t.counters.Perf_counters.cycles <- task_clock_cycles t
+
+let engine_track_names t =
+  List.concat_map
+    (fun (id, e) ->
+      let dev = (Dma_engine.device e).Accel_device.device_name in
+      [
+        (Trace.dma_channel_track id, Printf.sprintf "dma%d channel" id);
+        (Trace.accel_device_track id, Printf.sprintf "%s (dma%d)" dev id);
+      ])
+    (List.sort compare t.engines)
 
 (* Charge one cache access at the given byte address. *)
 let charge_access t addr =

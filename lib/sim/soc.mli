@@ -12,6 +12,9 @@ type t = {
   counters : Perf_counters.t;
   cost : Cost_model.t;
   tracer : Trace.t;  (** disabled unless {!enable_tracing} was called *)
+  timeline : Timeline.t;
+      (** per-agent clocks for asynchronous DMA/accelerator activity;
+          empty (and cost-free) in blocking runs *)
   mutable engines : (int * Dma_engine.t) list;
 }
 
@@ -45,8 +48,23 @@ val engine : t -> int -> Dma_engine.t
 (** Raises [Failure] for an unknown id. *)
 
 val reset_run_state : t -> unit
-(** Reset counters, caches, recorded trace events and device state
-    between measured runs (memory contents are preserved). *)
+(** Reset counters, caches, recorded trace events, the async timeline
+    and device state between measured runs (memory contents are
+    preserved). *)
+
+val task_clock_cycles : t -> float
+(** The makespan: the serial host counter or the latest asynchronous
+    agent completion, whichever is later. Equals [counters.cycles]
+    exactly when no async transfer was issued. *)
+
+val absorb_makespan : t -> unit
+(** Set [counters.cycles] to {!task_clock_cycles} — called once at the
+    end of a measured run so reported task-clocks are makespans. A
+    no-op for blocking runs (empty timeline). *)
+
+val engine_track_names : t -> (int * string) list
+(** Chrome-trace [tid -> name] labels for each attached engine's DMA
+    channel and accelerator tracks (for {!Chrome_trace.write_file}). *)
 
 (** {1 Host event costing} *)
 

@@ -1,0 +1,55 @@
+type agent = { name : string; mutable busy_until : float }
+
+type event = {
+  ev_seq : int;
+  ev_agent : string;
+  ev_label : string;
+  ev_start : float;
+  ev_finish : float;
+}
+
+type t = {
+  mutable agents : agent list;  (** in registration order (reversed) *)
+  mutable log : event list;  (** newest first *)
+  mutable next_seq : int;
+}
+
+let create () = { agents = []; log = []; next_seq = 0 }
+
+let add_agent t ~name =
+  let a = { name; busy_until = 0. } in
+  t.agents <- a :: t.agents;
+  a
+
+let agent_name a = a.name
+let busy_until a = a.busy_until
+
+let schedule t a ~not_before ~duration ~label =
+  let start = Float.max not_before a.busy_until in
+  let finish = start +. duration in
+  a.busy_until <- finish;
+  let ev =
+    {
+      ev_seq = t.next_seq;
+      ev_agent = a.name;
+      ev_label = label;
+      ev_start = start;
+      ev_finish = finish;
+    }
+  in
+  t.next_seq <- t.next_seq + 1;
+  t.log <- ev :: t.log;
+  finish
+
+let makespan t = List.fold_left (fun acc a -> Float.max acc a.busy_until) 0. t.agents
+
+let events t =
+  List.sort
+    (fun a b ->
+      match compare a.ev_start b.ev_start with 0 -> compare a.ev_seq b.ev_seq | c -> c)
+    t.log
+
+let reset t =
+  List.iter (fun a -> a.busy_until <- 0.) t.agents;
+  t.log <- [];
+  t.next_seq <- 0

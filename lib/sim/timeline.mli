@@ -1,0 +1,62 @@
+(** Deterministic discrete-event timeline for asynchronous DMA and
+    accelerator activity.
+
+    The simulator's blocking paths charge every cycle to the single
+    serial counter in {!Perf_counters}; this module adds the parallel
+    half of the story. Each hardware resource that can make progress
+    concurrently with the host CPU — a DMA channel, an accelerator
+    device — is an {e agent} with its own clock ([busy_until]).
+    Asynchronous operations [schedule] work on an agent: the work
+    starts no earlier than both the requested time and the agent's
+    previous completion (agents are serial internally), and the
+    returned finish time is what a later [accel.wait] synchronises the
+    host against.
+
+    The reported task-clock becomes the {e makespan}: the maximum over
+    the host's serial counter and every agent's [busy_until]. When no
+    asynchronous operation is issued the timeline stays empty and the
+    makespan degenerates to the serial counter, so blocking runs are
+    bit-for-bit identical to the pre-timeline simulator.
+
+    Determinism: scheduling order is program order. Every event gets a
+    monotone sequence number at [schedule] time, and {!events} sorts by
+    [(start, seq)] — ties on start time are broken by issue order, so
+    two runs of the same program produce byte-identical event lists. *)
+
+type agent
+
+type event = {
+  ev_seq : int;  (** issue order; the tie-breaker *)
+  ev_agent : string;
+  ev_label : string;
+  ev_start : float;  (** CPU cycles *)
+  ev_finish : float;
+}
+
+type t
+
+val create : unit -> t
+
+val add_agent : t -> name:string -> agent
+(** Register a named agent with an idle clock. Agent names are
+    display/trace identities; they need not be unique, but the
+    simulator uses one agent per DMA channel and per device. *)
+
+val agent_name : agent -> string
+
+val schedule :
+  t -> agent -> not_before:float -> duration:float -> label:string -> float
+(** Book [duration] cycles of work on the agent, starting at
+    [max not_before (busy_until agent)]. Advances the agent's clock and
+    logs an event; returns the finish time. *)
+
+val busy_until : agent -> float
+val makespan : t -> float
+(** Latest completion over all agents; [0.] when nothing was scheduled. *)
+
+val events : t -> event list
+(** All scheduled events, sorted by [(ev_start, ev_seq)]. *)
+
+val reset : t -> unit
+(** Clear the event log and rewind every agent's clock to 0 (agents
+    stay registered) — called from [Soc.reset_run_state]. *)

@@ -3,13 +3,15 @@ let spec_callee = function
   | name when name = Runtime_abi.copy_from_dma_region -> Some Runtime_abi.copy_from_dma_region_spec
   | name when name = Runtime_abi.copy_from_dma_region_accumulate ->
     Some Runtime_abi.copy_from_dma_region_accumulate_spec
+  | name when name = Runtime_abi.dma_start_recv_async ->
+    Some Runtime_abi.dma_start_recv_async_spec
   | _ -> None
 
 let unit_innermost_stride (v : Ir.value) =
   match v.vty with
   | Ty.Memref m -> (
     match List.rev m.strides with last :: _ -> last = 1 | [] -> true)
-  | Ty.Scalar _ | Ty.Func _ -> false
+  | Ty.Scalar _ | Ty.Func _ | Ty.Token -> false
 
 let rewrite (o : Ir.op) =
   if o.name <> "func.call" then o

@@ -1,0 +1,18 @@
+(** Double-buffered host codegen (Sec. V, asynchronous form).
+
+    Software-pipelines the innermost transfer loop of every function
+    whose [accel.dma_init] carries [double_buffer = true]: the loop is
+    fully unrolled, each flush-closed send chain is re-based onto
+    alternating halves of the DMA staging window and issued as an
+    [accel.start_send] token, and the token's [accel.wait] is deferred
+    until that half is about to be refilled — so the transfer (and the
+    compute it triggers) overlaps the host staging the next tile. A
+    trailing [accel.recv] becomes a [start_recv]/[wait] pair interleaved
+    after the following iteration's sends.
+
+    Legality is checked per loop (static trip count, chains fitting one
+    staging half, no unsupported ops); failures emit [Missed] remarks
+    and leave the loop intact. Without the attribute the pass is the
+    identity, keeping the blocking path bit-identical. *)
+
+val pass : Pass.t

@@ -69,6 +69,18 @@ let expand b (o : Ir.op) =
       | Accel.Store -> Runtime_abi.copy_from_dma_region
     in
     call_with_results b ~callee ~results:o.results [ tile; offset ]
+  | "accel.start_send" ->
+    call_with_results b ~callee:Runtime_abi.dma_start_send_async ~results:o.results []
+  | "accel.start_recv" ->
+    (* Forward the mode attr on the call: the wait side needs it to
+       pick store vs accumulate when landing the data. *)
+    Builder.emit b
+      (Ir.op "func.call" ~operands:o.operands ~results:o.results
+         ~attrs:
+           (("callee", Attribute.Str Runtime_abi.dma_start_recv_async)
+           ::
+           (match Ir.attr o "mode" with Some m -> [ ("mode", m) ] | None -> [])))
+  | "accel.wait" -> call b ~callee:Runtime_abi.dma_wait o.operands
   | other -> failwith (Printf.sprintf "lower-accel: unexpected accel op %s" other)
 
 let rec rewrite_op b (o : Ir.op) =

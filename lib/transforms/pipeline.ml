@@ -15,6 +15,9 @@ let make ~accel ~host ?(options = Match_annotate.default_options)
 let passes t =
   [ Match_annotate.pass ~accel:t.accel ~host:t.host ~options:t.options (); Accel_codegen.pass ]
   @ (if t.coalesce_transfers then [ Coalesce_transfers.pass ] else [])
+  (* Self-gating on the dma_init double_buffer attribute: identity
+     otherwise. Runs after coalescing so merged chains pipeline whole. *)
+  @ [ Double_buffer.pass ]
   @ (if t.to_runtime_calls then [ Lower_accel_to_runtime.pass ] else [])
   @ (if t.copy_specialization && t.to_runtime_calls then [ Copy_specialization.pass ] else [])
   @ [ Canonicalize.pass ]

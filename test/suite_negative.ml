@@ -249,6 +249,52 @@ let test_fuzz_case_structured_errors () =
   | Ok case -> Alcotest.(check bool) "round trip" true (Fuzz_case.equal valid case)
   | Error msg -> Alcotest.fail msg
 
+(* ------------------------------------------------------------------ *)
+(* Token linearity: the verifier must reject async IR where a transfer
+   token is leaked, double-waited, or waited before being produced —
+   with a structured [Pass.Pass_failure] naming the offending op.      *)
+(* ------------------------------------------------------------------ *)
+
+let verify_only = Pass.make "verify-only" (fun m -> m)
+
+let token_module build =
+  Dialects.register_all ();
+  let f =
+    Func.func_op ~name:"tokens" ~args:[] (fun b _ ->
+        build b;
+        Func.return_op b [])
+  in
+  Ir.module_op [ f ]
+
+let expect_pass_failure name m ~op ~fragment =
+  match Pass.run_pipeline [ verify_only ] m with
+  | exception Pass.Pass_failure { failing_op; message; _ } ->
+    Alcotest.(check string) (name ^ ": failing op named") op failing_op;
+    Alcotest.(check bool)
+      (Printf.sprintf "%s mentions \"%s\" (got: %s)" name fragment message)
+      true (contains message fragment)
+  | _ -> Alcotest.fail (name ^ ": broken token IR verified clean")
+
+let test_unwaited_token_rejected () =
+  expect_pass_failure "leaked token"
+    (token_module (fun b -> ignore (Accel.start_send b)))
+    ~op:"accel.start_send" ~fragment:"is never waited"
+
+let test_double_waited_token_rejected () =
+  expect_pass_failure "double wait"
+    (token_module (fun b ->
+         let t = Accel.start_send b in
+         Accel.wait b ~token:t;
+         Accel.wait b ~token:t))
+    ~op:"accel.start_send" ~fragment:"consumed 2 times (must be exactly once)"
+
+let test_wait_on_undefined_token_rejected () =
+  (* a wait whose operand was never produced trips the SSA check, which
+     runs before linearity and points at the wait itself *)
+  expect_pass_failure "undefined token"
+    (token_module (fun b -> Accel.wait b ~token:(Ir.fresh_value Ty.token)))
+    ~op:"accel.wait" ~fragment:"use of undefined value"
+
 let tests =
   [
     Alcotest.test_case "codegen rejects over-deep flows" `Quick test_codegen_rejects_deep_flow;
@@ -267,4 +313,9 @@ let tests =
       test_config_parser_structured_errors;
     Alcotest.test_case "fuzz case: structured parse errors" `Quick
       test_fuzz_case_structured_errors;
+    Alcotest.test_case "verifier rejects unwaited token" `Quick test_unwaited_token_rejected;
+    Alcotest.test_case "verifier rejects double-waited token" `Quick
+      test_double_waited_token_rejected;
+    Alcotest.test_case "verifier rejects wait on undefined token" `Quick
+      test_wait_on_undefined_token_rejected;
   ]

@@ -19,6 +19,7 @@ let () =
       ("e2e", Suite_e2e.tests);
       ("workloads", Suite_workloads.tests);
       ("extensions", Suite_extensions.tests);
+      ("async", Suite_async.tests);
       ("integration", Suite_integration.tests);
       ("multi-accel", Suite_multi_accel.tests);
       ("negative", Suite_negative.tests);
