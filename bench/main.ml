@@ -20,6 +20,7 @@ let experiments =
     ("fig17", "Fig. 17: TinyBERT end-to-end", Exp_fig17.run);
     ("fig_async", "Async: blocking vs double-buffered transfers", Exp_fig_async.run);
     ("ablation", "Ablation: codegen design choices", Exp_ablation.run);
+    ("exp_tune", "Autotuner: design-space exploration gates", Exp_tune.run);
   ]
 
 (* ------------------------------------------------------------------ *)

@@ -22,8 +22,7 @@ let context = ref ("run", ([] : int list))
 let set_context kind dims = context := (kind, dims)
 
 let config_hash (bench : Axi4mlir.t) =
-  Printf.sprintf "%08x"
-    (Hashtbl.hash (Json.to_string (Accel_config.to_json bench.Axi4mlir.accel)))
+  Benchdiff.config_hash (Accel_config.to_json bench.Axi4mlir.accel)
 
 let record_point bench counters =
   if !json_dir <> None then begin

@@ -8,28 +8,19 @@
 
 open Cmdliner
 
-let presets () =
-  List.concat_map
-    (fun version ->
-      List.map
-        (fun size ->
-          ( Printf.sprintf "%s_%d" (Accel_matmul.version_to_string version) size,
-            fun flow -> Presets.matmul ~version ~size ?flow () ))
-        Presets.table1_sizes)
-    [ Accel_matmul.V1; Accel_matmul.V2; Accel_matmul.V3; Accel_matmul.V4 ]
-  @ [ ("conv2d", fun flow -> Presets.conv ?flow ()) ]
-
 let run_tool list_presets preset flow output check =
   match (list_presets, preset, check) with
   | true, _, _ ->
     List.iter
-      (fun (name, make) ->
-        let config = make None in
-        Printf.printf "%-8s %-20s flows: %s (default %s)\n" name
-          config.Accel_config.op_kind
-          (String.concat ", " (List.map fst config.Accel_config.opcode_flows))
-          config.Accel_config.selected_flow)
-      (presets ());
+      (fun name ->
+        match Presets.find_by_name name with
+        | Error msg -> failwith msg
+        | Ok config ->
+          Printf.printf "%-8s %-20s flows: %s (default %s)\n" name
+            config.Accel_config.op_kind
+            (String.concat ", " (List.map fst config.Accel_config.opcode_flows))
+            config.Accel_config.selected_flow)
+      Presets.names;
     `Ok ()
   | false, _, Some path ->
     let _host, config = Config_parser.parse_file path in
@@ -38,10 +29,9 @@ let run_tool list_presets preset flow output check =
       (List.length config.Accel_config.opcode_map);
     `Ok ()
   | false, Some name, None -> (
-    match List.assoc_opt name (presets ()) with
-    | None -> `Error (false, Printf.sprintf "unknown preset %s (try --list)" name)
-    | Some make ->
-      let config = make flow in
+    match Presets.find_by_name ?flow name with
+    | Error msg -> `Error (false, msg)
+    | Ok config ->
       let text = Config_parser.to_string Host_config.pynq_z2 config in
       (match output with
       | None -> print_endline text

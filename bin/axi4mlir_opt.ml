@@ -30,7 +30,13 @@ let parse_tiles = function
   | Some text -> Some (List.map int_of_string (String.split_on_char ',' text))
 
 let run_tool config_path input emit_matmul emit_conv flow tiles no_cpu_tiling no_copy_spec
-    coalesce double_buffer accel_only cpu_only pretty remarks metrics_out =
+    coalesce double_buffer accel_only cpu_only pretty list_passes remarks metrics_out =
+  if list_passes then begin
+    Tool_common.print_listing ~title:"Registered passes (pipeline order):"
+      (Tool_common.registered_passes ());
+    `Ok ()
+  end
+  else
   Tool_common.with_observability ~remarks ~metrics:metrics_out @@ fun () ->
   Dialects.register_all ();
   let modul =
@@ -127,6 +133,11 @@ let cpu_only =
 let pretty =
   Arg.(value & flag & info [ "pretty" ] ~doc:"Human-oriented printing (not re-parseable).")
 
+let list_passes =
+  Arg.(value & flag & info [ "list-passes" ]
+         ~doc:"List the registered passes (accelerator pipeline and CPU \
+               reference lowering) and exit.")
+
 let cmd =
   let doc = "AXI4MLIR pass driver: compile linalg modules into accelerator host code" in
   Cmd.v
@@ -135,6 +146,6 @@ let cmd =
       ret
         (const run_tool $ config $ input $ emit_matmul $ emit_conv $ flow $ tiles
        $ no_cpu_tiling $ no_copy_spec $ coalesce $ double_buffer $ accel_only $ cpu_only
-       $ pretty $ Tool_common.remarks_flag $ Tool_common.metrics_out))
+       $ pretty $ list_passes $ Tool_common.remarks_flag $ Tool_common.metrics_out))
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,168 @@
+(* axi4mlir-tune: cost-model-driven design-space exploration over
+   accelerator configurations.
+
+     dune exec bin/axi4mlir_tune.exe -- --workload matmul:64,64,64
+     dune exec bin/axi4mlir_tune.exe -- --workload resnet18 --strategy greedy --seed 7
+     dune exec bin/axi4mlir_tune.exe -- --workload matmul:128,128,128 --space fig13 \
+       --cache tune-cache.json --report tune-report.json
+     dune exec bin/axi4mlir_tune.exe -- --list-space
+*)
+
+open Cmdliner
+
+let space_of_name = function
+  | "default" -> Ok Tune_space.default
+  | "fig13" -> Ok Tune_space.fig13
+  | "quick" -> Ok Tune_space.quick
+  | other ->
+    Error
+      (Printf.sprintf "unknown search space %S (valid spaces: default, fig13, quick)"
+         other)
+
+let run_tool workload_spec space_name strategy_name seed budget preset cache_path
+    report_path trace_path list_space assert_warm remarks metrics_out =
+  Tool_common.with_observability ~remarks ~metrics:metrics_out @@ fun () ->
+  let fail_on_error = function Ok v -> v | Error msg -> failwith msg in
+  let space = fail_on_error (space_of_name space_name) in
+  let space =
+    match preset with
+    | None -> space
+    | Some name ->
+      Tune_space.restrict_to_preset space (fail_on_error (Presets.find_by_name name))
+  in
+  let workloads =
+    match workload_spec with
+    | Some spec -> fail_on_error (Tune_workload.of_spec spec)
+    | None ->
+      if list_space then fail_on_error (Tune_workload.of_spec "matmul:64,64,64")
+      else failwith "--workload is required (or --list-space)"
+  in
+  if list_space then begin
+    List.iter
+      (fun (named : Tune_workload.named) ->
+        Tool_common.print_listing
+          ~title:
+            (Printf.sprintf "Search dimensions for %s (%s space):"
+               (Tune_workload.to_string named.Tune_workload.wl_workload)
+               space_name)
+          (List.map
+             (fun (dim, values) -> (dim, String.concat " | " values))
+             (Tune_space.dimensions space named.Tune_workload.wl_workload)))
+      workloads;
+    `Ok ()
+  end
+  else begin
+    let strategy = fail_on_error (Tune_strategy.of_string ~seed ?budget strategy_name) in
+    let cache =
+      match cache_path with
+      | None -> None
+      | Some path -> Some (fail_on_error (Tune_cache.load path))
+    in
+    let tracer =
+      match trace_path with
+      | None -> None
+      | Some _ ->
+        let t = Trace.create () in
+        Trace.enable t;
+        Some t
+    in
+    let report =
+      Tuner.tune { Tuner.default_options with strategy; space; cache; tracer } workloads
+    in
+    print_string (Tune_report.render report);
+    (match (cache, cache_path) with
+    | Some c, Some path ->
+      Tune_cache.save c path;
+      Printf.eprintf "tune cache   : %s (%d entries)\n" path (Tune_cache.size c)
+    | _ -> ());
+    (match report_path with
+    | None -> ()
+    | Some path ->
+      Tune_report.write_file path report;
+      Printf.eprintf "tune report  : %s\n" path);
+    (match (tracer, trace_path) with
+    | Some t, Some path ->
+      Chrome_trace.write_file path (Trace.events t);
+      Printf.eprintf "chrome trace : %s\n" path
+    | _ -> ());
+    let evaluations =
+      List.fold_left
+        (fun acc r -> acc + r.Tune_report.r_evaluated)
+        0 report.Tune_report.rp_results
+    in
+    if assert_warm && evaluations > 0 then
+      `Error
+        ( false,
+          Printf.sprintf
+            "--assert-warm: %d pipeline evaluation(s) ran (cache was not warm)"
+            evaluations )
+    else `Ok ()
+  end
+
+let workload =
+  Arg.(value & opt (some string) None & info [ "workload" ] ~docv:"SPEC"
+         ~doc:"What to tune: $(b,matmul:M,N,K), $(b,conv:IC,IHW,OC,FHW[,STRIDE]), \
+               $(b,resnet18) (all layers, row-sampled), $(b,resnet18/LAYER) or \
+               $(b,tinybert).")
+
+let space =
+  Arg.(value & opt string "default" & info [ "space" ] ~docv:"NAME"
+         ~doc:"Search space: $(b,default) (all Table I engines, tile search, \
+               double buffering), $(b,fig13) (the paper's hand-picked sweep \
+               space) or $(b,quick).")
+
+let strategy =
+  Arg.(value & opt string "grid" & info [ "strategy" ] ~docv:"NAME"
+         ~doc:"Search strategy: $(b,grid) (exhaustive) or $(b,greedy) \
+               (cost-model-seeded hill climb, a quarter of the budget).")
+
+let seed =
+  Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N"
+         ~doc:"Deterministic seed for the greedy strategy's tie-breaking.")
+
+let budget =
+  Arg.(value & opt (some int) None & info [ "budget" ] ~docv:"N"
+         ~doc:"Evaluation budget for the greedy strategy (default: a quarter \
+               of the pruned space).")
+
+let preset =
+  Arg.(value & opt (some string) None & info [ "preset" ] ~docv:"NAME"
+         ~doc:"Restrict the engine dimension to one preset (e.g. v4_16); \
+               the tuner then only explores flows, tiles and transfer options.")
+
+let cache =
+  Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"FILE"
+         ~doc:"Persistent result cache (axi4mlir-tune-v1 JSON). Loaded before \
+               tuning, saved after; a warm cache re-runs zero simulations.")
+
+let report =
+  Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE"
+         ~doc:"Write the tuning report as JSON to $(docv).")
+
+let trace =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Write a Chrome trace of tuning progress (one event per \
+               candidate evaluation on the autotuner track) to $(docv).")
+
+let list_space =
+  Arg.(value & flag & info [ "list-space" ]
+         ~doc:"Print the search dimensions the space explores for the \
+               workload (default: a 64x64x64 matmul) and exit.")
+
+let assert_warm =
+  Arg.(value & flag & info [ "assert-warm" ]
+         ~doc:"Exit non-zero if any pipeline evaluation ran (i.e. the cache \
+               did not already hold every result). Used by the @tune-quick \
+               determinism check.")
+
+let cmd =
+  let doc = "design-space exploration over AXI4MLIR accelerator configurations" in
+  Cmd.v
+    (Cmd.info "axi4mlir-tune" ~doc)
+    Term.(
+      ret
+        (const run_tool $ workload $ space $ strategy $ seed $ budget $ preset $ cache
+       $ report $ trace $ list_space $ assert_warm $ Tool_common.remarks_flag
+       $ Tool_common.metrics_out))
+
+let () = exit (Cmd.eval cmd)

@@ -60,3 +60,35 @@ let with_observability ~remarks ~metrics body =
   | exception Failure msg ->
     finish ~remarks ~metrics;
     `Error (false, msg)
+
+(* Shared rendering for the `--list-*` introspection flags
+   (axi4mlir-opt --list-passes, axi4mlir-tune --list-space): a title
+   followed by an aligned name/description column pair. *)
+let print_listing ~title items =
+  print_endline title;
+  let width = List.fold_left (fun w (name, _) -> max w (String.length name)) 0 items in
+  List.iter (fun (name, desc) -> Printf.printf "  %-*s  %s\n" width name desc) items
+
+(* The passes the axi4mlir-opt pipeline can run, in pipeline order:
+   the accelerator flow instantiated with every optional pass enabled
+   (so Coalesce/Lower/Copy-specialisation show up), then the CPU
+   reference lowering. *)
+let registered_passes () =
+  let accel = Presets.matmul ~version:Accel_matmul.V4 ~size:16 () in
+  let pipeline =
+    Pipeline.make ~accel ~host:Host_config.pynq_z2 ~copy_specialization:true
+      ~coalesce_transfers:true ~to_runtime_calls:true ()
+  in
+  let dedup items =
+    List.rev
+      (List.fold_left
+         (fun acc (name, desc) -> if List.mem_assoc name acc then acc else (name, desc) :: acc)
+         [] items)
+  in
+  dedup
+    (List.map
+       (fun (p : Pass.t) -> (p.Pass.pass_name, "accelerator pipeline"))
+       (Pipeline.passes pipeline)
+    @ List.map
+        (fun (p : Pass.t) -> (p.Pass.pass_name, "mlir_CPU reference lowering"))
+        Pipeline.cpu_passes)

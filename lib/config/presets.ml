@@ -147,6 +147,15 @@ let conv_flows =
     ("Ns", parse "(sW sI rO)");
   ]
 
+let names =
+  List.concat_map
+    (fun version ->
+      List.map
+        (fun size -> Printf.sprintf "%s_%d" (Accel_matmul.version_to_string version) size)
+        table1_sizes)
+    [ Accel_matmul.V1; Accel_matmul.V2; Accel_matmul.V3; Accel_matmul.V4 ]
+  @ [ "conv2d" ]
+
 let conv ?(flow = "Ws") () =
   if not (List.mem_assoc flow conv_flows) then
     failwith (Printf.sprintf "Presets.conv: unknown flow %s" flow);
@@ -174,3 +183,37 @@ let conv ?(flow = "Ws") () =
   | Ok () -> ()
   | Error msg -> failwith (Printf.sprintf "Presets.conv: invalid preset: %s" msg));
   config
+
+(* Name-based lookup used by the CLI tools' --preset flags. The error
+   messages enumerate the valid alternatives so a typo is a one-round
+   fix, not an archaeology session. *)
+let find_by_name ?flow name =
+  if not (List.mem name names) then
+    Error
+      (Printf.sprintf "unknown preset %s (valid presets: %s)" name
+         (String.concat ", " names))
+  else
+    let flows_available =
+      if name = "conv2d" then List.map fst conv_flows
+      else
+        match String.split_on_char '_' name with
+        | v :: _ -> (
+          match Accel_matmul.version_of_string v with
+          | Some version -> matmul_flows version
+          | None -> [])
+        | [] -> []
+    in
+    match flow with
+    | Some f when not (List.mem f flows_available) ->
+      Error
+        (Printf.sprintf "preset %s does not support flow %s (supported flows: %s)" name f
+           (String.concat ", " flows_available))
+    | _ -> (
+      if name = "conv2d" then Ok (conv ?flow ())
+      else
+        match String.split_on_char '_' name with
+        | [ v; s ] -> (
+          match (Accel_matmul.version_of_string v, int_of_string_opt s) with
+          | Some version, Some size -> Ok (matmul ~version ~size ?flow ())
+          | _ -> Error (Printf.sprintf "unknown preset %s" name))
+        | _ -> Error (Printf.sprintf "unknown preset %s" name))

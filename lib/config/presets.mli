@@ -30,3 +30,13 @@ val opcode_summary : Accel_matmul.version -> string
 
 val table1_sizes : int list
 (** The evaluated accelerator sizes: [[4; 8; 16]]. *)
+
+val names : string list
+(** Every preset name: the Table I matmul engines as
+    ["<version>_<size>"] (["v1_4"] ... ["v4_16"]) plus ["conv2d"]. *)
+
+val find_by_name : ?flow:string -> string -> (Accel_config.t, string) result
+(** Look a preset up by name (["v3_16"], ["conv2d"], ...), optionally
+    selecting a non-default opcode flow. [Error] messages are
+    actionable: an unknown name lists every valid preset, an unknown
+    flow lists the flows the preset supports. *)

@@ -1,0 +1,67 @@
+(* Differential property for the autotuner: on any feasible random
+   matmul workload, the configuration the tuner returns must
+
+   - instantiate and validate ([Tune_space.config_of_candidate] +
+     [Accel_config.validate]);
+   - survive the real pipeline (its winning cycles came from an actual
+     compile+simulate run, so a rejection would have been filtered);
+   - never be slower than the [Heuristics.choose] default — the
+     tuner's by-construction guarantee, checked here end to end.
+
+   Cases derive from (seed, index) like every other fuzz property, so
+   failures replay exactly. *)
+
+type outcome =
+  | Pass
+  | Skip of string  (** no baseline and no tuned config: nothing to compare *)
+  | Fail of string
+
+let outcome_to_string = function
+  | Pass -> "pass"
+  | Skip reason -> "skip: " ^ reason
+  | Fail reason -> "fail: " ^ reason
+
+let space_at rng =
+  (* small spaces keep one case to a handful of simulations *)
+  if Fuzz_rng.bool rng then Tune_space.quick
+  else { Tune_space.fig13 with Tune_space.sp_engines = [ ("v3", 8); ("v3", 16) ] }
+
+let workload_at rng =
+  let dim () = 16 * Fuzz_rng.int_range rng 1 3 in
+  Tune_workload.Matmul { m = dim (); n = dim (); k = dim () }
+
+let check_at ~seed ~index =
+  let rng = Fuzz_rng.derive ~seed ~index in
+  let space = space_at rng in
+  let workload = workload_at rng in
+  let named = { Tune_workload.wl_label = "fuzz_tune"; wl_workload = workload } in
+  let report =
+    Tuner.tune
+      { Tuner.default_options with Tuner.strategy = Tune_strategy.Grid; space }
+      [ named ]
+  in
+  match report.Tune_report.rp_results with
+  | [ result ] -> (
+    match result.Tune_report.r_best with
+    | None ->
+      (* acceptable only when nothing was runnable at all *)
+      if result.Tune_report.r_baseline = None then Skip "no runnable candidate"
+      else Fail "tuner returned no config although the baseline ran"
+    | Some best -> (
+      match Tune_space.config_of_candidate best.Tune_report.bs_candidate with
+      | Error msg -> Fail (Printf.sprintf "tuned candidate does not instantiate: %s" msg)
+      | Ok config -> (
+        match Accel_config.validate config with
+        | Error msg -> Fail (Printf.sprintf "tuned config invalid: %s" msg)
+        | Ok () -> (
+          match result.Tune_report.r_baseline with
+          | None -> Pass (* heuristic found nothing; the tuner did *)
+          | Some (descr, baseline_cycles) ->
+            if best.Tune_report.bs_cycles <= baseline_cycles then Pass
+            else
+              Fail
+                (Printf.sprintf
+                   "tuned %s (%.0f cycles) is slower than heuristic %s (%.0f cycles)"
+                   (Tune_space.candidate_to_string best.Tune_report.bs_candidate)
+                   best.Tune_report.bs_cycles descr baseline_cycles)))))
+  | _ -> Fail "expected exactly one workload result"

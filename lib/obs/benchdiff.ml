@@ -30,6 +30,26 @@ let metrics_of_fields fields =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Config hashing                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* 64-bit FNV-1a. Deliberately hand-rolled rather than Hashtbl.hash:
+   the result is persisted (bench artifacts, tune-cache keys) and must
+   be identical across OCaml versions and platforms. See the .mli for
+   the compatibility guarantee. *)
+let stable_hash s =
+  let offset_basis = 0xCBF29CE484222325L and prime = 0x100000001B3L in
+  let h = ref offset_basis in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h prime)
+    s;
+  Printf.sprintf "%016Lx" !h
+
+let config_hash json = stable_hash (Json.to_string json)
+
+(* ------------------------------------------------------------------ *)
 (* Artifact I/O                                                        *)
 (* ------------------------------------------------------------------ *)
 

@@ -36,6 +36,28 @@ val metrics_of_fields : (string * float) list -> (string * float) list
     (l1 + l2 accesses), [dma_words] (sent + received) and
     [gflops_per_cycle] (flops/cycles; 0 for a zero-cycle run). *)
 
+(** {1 Config hashing}
+
+    COMPATIBILITY GUARANTEE: {!stable_hash} (and therefore
+    {!config_hash}) is part of two persisted formats — the
+    [axi4mlir-bench-v1] artifact's per-point [config] field and the
+    autotuner's [axi4mlir-tune-v1] result cache, whose keys embed the
+    hash. The algorithm (64-bit FNV-1a over the bytes, 16 lowercase hex
+    digits) must NOT change across releases: changing it silently
+    invalidates every committed baseline and every user's warm tuning
+    cache. A golden test pins the hash of a fixed {!Accel_config} (via
+    its canonical JSON); if you believe you must change the algorithm,
+    bump the schema strings of both formats in the same commit. *)
+
+val stable_hash : string -> string
+(** 64-bit FNV-1a of the bytes, as 16 lowercase hex digits. Stable
+    across OCaml versions and platforms (unlike [Hashtbl.hash]). *)
+
+val config_hash : Json.t -> string
+(** {!stable_hash} of the compact (non-indented) {!Json.to_string}
+    rendering — the canonical hash of an accelerator configuration's
+    [Accel_config.to_json] form. *)
+
 (** {1 Artifact I/O} *)
 
 val to_json : doc -> Json.t

@@ -8,7 +8,9 @@ let arg_to_json = function
   | Trace.Bool b -> Json.Bool b
 
 let event_to_json ~scale (e : Trace.event) =
-  let on_compile_track = e.Trace.ev_track = Trace.compile_track in
+  let on_compile_track =
+    e.Trace.ev_track = Trace.compile_track || e.Trace.ev_track = Trace.tuner_track
+  in
   let pid = if on_compile_track then compiler_pid else sim_pid in
   let ts = if on_compile_track then e.ev_ts else e.ev_ts /. scale in
   let ph, extra =
@@ -56,6 +58,7 @@ let preamble =
     metadata "thread_name" sim_pid Trace.accel_track "accelerator";
     metadata "thread_name" sim_pid Trace.dma_track "DMA engine";
     metadata "thread_name" compiler_pid Trace.compile_track "pass pipeline";
+    metadata "thread_name" compiler_pid Trace.tuner_track "autotuner";
   ]
 
 let to_json ?(cpu_freq_mhz = 1.0) ?(track_names = []) events =

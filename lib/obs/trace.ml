@@ -21,6 +21,7 @@ let host_track = 0
 let accel_track = 1
 let dma_track = 2
 let compile_track = 10
+let tuner_track = 11
 
 (* Asynchronous activity gets one track per DMA channel and one per
    accelerator device, interleaved so a channel sits next to its

@@ -56,6 +56,13 @@ val compile_track : int
 (** Compile-time (pass pipeline) events; timestamps are host-process
     microseconds, rendered under a separate Chrome pid. *)
 
+val tuner_track : int
+(** Autotuner progress events (one complete slice per pipeline
+    evaluation, instants for cache hits and strategy moves); like
+    {!compile_track} the timestamps are host-process microseconds —
+    tuning spans many independent simulations, so no single simulated
+    clock covers it. *)
+
 val dma_channel_track : int -> int
 (** Per-DMA-channel track for asynchronous transfer windows. *)
 

@@ -1,0 +1,65 @@
+type outcome = { ev_cycles : float; ev_counters : Perf_counters.t }
+
+let run_candidate ?host workload candidate =
+  match Tune_space.config_of_candidate candidate with
+  | Error msg -> Error msg
+  | Ok config -> (
+    let bench = Axi4mlir.create ?host config in
+    let options = Tune_space.codegen_of_candidate candidate in
+    match workload with
+    | Tune_workload.Matmul { m; n; k } ->
+      let a, b, c = Axi4mlir.alloc_matmul_operands bench ~m ~n ~k in
+      let compiled = Axi4mlir.compile_matmul bench ~options ~m ~n ~k () in
+      let counters =
+        Axi4mlir.measure bench (fun () ->
+            Axi4mlir.run_matmul bench ~options compiled ~a ~b ~c)
+      in
+      Ok { ev_cycles = counters.Perf_counters.cycles; ev_counters = counters }
+    | Tune_workload.Conv { ic; ih; iw; oc; fhw; stride } ->
+      let n = 1 in
+      let i, w, o =
+        Axi4mlir.alloc_conv_operands ~stride bench ~n ~ic ~ih ~iw ~oc ~fh:fhw ~fw:fhw
+      in
+      let ir =
+        Axi4mlir.build_conv_module ~stride ~n ~ic ~ih ~iw ~oc ~fh:fhw ~fw:fhw ()
+      in
+      let compiled = Axi4mlir.compile bench ~options ir in
+      let counters =
+        Axi4mlir.measure bench (fun () ->
+            Axi4mlir.run_func bench ~copy_strategy:Dma_library.Specialized compiled
+              "conv_call"
+              [ Interp.M i; Interp.M w; Interp.M o ])
+      in
+      Ok { ev_cycles = counters.Perf_counters.cycles; ev_counters = counters })
+
+let evaluate ?host ?tracer workload candidate =
+  let t0 = Sys.time () in
+  let result =
+    (* The pipeline signals "cannot offload" with Failure (the
+       facade's on_skip) and pass breakage with Pass_failure /
+       Rejected; all are ordinary negative outcomes for a tuner. *)
+    match run_candidate ?host workload candidate with
+    | result -> result
+    | exception Failure msg -> Error msg
+    | exception Pass.Pass_failure { pass; failing_op = _; message } ->
+      Error (Printf.sprintf "%s: %s" pass message)
+    | exception Interp.Runtime_error msg -> Error ("runtime: " ^ msg)
+  in
+  (match result with
+  | Ok _ -> Metrics.incr "tuner_evaluations"
+  | Error _ -> Metrics.incr "tuner_rejected");
+  (match tracer with
+  | None -> ()
+  | Some tracer ->
+    let ts = t0 *. 1e6 and dur = (Sys.time () -. t0) *. 1e6 in
+    Trace.complete tracer ~cat:"tuner" ~track:Trace.tuner_track ~ts ~dur
+      ~args:
+        [
+          ("candidate", Trace.Str (Tune_space.candidate_to_string candidate));
+          ( "outcome",
+            match result with
+            | Ok o -> Trace.Num o.ev_cycles
+            | Error msg -> Trace.Str ("rejected: " ^ msg) );
+        ]
+      ("evaluate " ^ Tune_space.candidate_to_string candidate));
+  result

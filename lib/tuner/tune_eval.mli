@@ -1,0 +1,31 @@
+(** One candidate through the real pipeline: build the workload module,
+    compile it with the candidate's codegen options on a fresh
+    simulated SoC, run it, and read the performance counters.
+
+    This is the expensive leg of the tuner — everything in
+    {!Tune_prune} exists to avoid calling it. Each successful call
+    bumps the ["tuner_evaluations"] metrics counter (the counter the
+    warm-cache test pins at zero) and, when a tracer is given, records
+    a complete event on {!Trace.tuner_track} spanning the evaluation's
+    host-process time.
+
+    A pipeline rejection (the matcher refusing to offload, a pass
+    failure) is an [Error], not an exception: rejected candidates are a
+    normal part of design-space exploration and are cached like any
+    other outcome. *)
+
+type outcome = {
+  ev_cycles : float;  (** simulated host cycles of the measured run *)
+  ev_counters : Perf_counters.t;
+}
+
+val evaluate :
+  ?host:Host_config.t ->
+  ?tracer:Trace.t ->
+  Tune_workload.t ->
+  Tune_space.candidate ->
+  (outcome, string) result
+(** Compile+simulate the candidate on the workload. Conv workloads run
+    the specialised copy strategy (the hand-written-driver default).
+    [tracer] is the {e tuning} tracer (tuner track), not the simulated
+    SoC's. *)

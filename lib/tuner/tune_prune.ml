@@ -1,0 +1,221 @@
+type reason =
+  | Invalid of string
+  | Non_dividing
+  | Capacity
+  | Dma_overflow
+  | Dominated
+
+let reason_label = function
+  | Invalid _ -> "invalid"
+  | Non_dividing -> "non_dividing"
+  | Capacity -> "capacity"
+  | Dma_overflow -> "dma_overflow"
+  | Dominated -> "dominated"
+
+let reason_to_string = function
+  | Invalid msg -> "invalid config: " ^ msg
+  | Non_dividing -> "tile does not divide the iteration space"
+  | Capacity -> "tile exceeds the accelerator buffer capacity"
+  | Dma_overflow -> "transfer does not fit the DMA window"
+  | Dominated -> "Pareto-dominated by a sibling tile shape"
+
+let effective_tiles (c : Tune_space.candidate) workload =
+  match workload with
+  | Tune_workload.Conv _ -> None
+  | Tune_workload.Matmul _ -> (
+    match c.Tune_space.cd_tiles with
+    | Some _ as tiles -> tiles
+    | None -> Some (c.Tune_space.cd_size, c.Tune_space.cd_size, c.Tune_space.cd_size))
+
+let bytes_per_elem = 4 (* f32 over a 32-bit AXI-S word *)
+
+(* Feasibility of one matmul candidate on (m, n, k): granularity,
+   dividing tiles, accelerator buffers, DMA window per transfer. *)
+let check_matmul (config : Accel_config.t) c ~m ~n ~k =
+  match effective_tiles c (Tune_workload.Matmul { m; n; k }) with
+  | None -> Error (Invalid "matmul candidate without tiles")
+  | Some (tm, tn, tk) ->
+    let g = c.Tune_space.cd_size in
+    if tm <= 0 || tn <= 0 || tk <= 0 then Error Non_dividing
+    else if tm mod g <> 0 || tn mod g <> 0 || tk mod g <> 0 then Error Non_dividing
+    else if m mod tm <> 0 || n mod tn <> 0 || k mod tk <> 0 then Error Non_dividing
+    else if
+      tm * tk > config.Accel_config.buffer_capacity_elems
+      || tk * tn > config.Accel_config.buffer_capacity_elems
+      || tm * tn > config.Accel_config.buffer_capacity_elems
+    then Error Capacity
+    else
+      (* largest single send: a tile plus its opcode word; double
+         buffering stages into ping/pong halves of the input window *)
+      let send_bytes = (max (tm * tk) (tk * tn) + 1) * bytes_per_elem in
+      let input_need =
+        if c.Tune_space.cd_double_buffer then 2 * send_bytes else send_bytes
+      in
+      let recv_bytes = tm * tn * bytes_per_elem in
+      if
+        input_need > config.Accel_config.dma.Accel_config.input_buffer_size
+        || recv_bytes > config.Accel_config.dma.Accel_config.output_buffer_size
+      then Error Dma_overflow
+      else Ok config
+
+let check_conv (config : Accel_config.t) c ~ic ~ih ~iw ~oc ~fhw ~stride =
+  ignore oc;
+  let oh = Gold.conv_out ih ~fhw ~stride and ow = Gold.conv_out iw ~fhw ~stride in
+  if oh <= 0 || ow <= 0 then Error (Invalid "empty convolution output")
+  else
+    let slice = ic * fhw * fhw in
+    if slice > config.Accel_config.buffer_capacity_elems then Error Capacity
+    else
+      let send_bytes = (slice + 1) * bytes_per_elem in
+      let input_need =
+        if c.Tune_space.cd_double_buffer then 2 * send_bytes else send_bytes
+      in
+      (* the Os flow drains a whole output slice in one transfer *)
+      let recv_elems = if c.Tune_space.cd_flow = "Os" then oh * ow else 1 in
+      if
+        input_need > config.Accel_config.dma.Accel_config.input_buffer_size
+        || recv_elems * bytes_per_elem
+           > config.Accel_config.dma.Accel_config.output_buffer_size
+      then Error Dma_overflow
+      else Ok config
+
+let check workload (c : Tune_space.candidate) =
+  match Tune_space.config_of_candidate c with
+  | Error msg -> Error (Invalid msg)
+  | Ok config -> (
+    match Accel_config.validate config with
+    | Error msg -> Error (Invalid msg)
+    | Ok () -> (
+      match workload with
+      | Tune_workload.Matmul { m; n; k } -> check_matmul config c ~m ~n ~k
+      | Tune_workload.Conv { ic; ih; iw; oc; fhw; stride } ->
+        check_conv config c ~ic ~ih ~iw ~oc ~fhw ~stride))
+
+(* ------------------------------------------------------------------ *)
+(* Cost-model prediction                                               *)
+(* ------------------------------------------------------------------ *)
+
+let f = float_of_int
+
+(* Conv surrogate: transaction-dominated estimate per flow structure
+   (Ws: per-pixel patch send + per-pixel drain; Os: per-pixel patch
+   send, one slice drain per channel; Ns: everything per pixel). Only
+   the ranking matters — the simulator refines the actual cycles. *)
+let conv_predict ~(cost : Cost_model.t) ~flow ~ic ~ih ~iw ~oc ~fhw ~stride =
+  let oh = Gold.conv_out ih ~fhw ~stride and ow = Gold.conv_out iw ~fhw ~stride in
+  let slice = ic * fhw * fhw in
+  let pixels = oh * ow in
+  let per_word = Cost_model.cpu_cycles_per_word cost in
+  let txn words =
+    cost.Cost_model.dma_program_cycles +. cost.Cost_model.dma_wait_cycles
+    +. (f words *. per_word)
+  in
+  let copy words = 2.0 *. f words in
+  match flow with
+  | "Ws" ->
+    f oc
+    *. (txn (slice + 1)
+       +. (f pixels *. (txn (slice + 1) +. txn 1 +. txn 1 +. copy slice +. copy 1)))
+  | "Os" ->
+    f oc
+    *. (txn (slice + 1)
+       +. (f pixels *. (txn (slice + 1) +. copy slice))
+       +. txn 1 +. txn pixels +. copy pixels)
+  | "Ns" ->
+    f oc *. f pixels
+    *. (txn (slice + 1) +. txn (slice + 1) +. txn 1 +. txn 1 +. copy (2 * slice))
+  | _ -> infinity
+
+(* Heuristics.estimate_cycles models the v3/v4 opcode structure
+   (separate sA / sB / cC / rC transactions). The fused opcodes of the
+   simpler engines issue fewer DMA transactions per inner iteration:
+   v2's cCrC folds the compute trigger into the drain request (one
+   one-word send saved), v1's single sAsBcCrC merges both input sends
+   and drops both trigger sends (three one-word-transaction equivalents
+   saved). Without this correction the greedy seed ranks v1/v2 engines
+   too low and climbs from the wrong starting point. *)
+let opcode_structure_correction (config : Accel_config.t) ~(cost : Cost_model.t)
+    ~inner_iters =
+  let saved_txns =
+    match config.Accel_config.engine with
+    | Accel_config.Matmul_engine (Accel_matmul.V1, _) -> 3.0
+    | Accel_config.Matmul_engine (Accel_matmul.V2, _) -> 1.0
+    | _ -> 0.0
+  in
+  let txn1 =
+    cost.Cost_model.dma_program_cycles +. cost.Cost_model.dma_wait_cycles
+    +. Cost_model.cpu_cycles_per_word cost
+  in
+  float_of_int inner_iters *. saved_txns *. txn1
+
+let predict ?(cost = Cost_model.default) workload (c : Tune_space.candidate) =
+  match check workload c with
+  | Error _ -> infinity
+  | Ok config -> (
+    match workload with
+    | Tune_workload.Matmul { m; n; k } -> (
+      match effective_tiles c workload with
+      | None -> infinity
+      | Some (tm, tn, tk) ->
+        let inner_iters = m / tm * (n / tn) * (k / tk) in
+        Heuristics.estimate_cycles config ~cost ~flow:c.Tune_space.cd_flow ~m ~n ~k ~tm
+          ~tn ~tk
+        -. opcode_structure_correction config ~cost ~inner_iters)
+    | Tune_workload.Conv { ic; ih; iw; oc; fhw; stride } ->
+      conv_predict ~cost ~flow:c.Tune_space.cd_flow ~ic ~ih ~iw ~oc ~fhw ~stride)
+
+(* ------------------------------------------------------------------ *)
+(* Population pruning                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Pareto dominance among explicit tile variants of one
+   (engine, flow, dma, double-buffer) group. Default-tile candidates
+   (cd_tiles = None) are never dropped: they are the points the
+   hand-picked baselines and the heuristics produce, and keeping them
+   preserves the "grid covers the manual sweep" guarantee. *)
+let dominance_prune ~cost workload kept =
+  let group (c : Tune_space.candidate) =
+    (c.Tune_space.cd_engine, c.Tune_space.cd_size, c.Tune_space.cd_flow,
+     c.Tune_space.cd_dma_bytes, c.Tune_space.cd_double_buffer)
+  in
+  let score (c : Tune_space.candidate) =
+    let cycles = predict ~cost workload c in
+    let transfer =
+      match (workload, effective_tiles c workload) with
+      | Tune_workload.Matmul { m; n; k }, Some (tm, tn, tk) ->
+        Heuristics.transfer_elems ~flow:c.Tune_space.cd_flow ~m ~n ~k ~tm ~tn ~tk
+      | _ -> 0.0
+    in
+    (cycles, transfer)
+  in
+  let dominated_by (cyc_a, tr_a) (cyc_b, tr_b) =
+    (* b dominates a *)
+    cyc_b <= cyc_a && tr_b <= tr_a && (cyc_b < cyc_a || tr_b < tr_a)
+  in
+  List.partition
+    (fun c ->
+      match c.Tune_space.cd_tiles with
+      | None -> true
+      | Some _ ->
+        let s = score c in
+        not
+          (List.exists
+             (fun other ->
+               other != c && group other = group c
+               && (match other.Tune_space.cd_tiles with Some _ -> true | None -> false)
+               && dominated_by s (score other))
+             kept))
+    kept
+
+let prune ?(cost = Cost_model.default) workload candidates =
+  let kept, dropped =
+    List.fold_left
+      (fun (kept, dropped) c ->
+        match check workload c with
+        | Ok _ -> (c :: kept, dropped)
+        | Error reason -> (kept, (c, reason) :: dropped))
+      ([], []) candidates
+  in
+  let kept = List.rev kept and dropped = List.rev dropped in
+  let kept, dominated = dominance_prune ~cost workload kept in
+  (kept, dropped @ List.map (fun c -> (c, Dominated)) dominated)

@@ -1,0 +1,55 @@
+(** Static pruning: reject candidates that cannot work — or provably
+    cannot win — before paying for a compile+simulate evaluation.
+
+    Three classes of checks run without any simulation:
+    - {e validity}: the preset exists, the engine supports the flow,
+      the assembled {!Accel_config} passes [validate];
+    - {e feasibility}: the effective tile divides every workload
+      dimension, respects the engine granularity, fits the per-operand
+      accelerator buffers, and every single DMA transfer fits the DMA
+      window (halved when double buffering splits it into ping/pong
+      staging halves);
+    - {e dominance}: among tile variants of the same
+      (engine, flow, DMA, double-buffer) group, only the Pareto front
+      under (cost-model cycles, transferred elements) survives — a
+      shape worse on both axes cannot be the winner under any
+      simulator refinement of the cost model's ranking.
+
+    The cost-model estimate ({!predict}) is also the seed signal of the
+    greedy strategy. *)
+
+type reason =
+  | Invalid of string  (** preset/flow lookup or config validation failed *)
+  | Non_dividing  (** tile does not divide a dimension / granularity break *)
+  | Capacity  (** tile exceeds the per-operand accelerator buffer *)
+  | Dma_overflow  (** a single transfer does not fit the DMA window *)
+  | Dominated  (** Pareto-dominated by a sibling tile shape *)
+
+val reason_label : reason -> string
+(** Stable short label (metrics label value, report key). *)
+
+val reason_to_string : reason -> string
+
+val effective_tiles : Tune_space.candidate -> Tune_workload.t -> (int * int * int) option
+(** The tile shape the candidate will actually run with: the explicit
+    override, or the engine's square tile. [None] for conv workloads
+    (the conv engine absorbs its reduction dims). *)
+
+val check :
+  Tune_workload.t -> Tune_space.candidate -> (Accel_config.t, reason) result
+(** Validity + feasibility for one candidate (no dominance — that is
+    relative to the rest of the population). *)
+
+val predict : ?cost:Cost_model.t -> Tune_workload.t -> Tune_space.candidate -> float
+(** Analytic driver-cycle estimate used to rank candidates without
+    simulating: {!Heuristics.estimate_cycles} for matmul, a
+    transaction-count surrogate for conv. [infinity] when {!check}
+    rejects the candidate. *)
+
+val prune :
+  ?cost:Cost_model.t ->
+  Tune_workload.t ->
+  Tune_space.candidate list ->
+  Tune_space.candidate list * (Tune_space.candidate * reason) list
+(** Split a population into survivors (original order preserved) and
+    pruned candidates with reasons. *)

@@ -1,0 +1,202 @@
+type candidate = {
+  cd_engine : string;
+  cd_size : int;
+  cd_flow : string;
+  cd_tiles : (int * int * int) option;
+  cd_dma_bytes : int option;
+  cd_double_buffer : bool;
+}
+
+let preset_name c = if c.cd_engine = "conv" then "conv2d" else Printf.sprintf "%s_%d" c.cd_engine c.cd_size
+
+let candidate_to_string c =
+  String.concat ""
+    [
+      preset_name c;
+      "/";
+      c.cd_flow;
+      (match c.cd_tiles with
+      | None -> ""
+      | Some (tm, tn, tk) -> Printf.sprintf " tiles=%d,%d,%d" tm tn tk);
+      (match c.cd_dma_bytes with
+      | None -> ""
+      | Some b -> Printf.sprintf " dma=%#x" b);
+      (if c.cd_double_buffer then " db" else "");
+    ]
+
+(* Canonical candidate JSON: this participates in the tune-cache key,
+   so the field set and order are stable (see Benchdiff's hash
+   compatibility guarantee). *)
+let candidate_to_json c =
+  Json.Obj
+    [
+      ("engine", Json.String c.cd_engine);
+      ("size", Json.Int c.cd_size);
+      ("flow", Json.String c.cd_flow);
+      ( "tiles",
+        match c.cd_tiles with
+        | None -> Json.Null
+        | Some (tm, tn, tk) -> Json.List [ Json.Int tm; Json.Int tn; Json.Int tk ] );
+      ( "dma_bytes",
+        match c.cd_dma_bytes with None -> Json.Null | Some b -> Json.Int b );
+      ("double_buffer", Json.Bool c.cd_double_buffer);
+    ]
+
+let config_of_candidate c =
+  match Presets.find_by_name ~flow:c.cd_flow (preset_name c) with
+  | Error _ as e -> e
+  | Ok config -> (
+    match c.cd_dma_bytes with
+    | None -> Ok config
+    | Some bytes ->
+      Ok
+        {
+          config with
+          Accel_config.dma =
+            {
+              config.Accel_config.dma with
+              Accel_config.input_buffer_size = bytes;
+              output_buffer_size = bytes;
+            };
+        })
+
+let codegen_of_candidate c =
+  {
+    Axi4mlir.default_codegen with
+    Axi4mlir.flow = Some c.cd_flow;
+    tiles = (match c.cd_tiles with None -> None | Some (tm, tn, tk) -> Some [ tm; tn; tk ]);
+    double_buffer = c.cd_double_buffer;
+  }
+
+type t = {
+  sp_engines : (string * int) list;
+  sp_flows : string list option;
+  sp_tile_search : bool;
+  sp_dma_bytes : int option list;
+  sp_double_buffer : bool list;
+}
+
+let default =
+  {
+    sp_engines =
+      List.concat_map (fun v -> [ (v, 8); (v, 16) ]) [ "v1"; "v2"; "v3"; "v4" ];
+    sp_flows = None;
+    sp_tile_search = true;
+    sp_dma_bytes = [ None ];
+    sp_double_buffer = [ false; true ];
+  }
+
+let fig13 =
+  {
+    sp_engines = List.concat_map (fun v -> [ (v, 8); (v, 16) ]) [ "v1"; "v2"; "v3" ];
+    sp_flows = None;
+    sp_tile_search = false;
+    sp_dma_bytes = [ None ];
+    sp_double_buffer = [ false ];
+  }
+
+let quick =
+  {
+    sp_engines = [ ("v3", 16); ("v4", 16) ];
+    sp_flows = Some [ "Ns"; "Cs" ];
+    sp_tile_search = false;
+    sp_dma_bytes = [ None ];
+    sp_double_buffer = [ false ];
+  }
+
+let restrict_to_preset t (config : Accel_config.t) =
+  match config.Accel_config.engine with
+  | Accel_config.Conv_engine -> { t with sp_engines = [] }
+  | Accel_config.Matmul_engine (version, size) ->
+    { t with sp_engines = [ (Accel_matmul.version_to_string version, size) ] }
+
+(* ------------------------------------------------------------------ *)
+(* Enumeration                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let engine_flows = function
+  | "conv" -> [ "Ws"; "Os"; "Ns" ]
+  | v -> (
+    match Accel_matmul.version_of_string v with
+    | Some version -> Presets.matmul_flows version
+    | None -> [])
+
+let flows_for t engine =
+  let supported = engine_flows engine in
+  match t.sp_flows with
+  | None -> supported
+  | Some restricted -> List.filter (fun f -> List.mem f restricted) supported
+
+let is_flexible engine = engine = "v4"
+
+(* Tile variants on flexible engines: every feasible shape from the
+   heuristics enumeration, plus None (the engine's own square tile,
+   also the only option on fixed-size engines). *)
+let tile_variants t engine size workload =
+  match workload with
+  | Tune_workload.Conv _ -> [ None ]
+  | Tune_workload.Matmul { m; n; k } ->
+    if not (t.sp_tile_search && is_flexible engine) then [ None ]
+    else
+      let preset = Presets.matmul ~version:Accel_matmul.V4 ~size () in
+      None :: List.map (fun tls -> Some tls) (Heuristics.candidate_tiles preset ~m ~n ~k)
+
+let dimensions t workload =
+  let engines =
+    if Tune_workload.is_conv workload then [ "conv2d" ]
+    else List.map (fun (v, s) -> Printf.sprintf "%s_%d" v s) t.sp_engines
+  in
+  let flows =
+    let all =
+      if Tune_workload.is_conv workload then flows_for t "conv"
+      else
+        List.sort_uniq compare
+          (List.concat_map (fun (v, _) -> flows_for t v) t.sp_engines)
+    in
+    all
+  in
+  let tiles =
+    if Tune_workload.is_conv workload || not t.sp_tile_search then [ "engine square tile" ]
+    else [ "engine square tile"; "feasible (tm,tn,tk) shapes on flexible engines" ]
+  in
+  let dma =
+    List.map
+      (function None -> "preset default" | Some b -> Printf.sprintf "%#x bytes" b)
+      t.sp_dma_bytes
+  in
+  let db = List.map string_of_bool t.sp_double_buffer in
+  [
+    ("engine", engines);
+    ("opcode_flow", flows);
+    ("tiles", tiles);
+    ("dma_buffer", dma);
+    ("double_buffer", db);
+  ]
+
+let enumerate t workload =
+  let engines =
+    if Tune_workload.is_conv workload then [ ("conv", 0) ] else t.sp_engines
+  in
+  List.concat_map
+    (fun (engine, size) ->
+      List.concat_map
+        (fun flow ->
+          List.concat_map
+            (fun tiles ->
+              List.concat_map
+                (fun dma ->
+                  List.map
+                    (fun db ->
+                      {
+                        cd_engine = engine;
+                        cd_size = size;
+                        cd_flow = flow;
+                        cd_tiles = tiles;
+                        cd_dma_bytes = dma;
+                        cd_double_buffer = db;
+                      })
+                    t.sp_double_buffer)
+                t.sp_dma_bytes)
+            (tile_variants t engine size workload))
+        (flows_for t engine))
+    engines

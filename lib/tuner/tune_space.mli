@@ -1,0 +1,81 @@
+(** The autotuner's search space: which accelerator-configuration knobs
+    are explored, and the enumeration of concrete candidates for a
+    workload.
+
+    A candidate bundles everything the compile+simulate pipeline needs:
+    the engine (preset), the opcode flow, an optional tile-shape
+    override (flexible engines), an optional DMA buffer-size override
+    and the double-buffering toggle. Enumeration is the full cross
+    product; static pruning ({!Tune_prune}) cuts it down before any
+    simulation runs. *)
+
+type candidate = {
+  cd_engine : string;  (** ["v1"].."v4"] for matmul engines, ["conv"] *)
+  cd_size : int;  (** matmul engine tile edge; 0 for conv *)
+  cd_flow : string;
+  cd_tiles : (int * int * int) option;  (** flexible-engine tile override *)
+  cd_dma_bytes : int option;  (** DMA window override (input and output), bytes *)
+  cd_double_buffer : bool;
+}
+
+val candidate_to_string : candidate -> string
+(** Compact one-line rendering, e.g. ["v4_16/Cs tiles=32,16,64 db"]. *)
+
+val candidate_to_json : candidate -> Json.t
+(** Canonical JSON (part of the tune-cache key — field set and order
+    are stable). *)
+
+val preset_name : candidate -> string
+(** The {!Presets} name this candidate instantiates (["v3_16"],
+    ["conv2d"], ...). *)
+
+val config_of_candidate : candidate -> (Accel_config.t, string) result
+(** Instantiate the accelerator configuration: preset lookup, flow
+    selection, DMA window override. [Error] for unknown engines and
+    flows the engine does not support. *)
+
+val codegen_of_candidate : candidate -> Axi4mlir.codegen_options
+(** The codegen options the candidate implies (flow/tile overrides,
+    double buffering); everything else stays at
+    {!Axi4mlir.default_codegen}. *)
+
+type t = {
+  sp_engines : (string * int) list;
+      (** matmul engines to consider, as (version, size); ignored for
+          conv workloads (the Conv2D engine is the only one) *)
+  sp_flows : string list option;
+      (** restrict to these flow names; [None] = every flow the engine
+          supports *)
+  sp_tile_search : bool;
+      (** explore non-square tile shapes on flexible engines (beyond
+          the engine's own square tile) *)
+  sp_dma_bytes : int option list;
+      (** DMA window sizes to try; [None] = the preset default *)
+  sp_double_buffer : bool list;
+}
+
+val default : t
+(** All Table I engines at sizes 8 and 16, every flow, tile search on,
+    preset DMA windows, double buffering both off and on. *)
+
+val fig13 : t
+(** The Fig. 13 sweep space: the fixed-size v1/v2/v3 engines at sizes 8
+    and 16, every flow, no tile search, no double buffering — the space
+    the paper's hand-picked configurations were drawn from. *)
+
+val quick : t
+(** A tiny space (v3_16 and v4_16, flows Ns/Cs, no tile search) for
+    smoke tests and the [@tune-quick] alias. *)
+
+val restrict_to_preset : t -> Accel_config.t -> t
+(** Narrow the engine dimension to the given preset configuration (a
+    conv preset leaves the matmul engine list empty). *)
+
+val dimensions : t -> Tune_workload.t -> (string * string list) list
+(** The search dimensions and their values for a workload, for
+    [axi4mlir_tune --list-space]. *)
+
+val enumerate : t -> Tune_workload.t -> candidate list
+(** The full candidate cross product for the workload, in a fixed
+    deterministic order. Tile variants come from
+    {!Heuristics.candidate_tiles} on flexible engines. *)

@@ -1,0 +1,42 @@
+(** Search strategies over a pruned candidate population.
+
+    Strategies are written against an abstract index space [0..n-1] so
+    they can be tested without any simulation: the driver supplies the
+    cost-model ranking signal ([predict]), the neighborhood structure
+    ([neighbors], candidates differing in exactly one knob) and the
+    expensive evaluator ([eval]).
+
+    - {!Grid} evaluates every index — the exhaustive reference.
+    - {!Greedy} is a cost-model-seeded hill climb: rank all indices by
+      [predict] (free — no simulation), evaluate the best-predicted
+      point, climb to any improving neighbor (neighbors tried in
+      predicted order), and on a local optimum restart from the next
+      best-predicted unevaluated index, all within an evaluation
+      budget (default [max 1 (n/4)] — a quarter of the space). Ties in
+      the predicted ranking break by a splitmix64 stream derived from
+      [seed], so runs are reproducible given [--seed] and different
+      seeds explore tie groups in different orders. *)
+
+type t =
+  | Grid
+  | Greedy of { seed : int; budget : int option }
+      (** [budget = None]: a quarter of the population, at least 1 *)
+
+val to_string : t -> string
+
+val of_string : ?seed:int -> ?budget:int -> string -> (t, string) result
+(** ["grid"] or ["greedy"]; the error lists the valid names. [seed]
+    (default 0) and [budget] only affect ["greedy"]. *)
+
+val run :
+  t ->
+  n:int ->
+  predict:(int -> float) ->
+  neighbors:(int -> int list) ->
+  eval:(int -> float option) ->
+  (int * float) option * int
+(** Search the index space. [eval i] returns the measured cycles, or
+    [None] when the pipeline rejects the candidate; each index is
+    evaluated at most once (memoised here). Returns the best
+    [(index, cycles)] found — [None] if nothing evaluated successfully —
+    and the number of distinct [eval] calls made. *)

@@ -1,0 +1,255 @@
+type options = {
+  strategy : Tune_strategy.t;
+  space : Tune_space.t;
+  cache : Tune_cache.t option;
+  host : Host_config.t option;
+  tracer : Trace.t option;
+  cost : Cost_model.t;
+}
+
+let default_options =
+  {
+    strategy = Tune_strategy.Grid;
+    space = Tune_space.default;
+    cache = None;
+    host = None;
+    tracer = None;
+    cost = Cost_model.default;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Heuristic baseline                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let baseline_candidate ?(cost = Cost_model.default) space workload =
+  match workload with
+  | Tune_workload.Conv _ ->
+    (* the hand-written conv driver default: preset flow, no frills *)
+    Some
+      {
+        Tune_space.cd_engine = "conv";
+        cd_size = 0;
+        cd_flow = (Presets.conv ()).Accel_config.selected_flow;
+        cd_tiles = None;
+        cd_dma_bytes = None;
+        cd_double_buffer = false;
+      }
+  | Tune_workload.Matmul { m; n; k } -> (
+    match space.Tune_space.sp_engines with
+    | [] -> None
+    | engines ->
+      (* the engine a user would reach for: the largest in the space,
+         flexible (v4) breaking ties — that is where the heuristics
+         have real choices to make *)
+      let engine, size =
+        List.fold_left
+          (fun (be, bs) (e, s) ->
+            if s > bs || (s = bs && e > be) then (e, s) else (be, bs))
+          (List.hd engines) (List.tl engines)
+      in
+      let rec first_choice = function
+        | [] -> None
+        | (engine, size) :: rest -> (
+          match Presets.find_by_name (Printf.sprintf "%s_%d" engine size) with
+          | Error _ -> first_choice rest
+          | Ok config -> (
+            match Heuristics.choose ~cost config ~m ~n ~k with
+            | None -> first_choice rest
+            | Some choice ->
+              let square = choice.Heuristics.tm = size && choice.Heuristics.tn = size
+                           && choice.Heuristics.tk = size in
+              Some
+                {
+                  Tune_space.cd_engine = engine;
+                  cd_size = size;
+                  cd_flow = choice.Heuristics.flow;
+                  cd_tiles =
+                    (if square then None
+                     else Some (choice.Heuristics.tm, choice.Heuristics.tn, choice.Heuristics.tk));
+                  cd_dma_bytes = None;
+                  cd_double_buffer = false;
+                }))
+      in
+      (* fall back through smaller engines when the preferred one has
+         no feasible tiling for these dims *)
+      let ordered =
+        (engine, size)
+        :: List.filter (fun es -> es <> (engine, size)) (List.rev engines)
+      in
+      first_choice ordered)
+
+(* ------------------------------------------------------------------ *)
+(* Neighborhood: candidates differing in exactly one knob              *)
+(* ------------------------------------------------------------------ *)
+
+let knob_distance (a : Tune_space.candidate) (b : Tune_space.candidate) =
+  let d = ref 0 in
+  if (a.Tune_space.cd_engine, a.Tune_space.cd_size)
+     <> (b.Tune_space.cd_engine, b.Tune_space.cd_size)
+  then incr d;
+  if a.Tune_space.cd_flow <> b.Tune_space.cd_flow then incr d;
+  if a.Tune_space.cd_tiles <> b.Tune_space.cd_tiles then incr d;
+  if a.Tune_space.cd_dma_bytes <> b.Tune_space.cd_dma_bytes then incr d;
+  if a.Tune_space.cd_double_buffer <> b.Tune_space.cd_double_buffer then incr d;
+  !d
+
+(* ------------------------------------------------------------------ *)
+(* One workload                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let tune_workload opts (named : Tune_workload.named) =
+  let workload = named.Tune_workload.wl_workload in
+  let label = named.Tune_workload.wl_label in
+  let t0 = Sys.time () in
+  let candidates = Tune_space.enumerate opts.space workload in
+  Metrics.incr ~by:(float_of_int (List.length candidates)) "tuner_candidates";
+  let kept, pruned = Tune_prune.prune ~cost:opts.cost workload candidates in
+  let pruned_counts =
+    List.fold_left
+      (fun acc (_, reason) ->
+        let l = Tune_prune.reason_label reason in
+        Metrics.incr ~labels:[ ("reason", l) ] "tuner_pruned";
+        match List.assoc_opt l acc with
+        | None -> acc @ [ (l, 1) ]
+        | Some _ -> List.map (fun (k, v) -> if k = l then (k, v + 1) else (k, v)) acc)
+      [] pruned
+  in
+  let arr = Array.of_list kept in
+  let n = Array.length arr in
+  let cache_hits = ref 0 and fresh = ref 0 and rejected = ref 0 in
+  (* cache-through evaluation of one candidate *)
+  let eval_candidate c =
+    match Tune_space.config_of_candidate c with
+    | Error _ -> None
+    | Ok config -> (
+      let key = Tune_cache.key workload config c in
+      let cached = Option.bind opts.cache (fun t -> Tune_cache.find t key) in
+      match cached with
+      | Some outcome ->
+        incr cache_hits;
+        Metrics.incr "tuner_cache_hits";
+        (match outcome with
+        | Tune_cache.Cycles cy -> Some cy
+        | Tune_cache.Rejected _ -> None)
+      | None -> (
+        match Tune_eval.evaluate ?host:opts.host ?tracer:opts.tracer workload c with
+        | Ok o ->
+          incr fresh;
+          Option.iter
+            (fun t ->
+              Tune_cache.add t ~key ~label ~workload ~candidate:c
+                (Tune_cache.Cycles o.Tune_eval.ev_cycles))
+            opts.cache;
+          Some o.Tune_eval.ev_cycles
+        | Error msg ->
+          incr rejected;
+          Option.iter
+            (fun t ->
+              Tune_cache.add t ~key ~label ~workload ~candidate:c
+                (Tune_cache.Rejected msg))
+            opts.cache;
+          None))
+  in
+  let neighbors i =
+    let rec collect j acc =
+      if j < 0 then acc
+      else
+        collect (j - 1) (if j <> i && knob_distance arr.(i) arr.(j) = 1 then j :: acc else acc)
+    in
+    collect (n - 1) []
+  in
+  let strategy_best, _distinct =
+    Tune_strategy.run opts.strategy ~n
+      ~predict:(fun i -> Tune_prune.predict ~cost:opts.cost workload arr.(i))
+      ~neighbors
+      ~eval:(fun i -> eval_candidate arr.(i))
+  in
+  (* the heuristic fallback: always measured, so the tuner can never
+     return something slower than today's default *)
+  let baseline =
+    match baseline_candidate ~cost:opts.cost opts.space workload with
+    | None -> None
+    | Some c -> (
+      match eval_candidate c with
+      | None -> None
+      | Some cycles -> Some (c, cycles))
+  in
+  let best =
+    match (strategy_best, baseline) with
+    | None, None -> None
+    | Some (i, cycles), None ->
+      Some
+        { Tune_report.bs_candidate = arr.(i); bs_cycles = cycles; bs_from_baseline = false }
+    | None, Some (c, cycles) ->
+      Some { Tune_report.bs_candidate = c; bs_cycles = cycles; bs_from_baseline = true }
+    | Some (i, sc), Some (c, bc) ->
+      if sc < bc then
+        Some { Tune_report.bs_candidate = arr.(i); bs_cycles = sc; bs_from_baseline = false }
+      else Some { Tune_report.bs_candidate = c; bs_cycles = bc; bs_from_baseline = true }
+  in
+  (match best with
+  | None ->
+    Remarks.emit ~kind:Remarks.Missed ~pass:"tuner" ~name:"no-config" ~loc:label
+      (Printf.sprintf "no candidate of %d survived for %s" (List.length candidates)
+         (Tune_workload.to_string workload))
+  | Some b ->
+    Remarks.emit ~kind:Remarks.Applied ~pass:"tuner" ~name:"selected-config" ~loc:label
+      ~args:
+        [
+          ("config", Remarks.Str (Tune_space.candidate_to_string b.Tune_report.bs_candidate));
+          ("cycles", Remarks.Num b.Tune_report.bs_cycles);
+          ("evaluations", Remarks.Int !fresh);
+          ("cache_hits", Remarks.Int !cache_hits);
+        ]
+      (Printf.sprintf "selected %s (%.0f cycles) for %s"
+         (Tune_space.candidate_to_string b.Tune_report.bs_candidate)
+         b.Tune_report.bs_cycles
+         (Tune_workload.to_string workload));
+    match baseline with
+    | Some (bc, bcycles) ->
+      Remarks.emit ~kind:Remarks.Analysis ~pass:"tuner" ~name:"baseline-comparison"
+        ~loc:label
+        ~args:
+          [
+            ("baseline", Remarks.Str (Tune_space.candidate_to_string bc));
+            ("baseline_cycles", Remarks.Num bcycles);
+            ("speedup", Remarks.Num (bcycles /. b.Tune_report.bs_cycles));
+          ]
+        (Printf.sprintf "heuristic default %s: %.0f cycles (tuned is %.2fx)"
+           (Tune_space.candidate_to_string bc) bcycles
+           (bcycles /. b.Tune_report.bs_cycles))
+    | None ->
+      Remarks.emit ~kind:Remarks.Analysis ~pass:"tuner" ~name:"baseline-comparison"
+        ~loc:label "no feasible heuristic baseline for this workload");
+  Option.iter
+    (fun tracer ->
+      Trace.complete tracer ~cat:"tuner" ~track:Trace.tuner_track ~ts:(t0 *. 1e6)
+        ~dur:((Sys.time () -. t0) *. 1e6)
+        ~args:
+          [
+            ("space", Trace.Int (List.length candidates));
+            ("evaluated", Trace.Int !fresh);
+            ("cache_hits", Trace.Int !cache_hits);
+          ]
+        ("tune " ^ label))
+    opts.tracer;
+  {
+    Tune_report.r_label = label;
+    r_workload = workload;
+    r_space = List.length candidates;
+    r_pruned = pruned_counts;
+    r_evaluated = !fresh;
+    r_cache_hits = !cache_hits;
+    r_rejected = !rejected;
+    r_best = best;
+    r_baseline =
+      Option.map
+        (fun (c, cycles) -> (Tune_space.candidate_to_string c, cycles))
+        baseline;
+  }
+
+let tune opts workloads =
+  {
+    Tune_report.rp_strategy = opts.strategy;
+    rp_results = List.map (tune_workload opts) workloads;
+  }

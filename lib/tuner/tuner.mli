@@ -1,0 +1,51 @@
+(** The autotuner driver: enumerate -> prune -> search -> compare
+    against the heuristic default.
+
+    For each workload the tuner:
+
+    + enumerates the candidate cross product of the search space;
+    + statically prunes invalid, infeasible and Pareto-dominated
+      candidates ({!Tune_prune}) — no simulation spent;
+    + runs the chosen {!Tune_strategy} over the survivors, where each
+      evaluation first consults the persistent {!Tune_cache} (a warm
+      cache means zero pipeline runs) and otherwise pays for one
+      compile+simulate ({!Tune_eval});
+    + measures the {!Heuristics.choose} default for the workload and
+      takes the better of the two — the returned configuration is
+      {e never} slower than the heuristic fallback, by construction.
+
+    Observability: the ["tuner_candidates"], ["tuner_pruned"] (labelled
+    by reason), ["tuner_evaluations"], ["tuner_cache_hits"] and
+    ["tuner_rejected"] counters land in {!Metrics.default}; an
+    [Applied] remark names each workload's winning configuration and an
+    [Analysis] remark the baseline comparison; with a tracer, tuning
+    progress shows as a dedicated "autotuner" track in the Chrome
+    trace ({!Trace.tuner_track}). *)
+
+type options = {
+  strategy : Tune_strategy.t;
+  space : Tune_space.t;
+  cache : Tune_cache.t option;  (** consulted and filled when present *)
+  host : Host_config.t option;  (** simulated host; default PYNQ-Z2 *)
+  tracer : Trace.t option;  (** tuning-progress tracer (tuner track) *)
+  cost : Cost_model.t;  (** prediction model for pruning/seeding *)
+}
+
+val default_options : options
+(** Grid over {!Tune_space.default}, no cache, default host and cost
+    model, no tracer. *)
+
+val baseline_candidate :
+  ?cost:Cost_model.t -> Tune_space.t -> Tune_workload.t -> Tune_space.candidate option
+(** The candidate {!Heuristics.choose} would pick today: for matmul,
+    the space's preferred engine (largest size; flexible wins ties)
+    under the heuristic's flow/tiles; for conv, the Conv2D engine's
+    default flow. [None] when the heuristic finds no feasible tiling. *)
+
+val tune_workload : options -> Tune_workload.named -> Tune_report.result
+(** Tune one workload. Never raises on rejected candidates — they are
+    recorded in the result. *)
+
+val tune : options -> Tune_workload.named list -> Tune_report.t
+(** Tune a list of workloads (a whole model, fig-13-style sweep, ...)
+    into one report. *)

@@ -153,3 +153,25 @@ let best ?(cost = Cost_model.default) (config : Accel_config.t) ~m ~n ~k =
       (List.fold_left
          (fun acc c -> if c.predicted_cycles < acc.predicted_cycles then c else acc)
          first rest)
+
+(* Today's default: the selection a user gets without tuning. Flexible
+   engines run the Best search; fixed-size engines take their own tile
+   under the configuration's selected flow. The autotuner evaluates
+   this choice alongside its own candidates, so it can never return a
+   config slower than this default. *)
+let choose ?(cost = Cost_model.default) (config : Accel_config.t) ~m ~n ~k =
+  if config.flexible then best ~cost config ~m ~n ~k
+  else
+    match candidate_tiles config ~m ~n ~k with
+    | [] -> None
+    | (tm, tn, tk) :: _ ->
+      let flow = config.selected_flow in
+      Some
+        {
+          flow;
+          tm;
+          tn;
+          tk;
+          predicted_cycles = estimate_cycles config ~cost ~flow ~m ~n ~k ~tm ~tn ~tk;
+          predicted_transfer_elems = transfer_elems ~flow ~m ~n ~k ~tm ~tn ~tk;
+        }

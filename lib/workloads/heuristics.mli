@@ -48,3 +48,11 @@ val best : ?cost:Cost_model.t -> Accel_config.t -> m:int -> n:int -> k:int -> ch
 
 val candidate_tiles : Accel_config.t -> m:int -> n:int -> k:int -> (int * int * int) list
 (** All feasible (tm, tn, tk) for the engine on this problem. *)
+
+val choose : ?cost:Cost_model.t -> Accel_config.t -> m:int -> n:int -> k:int -> choice option
+(** Today's default selection, the baseline the autotuner must never
+    lose to: for flexible (v4-style) engines this is {!best}; for
+    fixed-size engines it is the engine's own square tile under the
+    configuration's [selected_flow]. [None] when no feasible tiling
+    exists (the op stays on the CPU path). Any returned choice divides
+    every dimension and fits the per-operand buffers. *)

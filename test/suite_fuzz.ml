@@ -225,6 +225,21 @@ let test_cache_refs_monotone_in_footprint () =
       (r8 < r16 && r16 < r32)
   | _ -> assert false
 
+(* ------------------------------------------------------------------ *)
+(* Autotuner differential property                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_tuner_property_campaign () =
+  (* small replayable campaign over the tuner's end-to-end guarantee:
+     the returned config instantiates, validates, and never loses to
+     the heuristic default (Fuzz_tune) *)
+  for index = 0 to 7 do
+    match Fuzz_tune.check_at ~seed:42 ~index with
+    | Fuzz_tune.Pass | Fuzz_tune.Skip _ -> ()
+    | Fuzz_tune.Fail reason ->
+      Alcotest.fail (Printf.sprintf "tuner case seed=42 index=%d: %s" index reason)
+  done
+
 let test_roundtrip_checker_flags_difference () =
   (* sanity for the round-trip law itself: a compiled module passes *)
   let accel = Presets.matmul ~version:Accel_matmul.V3 ~size:4 () in
@@ -250,6 +265,8 @@ let tests =
     Alcotest.test_case "corpus reports bad lines" `Quick test_corpus_reports_bad_lines;
     Alcotest.test_case "cache refs monotone in footprint" `Quick
       test_cache_refs_monotone_in_footprint;
+    Alcotest.test_case "tuner never loses to the heuristic" `Quick
+      test_tuner_property_campaign;
     Alcotest.test_case "round-trip checker accepts compiled IR" `Quick
       test_roundtrip_checker_flags_difference;
   ]

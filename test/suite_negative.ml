@@ -249,6 +249,36 @@ let test_fuzz_case_structured_errors () =
   | Ok case -> Alcotest.(check bool) "round trip" true (Fuzz_case.equal valid case)
   | Error msg -> Alcotest.fail msg
 
+let test_preset_lookup_structured_errors () =
+  (* an unknown preset name lists every valid preset *)
+  (match Presets.find_by_name "v5_16" with
+  | Ok _ -> Alcotest.fail "unknown preset accepted"
+  | Error msg ->
+    List.iter
+      (fun name ->
+        Alcotest.(check bool)
+          (Printf.sprintf "error lists %s (got: %s)" name msg)
+          true (contains msg name))
+      Presets.names);
+  (* a flow the engine does not support lists the supported flows *)
+  (match Presets.find_by_name ~flow:"Cs" "v2_8" with
+  | Ok _ -> Alcotest.fail "v2 does not support Cs"
+  | Error msg ->
+    Alcotest.(check bool)
+      (Printf.sprintf "error lists supported flows (got: %s)" msg)
+      true
+      (contains msg "As" && contains msg "Bs" && contains msg "Ns"));
+  expect_error "unknown conv flow" (Presets.find_by_name ~flow:"Cs" "conv2d") "Ws"
+
+let test_workload_spec_structured_errors () =
+  expect_error "garbage spec" (Tune_workload.of_spec "cube:1,2,3") "matmul:M,N,K";
+  expect_error "missing dims" (Tune_workload.of_spec "matmul:64,64") "matmul";
+  expect_error "non-numeric" (Tune_workload.of_spec "matmul:a,b,c") "bad workload spec";
+  expect_error "filter larger than input" (Tune_workload.of_spec "conv:4,2,8,3") "conv";
+  expect_error "unknown resnet layer"
+    (Tune_workload.of_spec "resnet18/999_1_1_1_1")
+    "unknown resnet18 layer"
+
 (* ------------------------------------------------------------------ *)
 (* Token linearity: the verifier must reject async IR where a transfer
    token is leaked, double-waited, or waited before being produced —
@@ -313,6 +343,10 @@ let tests =
       test_config_parser_structured_errors;
     Alcotest.test_case "fuzz case: structured parse errors" `Quick
       test_fuzz_case_structured_errors;
+    Alcotest.test_case "preset lookup: structured errors" `Quick
+      test_preset_lookup_structured_errors;
+    Alcotest.test_case "workload specs: structured errors" `Quick
+      test_workload_spec_structured_errors;
     Alcotest.test_case "verifier rejects unwaited token" `Quick test_unwaited_token_rejected;
     Alcotest.test_case "verifier rejects double-waited token" `Quick
       test_double_waited_token_rejected;

@@ -1,0 +1,468 @@
+(* Tests for the autotuner: search-space enumeration, static pruning,
+   the result cache (including the warm-run zero-evaluation guarantee),
+   search strategies and the never-slower-than-heuristic property. *)
+
+let contains hay needle =
+  let nl = String.length needle in
+  let rec go i = i + nl <= String.length hay && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let mm m n k = Tune_workload.Matmul { m; n; k }
+
+let named label workload = { Tune_workload.wl_label = label; wl_workload = workload }
+
+let candidate ?(engine = "v3") ?(size = 16) ?(flow = "Ns") ?tiles ?dma ?(db = false) () =
+  {
+    Tune_space.cd_engine = engine;
+    cd_size = size;
+    cd_flow = flow;
+    cd_tiles = tiles;
+    cd_dma_bytes = dma;
+    cd_double_buffer = db;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Space enumeration                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_enumerate_quick () =
+  (* quick space: (v3_16 + v4_16) x (Ns, Cs), nothing else *)
+  let candidates = Tune_space.enumerate Tune_space.quick (mm 64 64 64) in
+  Alcotest.(check int) "quick space size" 4 (List.length candidates);
+  Alcotest.(check bool) "deterministic order" true
+    (candidates = Tune_space.enumerate Tune_space.quick (mm 64 64 64))
+
+let test_enumerate_respects_flows () =
+  (* v1 engines only support Ns, whatever the space allows *)
+  let space = { Tune_space.fig13 with Tune_space.sp_engines = [ ("v1", 16) ] } in
+  let candidates = Tune_space.enumerate space (mm 64 64 64) in
+  Alcotest.(check (list string)) "v1 flows" [ "Ns" ]
+    (List.map (fun c -> c.Tune_space.cd_flow) candidates)
+
+let test_enumerate_tile_variants () =
+  (* flexible engines get explicit tile shapes beyond the square tile *)
+  let space =
+    { Tune_space.default with Tune_space.sp_engines = [ ("v4", 16) ];
+      sp_flows = Some [ "Ns" ]; sp_double_buffer = [ false ] }
+  in
+  let candidates = Tune_space.enumerate space (mm 32 32 64) in
+  let with_tiles =
+    List.filter (fun c -> c.Tune_space.cd_tiles <> None) candidates
+  in
+  Alcotest.(check bool) "has explicit tile variants" true (with_tiles <> []);
+  Alcotest.(check bool) "keeps the square default" true
+    (List.exists (fun c -> c.Tune_space.cd_tiles = None) candidates)
+
+let test_enumerate_conv () =
+  let candidates =
+    Tune_space.enumerate Tune_space.default
+      (Tune_workload.Conv { ic = 4; ih = 8; iw = 8; oc = 2; fhw = 3; stride = 1 })
+  in
+  Alcotest.(check int) "conv space: 3 flows x 2 double-buffer" 6 (List.length candidates);
+  List.iter
+    (fun c -> Alcotest.(check string) "conv engine" "conv" c.Tune_space.cd_engine)
+    candidates
+
+let test_config_of_candidate_errors () =
+  (match Tune_space.config_of_candidate (candidate ~engine:"v1" ~flow:"Cs" ()) with
+  | Error msg ->
+    Alcotest.(check bool) "names the flow" true (contains msg "Cs")
+  | Ok _ -> Alcotest.fail "v1/Cs must not instantiate");
+  match Tune_space.config_of_candidate (candidate ~engine:"v9" ()) with
+  | Error msg ->
+    Alcotest.(check bool) "lists presets" true (contains msg "v3_16")
+  | Ok _ -> Alcotest.fail "unknown engine must not instantiate"
+
+(* ------------------------------------------------------------------ *)
+(* Pruning                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_prune_non_dividing () =
+  match Tune_prune.check (mm 60 60 60) (candidate ()) with
+  | Error Tune_prune.Non_dividing -> ()
+  | other ->
+    Alcotest.failf "expected Non_dividing, got %s"
+      (match other with
+      | Ok _ -> "Ok"
+      | Error r -> Tune_prune.reason_to_string r)
+
+let test_prune_capacity () =
+  (* v4_16 buffers hold 4096 elements; a 128x64 tile does not fit *)
+  match
+    Tune_prune.check (mm 128 128 128)
+      (candidate ~engine:"v4" ~tiles:(128, 64, 64) ())
+  with
+  | Error Tune_prune.Capacity -> ()
+  | other ->
+    Alcotest.failf "expected Capacity, got %s"
+      (match other with
+      | Ok _ -> "Ok"
+      | Error r -> Tune_prune.reason_to_string r)
+
+let test_prune_dma_overflow () =
+  (* a 64-byte DMA window cannot carry a 16x16 tile plus its opcode *)
+  match Tune_prune.check (mm 64 64 64) (candidate ~dma:64 ()) with
+  | Error Tune_prune.Dma_overflow -> ()
+  | other ->
+    Alcotest.failf "expected Dma_overflow, got %s"
+      (match other with
+      | Ok _ -> "Ok"
+      | Error r -> Tune_prune.reason_to_string r)
+
+let test_prune_dominated () =
+  (* two explicit tile variants of the same group: the one worse on
+     both predicted cycles and transfer volume is dominated *)
+  let good = candidate ~engine:"v4" ~flow:"Cs" ~tiles:(64, 64, 64) () in
+  let bad = candidate ~engine:"v4" ~flow:"Cs" ~tiles:(16, 16, 16) () in
+  let kept, dropped = Tune_prune.prune (mm 64 64 64) [ good; bad ] in
+  Alcotest.(check bool) "good survives" true (List.mem good kept);
+  Alcotest.(check bool) "bad dominated" true
+    (List.exists
+       (fun (c, r) -> c = bad && r = Tune_prune.Dominated)
+       dropped)
+
+let test_prune_keeps_default_tiles () =
+  (* square-default candidates are never dominance-pruned: they anchor
+     the hand-picked baselines *)
+  let default = candidate ~engine:"v4" ~flow:"Cs" () in
+  let better = candidate ~engine:"v4" ~flow:"Cs" ~tiles:(64, 64, 64) () in
+  let kept, _ = Tune_prune.prune (mm 64 64 64) [ default; better ] in
+  Alcotest.(check bool) "default kept" true (List.mem default kept)
+
+let test_predict_opcode_structure () =
+  (* same flow and size: the fused-opcode v1 engine must predict
+     faster than the split-opcode v3 engine (it issues fewer DMA
+     transactions per iteration), matching the simulator's ranking *)
+  let p engine = Tune_prune.predict (mm 64 64 64) (candidate ~engine ()) in
+  Alcotest.(check bool) "v1 < v2 (Ns)" true (p "v1" < p "v2");
+  Alcotest.(check bool) "v2 < v3 (Ns)" true (p "v2" < p "v3");
+  Alcotest.(check bool) "rejected predicts infinity" true
+    (Tune_prune.predict (mm 60 60 60) (candidate ()) = infinity)
+
+(* ------------------------------------------------------------------ *)
+(* Cache                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_cache_roundtrip () =
+  let config = Presets.matmul ~version:Accel_matmul.V3 ~size:16 () in
+  let c1 = candidate () and c2 = candidate ~flow:"Cs" () in
+  let k1 = Tune_cache.key (mm 64 64 64) config c1 in
+  let k2 = Tune_cache.key (mm 64 64 64) config c2 in
+  Alcotest.(check bool) "distinct candidates, distinct keys" true (k1 <> k2);
+  Alcotest.(check string) "key is deterministic" k1
+    (Tune_cache.key (mm 64 64 64) config c1);
+  let cache = Tune_cache.create () in
+  Tune_cache.add cache ~key:k1 ~label:"t" ~workload:(mm 64 64 64) ~candidate:c1
+    (Tune_cache.Cycles 123.0);
+  Tune_cache.add cache ~key:k2 ~label:"t" ~workload:(mm 64 64 64) ~candidate:c2
+    (Tune_cache.Rejected "because");
+  let path = Filename.temp_file "tune_cache" ".json" in
+  Tune_cache.save cache path;
+  (match Tune_cache.load path with
+  | Error msg -> Alcotest.fail msg
+  | Ok reloaded ->
+    Alcotest.(check int) "size" 2 (Tune_cache.size reloaded);
+    (match Tune_cache.find reloaded k1 with
+    | Some (Tune_cache.Cycles c) -> Alcotest.(check (float 0.0)) "cycles" 123.0 c
+    | _ -> Alcotest.fail "k1 missing");
+    match Tune_cache.find reloaded k2 with
+    | Some (Tune_cache.Rejected r) -> Alcotest.(check string) "reason" "because" r
+    | _ -> Alcotest.fail "k2 missing");
+  Sys.remove path
+
+let test_cache_missing_and_bad () =
+  (match Tune_cache.load "/nonexistent/tune-cache.json" with
+  | Ok cache -> Alcotest.(check int) "missing file = empty cache" 0 (Tune_cache.size cache)
+  | Error msg -> Alcotest.fail msg);
+  let path = Filename.temp_file "tune_cache" ".json" in
+  let oc = open_out path in
+  output_string oc "{\"schema\": \"wrong-v9\", \"entries\": []}";
+  close_out oc;
+  (match Tune_cache.load path with
+  | Error msg ->
+    Alcotest.(check bool) "names the schema" true (contains msg "schema")
+  | Ok _ -> Alcotest.fail "wrong schema must not load");
+  Sys.remove path
+
+let test_warm_cache_zero_evaluations () =
+  (* the tentpole guarantee: a second run against a warm cache performs
+     zero pipeline evaluations, observed through the metrics counter *)
+  Metrics.enable Metrics.default;
+  Metrics.reset Metrics.default;
+  let cache = Tune_cache.create () in
+  let opts =
+    { Tuner.default_options with Tuner.space = Tune_space.quick; cache = Some cache }
+  in
+  let first = Tuner.tune opts [ named "warm" (mm 16 16 16) ] in
+  let cold_evals = Metrics.counter_value "tuner_evaluations" in
+  Alcotest.(check bool) "cold run evaluates" true (cold_evals > 0.0);
+  Metrics.reset Metrics.default;
+  let second = Tuner.tune opts [ named "warm" (mm 16 16 16) ] in
+  Alcotest.(check (float 0.0)) "warm run: tuner_evaluations = 0" 0.0
+    (Metrics.counter_value "tuner_evaluations");
+  Alcotest.(check bool) "warm run: cache hits" true
+    (Metrics.counter_value "tuner_cache_hits" > 0.0);
+  let best r =
+    match (List.hd r.Tune_report.rp_results).Tune_report.r_best with
+    | Some b -> (b.Tune_report.bs_candidate, b.Tune_report.bs_cycles)
+    | None -> Alcotest.fail "no best"
+  in
+  Alcotest.(check bool) "same winner" true (best first = best second);
+  Alcotest.(check int) "report counts zero evaluations" 0
+    (List.hd second.Tune_report.rp_results).Tune_report.r_evaluated;
+  Metrics.reset Metrics.default;
+  Metrics.disable Metrics.default
+
+(* ------------------------------------------------------------------ *)
+(* Strategies                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_strategy_of_string () =
+  (match Tune_strategy.of_string "grid" with
+  | Ok Tune_strategy.Grid -> ()
+  | _ -> Alcotest.fail "grid");
+  (match Tune_strategy.of_string ~seed:7 "greedy" with
+  | Ok (Tune_strategy.Greedy { seed = 7; budget = None }) -> ()
+  | _ -> Alcotest.fail "greedy");
+  match Tune_strategy.of_string "annealing" with
+  | Error msg -> Alcotest.(check bool) "lists strategies" true (contains msg "greedy")
+  | Ok _ -> Alcotest.fail "unknown strategy must error"
+
+let test_grid_visits_everything () =
+  let seen = ref [] in
+  let best, evals =
+    Tune_strategy.run Tune_strategy.Grid ~n:5
+      ~predict:(fun i -> float_of_int i)
+      ~neighbors:(fun _ -> [])
+      ~eval:(fun i ->
+        seen := i :: !seen;
+        if i = 3 then Some 1.0 else Some (float_of_int (10 + i)))
+  in
+  Alcotest.(check int) "evaluates all" 5 evals;
+  Alcotest.(check (list int)) "each exactly once" [ 0; 1; 2; 3; 4 ]
+    (List.sort compare !seen);
+  Alcotest.(check (option (pair int (float 0.0)))) "finds the min" (Some (3, 1.0)) best
+
+let test_greedy_budget_and_seeding () =
+  (* prediction ranks index 7 best (and its neighbor 8 ahead of 6);
+     the actual minimum is at 8: greedy must climb to it within a
+     quarter of the 16-point space *)
+  let actual i = if i = 8 then 1.0 else float_of_int (100 + i) in
+  let predicted i = if i = 7 then 0.0 else float_of_int (100 - i) in
+  let best, evals =
+    Tune_strategy.run (Tune_strategy.Greedy { seed = 0; budget = None }) ~n:16
+      ~predict:predicted
+      ~neighbors:(fun i -> List.filter (fun j -> j >= 0 && j < 16) [ i - 1; i + 1 ])
+      ~eval:(fun i -> Some (actual i))
+  in
+  Alcotest.(check bool) "within budget" true (evals <= 4);
+  Alcotest.(check (option (pair int (float 0.0)))) "climbed to the optimum"
+    (Some (8, 1.0)) best
+
+let test_greedy_deterministic () =
+  let space = Tune_space.fig13 in
+  let opts seed =
+    { Tuner.default_options with
+      Tuner.strategy = Tune_strategy.Greedy { seed; budget = None }; space }
+  in
+  let run seed = Tuner.tune (opts seed) [ named "det" (mm 32 32 32) ] in
+  let fingerprint r =
+    let result = List.hd r.Tune_report.rp_results in
+    ( result.Tune_report.r_evaluated,
+      match result.Tune_report.r_best with
+      | Some b -> Tune_space.candidate_to_string b.Tune_report.bs_candidate
+      | None -> "none" )
+  in
+  Alcotest.(check (pair int string)) "same seed, same outcome" (fingerprint (run 3))
+    (fingerprint (run 3))
+
+let test_greedy_quality_on_fig13 () =
+  (* the exp_tune acceptance gate at miniature dims: within 5% of the
+     grid best using at most a quarter of the grid's evaluations *)
+  let grid =
+    Tuner.tune
+      { Tuner.default_options with Tuner.space = Tune_space.fig13 }
+      [ named "grid" (mm 32 32 32) ]
+  in
+  let greedy =
+    Tuner.tune
+      { Tuner.default_options with
+        Tuner.strategy = Tune_strategy.Greedy { seed = 0; budget = None };
+        space = Tune_space.fig13 }
+      [ named "greedy" (mm 32 32 32) ]
+  in
+  let result r = List.hd r.Tune_report.rp_results in
+  let cycles r =
+    match (result r).Tune_report.r_best with
+    | Some b -> b.Tune_report.bs_cycles
+    | None -> Alcotest.fail "no best"
+  in
+  Alcotest.(check bool) "within 5% of grid" true
+    (cycles greedy <= 1.05 *. cycles grid);
+  Alcotest.(check bool) "a quarter of the evaluations" true
+    (((result greedy).Tune_report.r_evaluated - 1) * 4
+    <= (result grid).Tune_report.r_evaluated - 1)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end guarantees                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_never_slower_than_heuristic_matmul () =
+  let report =
+    Tuner.tune
+      { Tuner.default_options with Tuner.space = Tune_space.quick }
+      [ named "nsh" (mm 32 32 32) ]
+  in
+  let result = List.hd report.Tune_report.rp_results in
+  match (result.Tune_report.r_best, result.Tune_report.r_baseline) with
+  | Some best, Some (_, baseline) ->
+    Alcotest.(check bool) "tuned <= heuristic" true
+      (best.Tune_report.bs_cycles <= baseline)
+  | _ -> Alcotest.fail "expected both a best and a baseline"
+
+let test_never_slower_than_heuristic_conv () =
+  let conv = Tune_workload.Conv { ic = 4; ih = 8; iw = 8; oc = 2; fhw = 3; stride = 1 } in
+  let report =
+    Tuner.tune Tuner.default_options [ named "conv" conv ]
+  in
+  let result = List.hd report.Tune_report.rp_results in
+  match (result.Tune_report.r_best, result.Tune_report.r_baseline) with
+  | Some best, Some (_, baseline) ->
+    Alcotest.(check bool) "tuned <= Ws default" true
+      (best.Tune_report.bs_cycles <= baseline)
+  | _ -> Alcotest.fail "expected both a best and a baseline"
+
+let test_report_json_and_render () =
+  let report =
+    Tuner.tune
+      { Tuner.default_options with Tuner.space = Tune_space.quick }
+      [ named "rj" (mm 16 16 16) ]
+  in
+  (match Tune_report.to_json report with
+  | Json.Obj fields ->
+    Alcotest.(check string) "schema" "axi4mlir-tune-report-v1"
+      (Json.to_str (List.assoc "schema" fields));
+    (match List.assoc "results" fields with
+    | Json.List [ r ] ->
+      Alcotest.(check string) "label" "rj" (Json.to_str (Json.member "label" r))
+    | _ -> Alcotest.fail "one result expected")
+  | _ -> Alcotest.fail "object expected");
+  Alcotest.(check bool) "render mentions the workload" true
+    (contains (Tune_report.render report) "rj")
+
+let test_trace_on_tuner_track () =
+  let tracer = Trace.create () in
+  Trace.enable tracer;
+  ignore
+    (Tuner.tune
+       { Tuner.default_options with
+         Tuner.space = Tune_space.quick; tracer = Some tracer }
+       [ named "tr" (mm 16 16 16) ]);
+  let events = Trace.events tracer in
+  Alcotest.(check bool) "events recorded" true (events <> []);
+  List.iter
+    (fun (e : Trace.event) ->
+      Alcotest.(check int) "tuner track" Trace.tuner_track e.Trace.ev_track)
+    events
+
+let test_remarks_emitted () =
+  Remarks.enable ();
+  Remarks.clear ();
+  ignore
+    (Tuner.tune
+       { Tuner.default_options with Tuner.space = Tune_space.quick }
+       [ named "rm" (mm 16 16 16) ]);
+  Alcotest.(check bool) "Applied remark" true (Remarks.count Remarks.Applied >= 1);
+  Alcotest.(check bool) "Analysis remark" true (Remarks.count Remarks.Analysis >= 1);
+  Remarks.clear ();
+  Remarks.disable ()
+
+(* ------------------------------------------------------------------ *)
+(* Workload specs and presets                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_workload_specs () =
+  (match Tune_workload.of_spec "matmul:8,16,32" with
+  | Ok [ { Tune_workload.wl_workload = Tune_workload.Matmul { m = 8; n = 16; k = 32 }; _ } ]
+    -> ()
+  | _ -> Alcotest.fail "matmul spec");
+  (match Tune_workload.of_spec "resnet18" with
+  | Ok layers ->
+    Alcotest.(check int) "11 resnet18 layers" 11 (List.length layers)
+  | Error msg -> Alcotest.fail msg);
+  (match Tune_workload.of_spec "tinybert" with
+  | Ok layers ->
+    Alcotest.(check bool) "tinybert non-empty" true (layers <> []);
+    List.iter
+      (fun (l : Tune_workload.named) ->
+        match l.Tune_workload.wl_workload with
+        | Tune_workload.Matmul { m; n; k } ->
+          Alcotest.(check bool) "padded to 16" true
+            (m mod 16 = 0 && n mod 16 = 0 && k mod 16 = 0)
+        | Tune_workload.Conv _ -> Alcotest.fail "tinybert is matmuls")
+      layers
+  | Error msg -> Alcotest.fail msg);
+  match Tune_workload.of_spec "conv:4,8,2,3" with
+  | Ok [ { Tune_workload.wl_workload = Tune_workload.Conv { ic = 4; fhw = 3; _ }; _ } ] -> ()
+  | _ -> Alcotest.fail "conv spec"
+
+let test_find_by_name_positive () =
+  (match Presets.find_by_name "v2_8" with
+  | Ok config ->
+    Alcotest.(check string) "name" "v2_8" config.Accel_config.accel_name
+  | Error msg -> Alcotest.fail msg);
+  (match Presets.find_by_name ~flow:"Cs" "v3_16" with
+  | Ok config -> Alcotest.(check string) "flow" "Cs" config.Accel_config.selected_flow
+  | Error msg -> Alcotest.fail msg);
+  (match Presets.find_by_name "conv2d" with
+  | Ok config -> Alcotest.(check string) "conv default flow" "Ws" config.Accel_config.selected_flow
+  | Error msg -> Alcotest.fail msg);
+  Alcotest.(check int) "13 presets" 13 (List.length Presets.names)
+
+(* ------------------------------------------------------------------ *)
+(* Golden config hash                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_config_hash_pinned () =
+  (* COMPATIBILITY: these values are part of the persisted bench and
+     tune-cache formats (see benchdiff.mli). If this test fails, the
+     hash algorithm changed — bump the axi4mlir-bench-v1 and
+     axi4mlir-tune-v1 schema strings instead of re-pinning blindly. *)
+  Alcotest.(check string) "FNV-1a reference vector" "b14f3afbef33d823"
+    (Benchdiff.stable_hash "axi4mlir");
+  let config = Presets.matmul ~version:Accel_matmul.V3 ~size:16 ~flow:"Cs" () in
+  Alcotest.(check string) "pinned config hash" "8f4c69f974375b62"
+    (Benchdiff.config_hash (Accel_config.to_json config))
+
+let tests =
+  [
+    Alcotest.test_case "enumerate quick space" `Quick test_enumerate_quick;
+    Alcotest.test_case "enumerate respects engine flows" `Quick test_enumerate_respects_flows;
+    Alcotest.test_case "enumerate tile variants" `Quick test_enumerate_tile_variants;
+    Alcotest.test_case "enumerate conv space" `Quick test_enumerate_conv;
+    Alcotest.test_case "candidate instantiation errors" `Quick test_config_of_candidate_errors;
+    Alcotest.test_case "prune non-dividing" `Quick test_prune_non_dividing;
+    Alcotest.test_case "prune capacity" `Quick test_prune_capacity;
+    Alcotest.test_case "prune DMA overflow" `Quick test_prune_dma_overflow;
+    Alcotest.test_case "prune dominated tiles" `Quick test_prune_dominated;
+    Alcotest.test_case "prune keeps default tiles" `Quick test_prune_keeps_default_tiles;
+    Alcotest.test_case "predict models opcode structure" `Quick test_predict_opcode_structure;
+    Alcotest.test_case "cache roundtrip" `Quick test_cache_roundtrip;
+    Alcotest.test_case "cache missing/bad files" `Quick test_cache_missing_and_bad;
+    Alcotest.test_case "warm cache: zero evaluations" `Quick test_warm_cache_zero_evaluations;
+    Alcotest.test_case "strategy parsing" `Quick test_strategy_of_string;
+    Alcotest.test_case "grid visits everything once" `Quick test_grid_visits_everything;
+    Alcotest.test_case "greedy: seeded hill climb" `Quick test_greedy_budget_and_seeding;
+    Alcotest.test_case "greedy: deterministic per seed" `Quick test_greedy_deterministic;
+    Alcotest.test_case "greedy: fig13 quality gate" `Quick test_greedy_quality_on_fig13;
+    Alcotest.test_case "never slower than heuristic (matmul)" `Quick
+      test_never_slower_than_heuristic_matmul;
+    Alcotest.test_case "never slower than heuristic (conv)" `Quick
+      test_never_slower_than_heuristic_conv;
+    Alcotest.test_case "report JSON and render" `Quick test_report_json_and_render;
+    Alcotest.test_case "trace lands on the tuner track" `Quick test_trace_on_tuner_track;
+    Alcotest.test_case "remarks emitted" `Quick test_remarks_emitted;
+    Alcotest.test_case "workload specs" `Quick test_workload_specs;
+    Alcotest.test_case "find_by_name positive" `Quick test_find_by_name_positive;
+    Alcotest.test_case "config hash pinned" `Quick test_config_hash_pinned;
+  ]

@@ -126,6 +126,54 @@ let test_non_matmul_cycles_positive () =
   Alcotest.(check bool) "smaller than matmul cycles at ~10cyc/mac" true
     (cycles < macs *. 10.0)
 
+(* choose: the default selection the autotuner must never lose to *)
+
+let test_choose_flexible_is_best () =
+  (* on a flexible engine, choose = best *)
+  match (Heuristics.choose v4 ~m:32 ~n:256 ~k:512, Heuristics.best v4 ~m:32 ~n:256 ~k:512) with
+  | Some chosen, Some best ->
+    Alcotest.(check string) "same flow" best.Heuristics.flow chosen.Heuristics.flow;
+    Alcotest.(check (triple int int int)) "same tiles"
+      (best.Heuristics.tm, best.Heuristics.tn, best.Heuristics.tk)
+      (chosen.Heuristics.tm, chosen.Heuristics.tn, chosen.Heuristics.tk)
+  | _ -> Alcotest.fail "choose/best found nothing on a feasible problem"
+
+let test_choose_fixed_engine () =
+  (* a fixed-size engine takes its own square tile under the config's
+     selected flow *)
+  let v3 = Presets.matmul ~version:Accel_matmul.V3 ~size:16 ~flow:"Cs" () in
+  (match Heuristics.choose v3 ~m:32 ~n:48 ~k:64 with
+  | Some c ->
+    Alcotest.(check string) "selected flow" "Cs" c.Heuristics.flow;
+    Alcotest.(check (triple int int int)) "square engine tile" (16, 16, 16)
+      (c.Heuristics.tm, c.Heuristics.tn, c.Heuristics.tk)
+  | None -> Alcotest.fail "dividing dims must be feasible");
+  (* non-dividing dims: nothing feasible, the op stays on the CPU path *)
+  Alcotest.(check bool) "non-dividing -> None" true
+    (Heuristics.choose v3 ~m:30 ~n:32 ~k:32 = None)
+
+(* Property: whatever choose returns fits the engine and divides the
+   problem — the contract the autotuner's baseline leans on. *)
+let prop_choose_fits =
+  QCheck.Test.make ~name:"chosen tile divides dims and fits the buffers" ~count:80
+    QCheck.(quad (1 -- 8) (1 -- 8) (1 -- 8) (0 -- 4))
+    (fun (mt, nt, kt, pick) ->
+      let config =
+        match pick with
+        | 0 -> Presets.matmul ~version:Accel_matmul.V1 ~size:8 ()
+        | 1 -> Presets.matmul ~version:Accel_matmul.V2 ~size:8 ~flow:"As" ()
+        | 2 -> Presets.matmul ~version:Accel_matmul.V3 ~size:16 ~flow:"Cs" ()
+        | 3 -> Presets.matmul ~version:Accel_matmul.V4 ~size:8 ()
+        | _ -> Presets.matmul ~version:Accel_matmul.V4 ~size:16 ()
+      in
+      let m, n, k = (8 * mt, 8 * nt, 8 * kt) in
+      match Heuristics.choose config ~m ~n ~k with
+      | None -> true (* declining is always allowed *)
+      | Some { Heuristics.tm; tn; tk; _ } ->
+        let cap = config.Accel_config.buffer_capacity_elems in
+        m mod tm = 0 && n mod tn = 0 && k mod tk = 0
+        && tm * tk <= cap && tk * tn <= cap && tm * tn <= cap)
+
 (* Property: the transfer formula equals a direct simulation count of
    tile sends under the flow structure. *)
 let prop_transfer_formula =
@@ -159,5 +207,9 @@ let tests =
     Alcotest.test_case "TinyBERT shapes" `Quick test_tinybert_shapes;
     Alcotest.test_case "pad16" `Quick test_pad16;
     Alcotest.test_case "non-matmul cycle estimate" `Quick test_non_matmul_cycles_positive;
+    Alcotest.test_case "choose: flexible engines use Best" `Quick test_choose_flexible_is_best;
+    Alcotest.test_case "choose: fixed engines, square tile or CPU" `Quick
+      test_choose_fixed_engine;
+    QCheck_alcotest.to_alcotest prop_choose_fits;
     QCheck_alcotest.to_alcotest prop_transfer_formula;
   ]

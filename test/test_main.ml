@@ -23,5 +23,6 @@ let () =
       ("integration", Suite_integration.tests);
       ("multi-accel", Suite_multi_accel.tests);
       ("negative", Suite_negative.tests);
+      ("tuner", Suite_tuner.tests);
       ("fuzz", Suite_fuzz.tests);
     ]
