@@ -22,10 +22,10 @@ let run_pair ~dims =
     let counters =
       Report.generated_matmul_counters bench ~options ~m:dims ~n:dims ~k:dims ~a ~b ~c ()
     in
-    (counters, Memref_view.to_array c)
+    (counters, Memref_view.to_array c, bench)
   in
-  let blocking, blocking_out = run Axi4mlir.default_codegen in
-  let piped, piped_out =
+  let blocking, blocking_out, blocking_bench = run Axi4mlir.default_codegen in
+  let piped, piped_out, _ =
     run { Axi4mlir.default_codegen with Axi4mlir.double_buffer = true }
   in
   if piped_out <> blocking_out then
@@ -48,6 +48,36 @@ let run_pair ~dims =
       (Printf.sprintf
          "fig_async: double buffering gained only %.3fx at dims=%d (gate: %.2fx)" speedup
          dims min_speedup);
+  (* Perf-doctor gate: the blocking schedule must diagnose as DMA-bound
+     (that is the whole premise of double buffering it), and its
+     perfect-overlap what-if is a ceiling the measured pipelined
+     speedup may never exceed — if it does, either the estimator or the
+     simulator is lying. *)
+  let dg =
+    match Doctor.diagnose (Soc.critpath_input blocking_bench.Axi4mlir.soc) with
+    | Ok dg -> dg
+    | Error msg ->
+      failwith (Printf.sprintf "fig_async: perf doctor failed at dims=%d: %s" dims msg)
+  in
+  let binding = Doctor.binding_resource dg in
+  if binding <> "dma" then
+    failwith
+      (Printf.sprintf
+         "fig_async: doctor named %s (not dma) as the blocking run's binding resource \
+          at dims=%d"
+         binding dims);
+  (match Doctor.speedup_ceiling dg "perfect-overlap" with
+  | None ->
+    failwith
+      (Printf.sprintf "fig_async: doctor reported no perfect-overlap ceiling at dims=%d"
+         dims)
+  | Some ceiling ->
+    if speedup > ceiling +. 1e-9 then
+      failwith
+        (Printf.sprintf
+           "fig_async: measured %.3fx exceeds the doctor's perfect-overlap ceiling \
+            %.3fx at dims=%d"
+           speedup ceiling dims));
   (blocking, piped, speedup)
 
 let run () =

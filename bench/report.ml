@@ -11,6 +11,7 @@ let json_dir : string option ref = ref None
 
 let current_experiment = ref "experiment"
 let traced : (string, unit) Hashtbl.t = Hashtbl.create 8
+let doctored : (string, unit) Hashtbl.t = Hashtbl.create 8
 
 (* Per-experiment accumulator for the bench artifact. Helpers below
    stamp the measurement context (kind, dims) just before measuring;
@@ -73,6 +74,25 @@ let end_experiment () =
       close_out oc
     end
 
+(* One critpath artifact per experiment: the perf doctor's diagnosis of
+   the first measured run whose timeline recorded anything (a pure-CPU
+   baseline has no event DAG to walk). An analysis failure is a broken
+   attribution invariant, so it fails the harness rather than silently
+   skipping the artifact. *)
+let record_critpath (bench : Axi4mlir.t) =
+  match !json_dir with
+  | Some dir when not (Hashtbl.mem doctored !current_experiment) -> (
+    let input = Soc.critpath_input bench.Axi4mlir.soc in
+    if input.Critpath.in_intervals <> [] then
+      match Doctor.diagnose input with
+      | Error msg -> failwith (Printf.sprintf "%s: perf doctor: %s" !current_experiment msg)
+      | Ok dg ->
+        Hashtbl.add doctored !current_experiment ();
+        let path = Filename.concat dir (!current_experiment ^ ".critpath.json") in
+        Doctor.write_json dg ~path;
+        Printf.printf "  [critpath: %s (%s-bound)]\n" path (Doctor.binding_resource dg))
+  | _ -> ()
+
 let header title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 
@@ -106,6 +126,7 @@ let measure (bench : Axi4mlir.t) thunk =
     | _ -> Axi4mlir.measure bench thunk
   in
   record_point bench counters;
+  record_critpath bench;
   counters
 
 let speedup ~baseline ~candidate = baseline /. candidate

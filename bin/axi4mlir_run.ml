@@ -12,7 +12,7 @@
 open Cmdliner
 
 let run_tool config_path matmul conv flow tiles coalesce double_buffer cpu_only
-    trace_out timing remarks metrics_out =
+    trace_out timing remarks metrics_out doctor critical_path =
   Tool_common.with_observability ~remarks ~metrics:metrics_out @@ fun () ->
   Dialects.register_all ();
   let config_path =
@@ -96,6 +96,7 @@ let run_tool config_path matmul conv flow tiles coalesce double_buffer cpu_only
   Printf.printf "task clock   : %.3f ms\n" (Axi4mlir.task_clock_ms bench counters);
   Printf.printf "counters     : %s\n" (Perf_counters.to_string counters);
   Printf.printf "max |error|  : %g (%s)\n" diff (if diff < 1e-9 then "PASS" else "FAIL");
+  Tool_common.run_doctor bench.Axi4mlir.soc ~doctor ~critical_path;
   if timing then
     print_string (Pass.report_stats (match stats with Some r -> !r | None -> []));
   (match trace_out with
@@ -160,6 +161,7 @@ let cmd =
       ret
         (const run_tool $ config $ matmul $ conv $ flow $ tiles $ coalesce $ double_buffer
        $ cpu_only $ trace_out $ timing $ Tool_common.remarks_flag
-       $ Tool_common.metrics_out))
+       $ Tool_common.metrics_out $ Tool_common.doctor_flag
+       $ Tool_common.critical_path_out))
 
 let () = exit (Cmd.eval cmd)

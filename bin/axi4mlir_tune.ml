@@ -20,7 +20,8 @@ let space_of_name = function
          other)
 
 let run_tool workload_spec space_name strategy_name seed budget preset cache_path
-    report_path trace_path list_space assert_warm remarks metrics_out =
+    report_path trace_path list_space assert_warm remarks metrics_out doctor
+    critical_path seed_from_bottleneck =
   Tool_common.with_observability ~remarks ~metrics:metrics_out @@ fun () ->
   let fail_on_error = function Ok v -> v | Error msg -> failwith msg in
   let space = fail_on_error (space_of_name space_name) in
@@ -67,9 +68,44 @@ let run_tool workload_spec space_name strategy_name seed budget preset cache_pat
         Some t
     in
     let report =
-      Tuner.tune { Tuner.default_options with strategy; space; cache; tracer } workloads
+      Tuner.tune
+        { Tuner.default_options with strategy; space; cache; tracer; seed_from_bottleneck }
+        workloads
     in
     print_string (Tune_report.render report);
+    (* The winner diagnosis pays one uncached re-evaluation per
+       workload — the tuner only keeps cycles, not timelines. The
+       critpath artifact goes to the first diagnosed winner. *)
+    if doctor || critical_path <> None then begin
+      let artifact = ref critical_path in
+      List.iter
+        (fun (r : Tune_report.result) ->
+          match r.Tune_report.r_best with
+          | None -> ()
+          | Some b -> (
+            let winner = b.Tune_report.bs_candidate in
+            match Tune_eval.diagnose r.Tune_report.r_workload winner with
+            | Error msg ->
+              failwith
+                (Printf.sprintf "perf doctor (%s): %s" r.Tune_report.r_label msg)
+            | Ok dg ->
+              Doctor.emit_remarks ~loc:r.Tune_report.r_label dg;
+              Doctor.emit_metrics dg;
+              (match !artifact with
+              | Some path ->
+                artifact := None;
+                Doctor.write_json dg ~path;
+                Printf.eprintf "critical path: %s (axi4mlir-critpath-v1)\n" path
+              | None -> ());
+              if doctor then begin
+                Printf.printf "\nperf doctor — %s, winner %s\n" r.Tune_report.r_label
+                  (Tune_space.candidate_to_string winner);
+                let text = Doctor.render dg in
+                if String.trim text = "" then failwith "perf doctor: empty diagnosis";
+                print_string text
+              end))
+        report.Tune_report.rp_results
+    end;
     (match (cache, cache_path) with
     | Some c, Some path ->
       Tune_cache.save c path;
@@ -155,6 +191,14 @@ let assert_warm =
                did not already hold every result). Used by the @tune-quick \
                determinism check.")
 
+let seed_from_bottleneck =
+  Arg.(value & flag & info [ "seed-from-bottleneck" ]
+         ~doc:"Measure the heuristic baseline first and let the perf \
+               doctor's binding-resource diagnosis of that run bias the \
+               greedy strategy's predicted ranking (DMA-bound: try double \
+               buffering earlier; host-bound: try the largest engines \
+               earlier). No effect on warm-cache runs.")
+
 let cmd =
   let doc = "design-space exploration over AXI4MLIR accelerator configurations" in
   Cmd.v
@@ -163,6 +207,7 @@ let cmd =
       ret
         (const run_tool $ workload $ space $ strategy $ seed $ budget $ preset $ cache
        $ report $ trace $ list_space $ assert_warm $ Tool_common.remarks_flag
-       $ Tool_common.metrics_out))
+       $ Tool_common.metrics_out $ Tool_common.doctor_flag
+       $ Tool_common.critical_path_out $ seed_from_bottleneck))
 
 let () = exit (Cmd.eval cmd)

@@ -27,6 +27,49 @@ let metrics_out =
           "Write a JSON dump of the metrics registry (and any collected \
            remarks) to $(docv) on exit.")
 
+let doctor_flag =
+  Arg.(
+    value & flag
+    & info [ "doctor" ]
+        ~doc:
+          "Run the perf doctor over the measured run: extract the critical \
+           path through the makespan, attribute every cycle of it, name the \
+           binding resource and print what-if speedup ceilings (zero-cost \
+           DMA, infinite DMA channels, perfect overlap).")
+
+let critical_path_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "critical-path" ] ~docv:"FILE"
+        ~doc:
+          "Write the machine-readable axi4mlir-critpath-v1 JSON artifact \
+           (critical path, attribution, what-ifs) to $(docv).")
+
+(* The doctor runs after the measured run and before any trace export,
+   so its highlight slices land in the written trace. Fails the tool if
+   the diagnosis comes back empty — @doctor-quick relies on that. *)
+let run_doctor ?(loc = "run") soc ~doctor ~critical_path =
+  if doctor || critical_path <> None then begin
+    match Doctor.diagnose (Soc.critpath_input soc) with
+    | Error msg -> failwith ("perf doctor: " ^ msg)
+    | Ok dg ->
+      Doctor.emit_remarks ~loc dg;
+      Doctor.emit_metrics dg;
+      Doctor.annotate_trace soc.Soc.tracer dg;
+      (match critical_path with
+      | Some path ->
+        Doctor.write_json dg ~path;
+        Printf.printf "critical path: %s (axi4mlir-critpath-v1)\n" path
+      | None -> ());
+      if doctor then begin
+        let text = Doctor.render dg in
+        if String.trim text = "" then failwith "perf doctor: empty diagnosis";
+        print_newline ();
+        print_string text
+      end
+  end
+
 let setup ~remarks ~metrics =
   if remarks then Remarks.enable ();
   if metrics <> None then Metrics.enable (Metrics.default)

@@ -249,6 +249,33 @@ let metrics_parity (c : Perf_counters.t) =
       else None)
     pairs
 
+(* Critical-path exactness: every measured accelerated run's event DAG
+   must analyze cleanly — the backward walk covers [0, makespan]
+   contiguously, the attribution sums to the makespan (both checked
+   inside [analyze]), and the path length is exactly the task clock the
+   run reported. Holds for blocking and double-buffered schedules
+   alike. *)
+let critpath_property ~path (bench : Axi4mlir.t) (c : Perf_counters.t) =
+  match Critpath.analyze (Soc.critpath_input bench.Axi4mlir.soc) with
+  | Error msg -> [ Invariant (Printf.sprintf "critpath (%s): %s" path msg) ]
+  | Ok report ->
+    let problems = ref [] in
+    let require cond msg = if not cond then problems := Invariant msg :: !problems in
+    require
+      (report.Critpath.rp_makespan = c.Perf_counters.cycles)
+      (Printf.sprintf
+         "critpath (%s): path makespan %.17g differs from the reported task clock %.17g"
+         path report.Critpath.rp_makespan c.Perf_counters.cycles);
+    let attributed =
+      List.fold_left (fun acc (_, cy) -> acc +. cy) 0.0 report.Critpath.rp_attribution
+    in
+    require
+      (Float.abs (attributed -. report.Critpath.rp_makespan)
+      <= 1e-6 *. Float.max 1.0 report.Critpath.rp_makespan)
+      (Printf.sprintf "critpath (%s): attribution sums to %.17g, not the makespan %.17g"
+         path attributed report.Critpath.rp_makespan);
+    List.rev !problems
+
 let run_accel host accel case ops compiled =
   guard ~path:"accel" (fun () ->
       let bench, views = setup_path host accel case ops in
@@ -259,7 +286,7 @@ let run_accel host accel case ops compiled =
       Metrics.enable Metrics.default;
       Metrics.reset Metrics.default;
       let counters = run_module bench case compiled views in
-      let parity = metrics_parity counters in
+      let parity = metrics_parity counters @ critpath_property ~path:"accel" bench counters in
       if not was_enabled then Metrics.disable Metrics.default;
       (Memref_view.to_array (output_view views), counters, parity))
 
@@ -280,12 +307,13 @@ let check_double_buffer_twin host accel (case : Fuzz_case.t) ops ~async_output
       guard ~path:"blocking-twin" (fun () ->
           let bench, views = setup_path host accel blocking ops in
           let counters = run_module bench blocking compiled views in
-          (Memref_view.to_array (output_view views), counters))
+          (Memref_view.to_array (output_view views), counters,
+           critpath_property ~path:"blocking-twin" bench counters))
     in
     match run with
     | Error f -> [ f ]
-    | Ok (blocking_output, bc) ->
-      let problems = ref [] in
+    | Ok (blocking_output, bc, twin_critpath) ->
+      let problems = ref (List.rev twin_critpath) in
       let require cond msg = if not cond then problems := Invariant msg :: !problems in
       require
         (async_output = blocking_output)

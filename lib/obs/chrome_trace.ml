@@ -57,6 +57,7 @@ let preamble =
     metadata "thread_name" sim_pid Trace.host_track "host CPU";
     metadata "thread_name" sim_pid Trace.accel_track "accelerator";
     metadata "thread_name" sim_pid Trace.dma_track "DMA engine";
+    metadata "thread_name" sim_pid Trace.critpath_track "critical path";
     metadata "thread_name" compiler_pid Trace.compile_track "pass pipeline";
     metadata "thread_name" compiler_pid Trace.tuner_track "autotuner";
   ]

@@ -1,0 +1,364 @@
+type category =
+  | Host_compute
+  | Dma_send
+  | Dma_recv
+  | Accel_compute
+  | Wait_stall
+  | Status_check
+
+let categories =
+  [ Host_compute; Dma_send; Dma_recv; Accel_compute; Wait_stall; Status_check ]
+
+let category_name = function
+  | Host_compute -> "host_compute"
+  | Dma_send -> "dma_send"
+  | Dma_recv -> "dma_recv"
+  | Accel_compute -> "accel_compute"
+  | Wait_stall -> "wait_stall"
+  | Status_check -> "status_check"
+
+type interval = {
+  iv_seq : int;
+  iv_agent : string;
+  iv_label : string;
+  iv_start : float;
+  iv_finish : float;
+  iv_not_before : float;
+  iv_dep : int option;
+  iv_mark : bool;
+  iv_jump : bool;
+  iv_category : category;
+  iv_offload : bool;
+}
+
+type input = {
+  in_makespan : float;
+  in_host_end : float;
+  in_dma_transfer : float;
+  in_accel_busy : float;
+  in_intervals : interval list;
+}
+
+type bound = Bound_entry | Bound_agent | Bound_dep | Bound_host
+
+let bound_name = function
+  | Bound_entry -> "entry"
+  | Bound_agent -> "agent"
+  | Bound_dep -> "dep"
+  | Bound_host -> "host"
+
+type segment = {
+  sg_start : float;
+  sg_finish : float;
+  sg_category : category;
+  sg_label : string;
+  sg_agent : string;
+  sg_bound : bound;
+  sg_slack : float;
+}
+
+let segment_cycles sg = sg.sg_finish -. sg.sg_start
+
+type resource = Res_host | Res_dma | Res_accel
+
+let resource_name = function
+  | Res_host -> "host"
+  | Res_dma -> "dma"
+  | Res_accel -> "accel"
+
+let resource_of_category = function
+  | Host_compute | Status_check -> Res_host
+  | Dma_send | Dma_recv | Wait_stall -> Res_dma
+  | Accel_compute -> Res_accel
+
+type whatif = { wf_name : string; wf_bound_cycles : float; wf_speedup : float option }
+
+type report = {
+  rp_makespan : float;
+  rp_host_end : float;
+  rp_segments : segment list;
+  rp_attribution : (category * float) list;
+  rp_resources : (resource * float) list;
+  rp_binding : resource;
+  rp_whatifs : whatif list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* The backward walk                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Marks are host-clock annotations: the host is serial, so they are
+   pairwise disjoint and recording order is time order. We walk them by
+   array index (strictly decreasing), never by time lookup alone, so
+   zero-extent degenerate marks cannot loop the walk. *)
+
+let walk inp =
+  let marks =
+    List.filter (fun iv -> iv.iv_mark) inp.in_intervals
+    |> List.sort (fun a b ->
+           match compare a.iv_finish b.iv_finish with
+           | 0 -> compare a.iv_seq b.iv_seq
+           | c -> c)
+    |> Array.of_list
+  in
+  let events = List.filter (fun iv -> not iv.iv_mark) inp.in_intervals in
+  let by_seq : (int, interval) Hashtbl.t = Hashtbl.create 64 in
+  List.iter (fun iv -> Hashtbl.replace by_seq iv.iv_seq iv) events;
+  (* Per-agent chains in issue order (agents are serial, so issue order
+     is also time order within one agent). *)
+  let chains : (string, interval array) Hashtbl.t = Hashtbl.create 8 in
+  let pos : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun iv ->
+      let prev = try Hashtbl.find chains iv.iv_agent with Not_found -> [||] in
+      Hashtbl.replace pos iv.iv_seq (Array.length prev);
+      Hashtbl.replace chains iv.iv_agent (Array.append prev [| iv |]))
+    (List.sort (fun a b -> compare a.iv_seq b.iv_seq) events);
+  let prev_on_agent iv =
+    let chain = Hashtbl.find chains iv.iv_agent in
+    let p = Hashtbl.find pos iv.iv_seq in
+    if p > 0 then Some chain.(p - 1) else None
+  in
+  (* Largest index i such that marks.(0..i-1) all finish at or before t. *)
+  let marks_upto t =
+    let lo = ref 0 and hi = ref (Array.length marks) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if marks.(mid).iv_finish <= t then lo := mid + 1 else hi := mid
+    done;
+    !lo
+  in
+  let segs = ref [] in
+  let push ?(slack = 0.0) ~bound ~category ~label ~agent start finish =
+    segs :=
+      {
+        sg_start = start;
+        sg_finish = finish;
+        sg_category = category;
+        sg_label = label;
+        sg_agent = agent;
+        sg_bound = bound;
+        sg_slack = slack;
+      }
+      :: !segs
+  in
+  (* Each event step strictly decreases the sequence number and each
+     mark step the mark index, so the walk terminates; the guard turns
+     any violated assumption into a diagnosable error instead of a
+     hang. *)
+  let guard = ref ((2 * List.length inp.in_intervals) + Array.length marks + 16) in
+  let step () =
+    decr guard;
+    if !guard < 0 then failwith "critpath: walk exceeded its step budget"
+  in
+  let rec on_event ~bound ev =
+    step ();
+    let slack =
+      if bound = Bound_agent then Float.max 0.0 (ev.iv_start -. ev.iv_not_before)
+      else 0.0
+    in
+    push ~slack ~bound ~category:ev.iv_category ~label:ev.iv_label ~agent:ev.iv_agent
+      ev.iv_start ev.iv_finish;
+    match prev_on_agent ev with
+    | Some p when p.iv_finish = ev.iv_start -> on_event ~bound:Bound_agent p
+    | _ -> (
+      match Option.bind ev.iv_dep (Hashtbl.find_opt by_seq) with
+      | Some d when d.iv_finish = ev.iv_start -> on_event ~bound:Bound_dep d
+      | _ -> on_host ~mi:(marks_upto ev.iv_start) ev.iv_start)
+  and on_host ~mi t =
+    step ();
+    if t > 0.0 then
+      if mi = 0 then
+        push ~bound:Bound_host ~category:Host_compute ~label:"host" ~agent:"host" 0.0 t
+      else begin
+        let m = marks.(mi - 1) in
+        if m.iv_finish > t then
+          failwith "critpath: mark extends past the host cursor";
+        if m.iv_finish < t then
+          push ~bound:Bound_host ~category:Host_compute ~label:"host" ~agent:"host"
+            m.iv_finish t;
+        let jump_target =
+          if m.iv_jump then
+            match Option.bind m.iv_dep (Hashtbl.find_opt by_seq) with
+            | Some d when d.iv_finish = m.iv_finish -> Some d
+            | _ -> None
+          else None
+        in
+        match jump_target with
+        | Some d -> on_event ~bound:Bound_dep d
+        | None ->
+          push ~bound:Bound_host ~category:m.iv_category ~label:m.iv_label
+            ~agent:m.iv_agent m.iv_start m.iv_finish;
+          on_host ~mi:(mi - 1) m.iv_start
+      end
+    else if t < 0.0 then failwith "critpath: walk ran past time zero"
+  in
+  if inp.in_makespan > 0.0 then begin
+    let top =
+      List.fold_left
+        (fun acc iv ->
+          match acc with
+          | Some best
+            when best.iv_finish > iv.iv_finish
+                 || (best.iv_finish = iv.iv_finish && best.iv_seq > iv.iv_seq) ->
+            acc
+          | _ -> Some iv)
+        None events
+    in
+    match top with
+    | Some e when e.iv_finish >= inp.in_makespan && e.iv_finish > inp.in_host_end ->
+      on_event ~bound:Bound_entry e
+    | _ -> on_host ~mi:(Array.length marks) inp.in_makespan
+  end;
+  !segs
+
+(* ------------------------------------------------------------------ *)
+(* Attribution and what-ifs                                            *)
+(* ------------------------------------------------------------------ *)
+
+let attribution_of segments =
+  List.map
+    (fun cat ->
+      ( cat,
+        List.fold_left
+          (fun acc sg -> if sg.sg_category = cat then acc +. segment_cycles sg else acc)
+          0.0 segments ))
+    categories
+
+let resources_of attribution =
+  List.map
+    (fun res ->
+      ( res,
+        List.fold_left
+          (fun acc (cat, c) -> if resource_of_category cat = res then acc +. c else acc)
+          0.0 attribution ))
+    [ Res_host; Res_dma; Res_accel ]
+
+let binding_of resources =
+  (* Strict comparison: ties keep the earlier (host-first) entry, so a
+     pure-host run always reports the host. *)
+  List.fold_left
+    (fun (best, bc) (res, c) -> if c > bc then (res, c) else (best, bc))
+    (Res_host, neg_infinity) resources
+  |> fst
+
+let whatifs inp segments attribution =
+  let t_end = inp.in_makespan in
+  let speedup bound =
+    if bound > 0.0 then Some (Float.max 1.0 (t_end /. bound)) else None
+  in
+  let attributed cats =
+    List.fold_left
+      (fun acc (cat, c) -> if List.mem cat cats then acc +. c else acc)
+      0.0 attribution
+  in
+  (* Zero-cost DMA: every transfer-related cycle on the path vanishes
+     (wire time, PIO, programming, stalls, polls, status checks). *)
+  let zero_dma_bound =
+    Float.max 0.0 (t_end -. attributed [ Dma_send; Dma_recv; Wait_stall; Status_check ])
+  in
+  (* Infinite DMA channels: each transfer on the path starts as soon as
+     its data is ready instead of queueing behind its channel — remove
+     the recorded channel-serialisation slack. First-order estimate:
+     downstream re-timing knock-ons are ignored. *)
+  let channel_slack =
+    List.fold_left
+      (fun acc sg ->
+        match sg.sg_category with
+        | Dma_send | Dma_recv -> acc +. sg.sg_slack
+        | _ -> acc)
+      0.0 segments
+  in
+  let infinite_bound = Float.max 0.0 (t_end -. channel_slack) in
+  (* Perfect overlap: host, DMA wires and device all run concurrently;
+     the run cannot beat the busiest of the three. The host keeps its
+     compute and its DMA programming (not offloadable) but sheds PIO
+     windows, stalls, polls and status checks. *)
+  let host_floor =
+    List.fold_left
+      (fun acc iv ->
+        if iv.iv_mark && iv.iv_offload then acc -. (iv.iv_finish -. iv.iv_start)
+        else acc)
+      inp.in_host_end inp.in_intervals
+    |> Float.max 0.0
+  in
+  let overlap_bound =
+    Float.max host_floor (Float.max inp.in_dma_transfer inp.in_accel_busy)
+  in
+  [
+    {
+      wf_name = "zero-cost-dma";
+      wf_bound_cycles = zero_dma_bound;
+      wf_speedup = speedup zero_dma_bound;
+    };
+    {
+      wf_name = "infinite-dma-channels";
+      wf_bound_cycles = infinite_bound;
+      wf_speedup = speedup infinite_bound;
+    };
+    {
+      wf_name = "perfect-overlap";
+      wf_bound_cycles = overlap_bound;
+      wf_speedup = speedup overlap_bound;
+    };
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Invariants                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let verify inp report =
+  let t_end = inp.in_makespan in
+  let fail fmt = Printf.ksprintf (fun s -> Error ("critpath invariant: " ^ s)) fmt in
+  match report.rp_segments with
+  | [] -> if t_end > 0.0 then fail "empty path for makespan %g" t_end else Ok ()
+  | first :: _ as segs ->
+    if first.sg_start <> 0.0 then fail "path starts at %g, not 0" first.sg_start
+    else begin
+      let rec contiguous = function
+        | a :: (b :: _ as rest) ->
+          if a.sg_finish <> b.sg_start then
+            fail "gap/overlap at %g -> %g (%s -> %s)" a.sg_finish b.sg_start a.sg_label
+              b.sg_label
+          else contiguous rest
+        | [ last ] ->
+          if last.sg_finish <> t_end then
+            fail "path ends at %g, not the makespan %g" last.sg_finish t_end
+          else Ok ()
+        | [] -> Ok ()
+      in
+      match contiguous segs with
+      | Error _ as e -> e
+      | Ok () ->
+        let covered =
+          List.fold_left (fun acc sg -> acc +. segment_cycles sg) 0.0 segs
+        in
+        let attributed =
+          List.fold_left (fun acc (_, c) -> acc +. c) 0.0 report.rp_attribution
+        in
+        let tol = 1e-6 *. Float.max 1.0 t_end in
+        if Float.abs (covered -. t_end) > tol then
+          fail "segment cycles sum to %g, makespan is %g" covered t_end
+        else if Float.abs (attributed -. t_end) > tol then
+          fail "attribution sums to %g, makespan is %g" attributed t_end
+        else Ok ()
+    end
+
+let analyze inp =
+  match walk inp with
+  | exception Failure msg -> Error msg
+  | segments ->
+    let attribution = attribution_of segments in
+    let resources = resources_of attribution in
+    let report =
+      {
+        rp_makespan = inp.in_makespan;
+        rp_host_end = inp.in_host_end;
+        rp_segments = segments;
+        rp_attribution = attribution;
+        rp_resources = resources;
+        rp_binding = binding_of resources;
+        rp_whatifs = whatifs inp segments attribution;
+      }
+    in
+    (match verify inp report with Ok () -> Ok report | Error _ as e -> e)

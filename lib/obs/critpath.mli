@@ -1,0 +1,151 @@
+(** Critical-path extraction and cycle attribution over the simulator's
+    event DAG.
+
+    A measured run leaves two records of where time went: the host's
+    serial cycle counter, annotated by host-clock {e marks} (PIO
+    transfer windows, token-wait stalls, DMA programming, status
+    checks), and the asynchronous timeline's {e agent events} (token
+    transfers on DMA channels, device compute windows), each carrying
+    its issue order, its requested earliest start and an optional
+    dependency edge. Together these form a DAG whose sinks are the
+    last completions; the makespan is the latest of them.
+
+    {!analyze} walks that DAG {e backwards} from the completion that
+    defines the makespan, at every step following the edge that was
+    actually binding:
+
+    - {e program order}: the interval started exactly when its agent
+      finished the previous interval ([Bound_agent]);
+    - {e dependency}: it started exactly when the interval named by its
+      [iv_dep] edge finished ([Bound_dep]) — a device compute waiting
+      on its token send, a host stall waiting on a transfer;
+    - {e host}: it started when the host issued it; the walk continues
+      down the host's serial clock through the recorded marks, labelled
+      host gaps becoming [Host_compute] ([Bound_host]).
+
+    The result is a {e contiguous} chain of segments covering exactly
+    [[0, makespan]]: the critical path. Every cycle of it is attributed
+    to one of six closed categories, and {!verify} checks the exact
+    invariants the fuzzer asserts on every case — the path telescopes
+    to the makespan with no gaps or overlaps (exact float equality on
+    the shared boundaries), and the per-category attribution sums back
+    to the makespan.
+
+    On top of the path, {!analyze} computes Amdahl-style what-if
+    ceilings (zero-cost DMA, infinite DMA channels, perfect overlap)
+    and names the binding resource — the host / DMA / accelerator group
+    holding the largest share of the critical path. {!Doctor} renders
+    all of this. *)
+
+(** Where a critical-path cycle went. Closed set: every segment carries
+    exactly one category and the six sum to the makespan. *)
+type category =
+  | Host_compute  (** host instructions outside any annotated interval *)
+  | Dma_send  (** outbound transfer time: wire cycles, PIO, programming *)
+  | Dma_recv  (** inbound transfer time: wire cycles, PIO, programming *)
+  | Accel_compute  (** device busy windows and host stalls on them *)
+  | Wait_stall  (** host blocked on an in-flight transfer or poll loop *)
+  | Status_check  (** already-drained token checks (status register) *)
+
+val categories : category list
+(** All six, in rendering order. *)
+
+val category_name : category -> string
+(** Stable snake-case identifier used in JSON/metrics ("host_compute",
+    "dma_send", ...). *)
+
+(** One node of the event DAG, in neutral (simulator-independent)
+    form; [Soc.critpath_input] converts timeline state into these. *)
+type interval = {
+  iv_seq : int;  (** unique issue order; [iv_dep] refers to these *)
+  iv_agent : string;
+  iv_label : string;
+  iv_start : float;
+  iv_finish : float;
+  iv_not_before : float;  (** requested earliest start *)
+  iv_dep : int option;  (** upstream event this one waited on *)
+  iv_mark : bool;  (** host-clock annotation vs scheduled agent work *)
+  iv_jump : bool;
+      (** a mark whose extent shadows its [iv_dep]'s agent work (a
+          token-wait stall): the walk jumps through it into the agent
+          chain instead of attributing the mark itself *)
+  iv_category : category;
+  iv_offload : bool;
+      (** host time that perfect offload/overlap would eliminate (PIO
+          windows, stalls, polls) — DMA programming is not offloadable
+          and keeps [false] *)
+}
+
+type input = {
+  in_makespan : float;  (** the reported task-clock *)
+  in_host_end : float;  (** host serial cycles at end of run *)
+  in_dma_transfer : float;
+      (** pure wire time of all DMA traffic over the run, CPU cycles *)
+  in_accel_busy : float;
+      (** total device compute over the run, CPU cycles *)
+  in_intervals : interval list;
+}
+
+(** Which constraint bound a segment's start. *)
+type bound =
+  | Bound_entry  (** the walk's entry point (the makespan completion) *)
+  | Bound_agent  (** the agent's own serialisation (program order) *)
+  | Bound_dep  (** the explicit dependency edge *)
+  | Bound_host  (** the host's serial clock *)
+
+val bound_name : bound -> string
+
+type segment = {
+  sg_start : float;
+  sg_finish : float;
+  sg_category : category;
+  sg_label : string;
+  sg_agent : string;
+  sg_bound : bound;
+  sg_slack : float;
+      (** for agent-bound transfer segments: how much earlier the
+          transfer could have started on an idle channel
+          ([iv_start - iv_not_before]); 0 elsewhere. Feeds the
+          infinite-channels what-if. *)
+}
+
+val segment_cycles : segment -> float
+
+(** The resource groups the diagnosis names. *)
+type resource = Res_host | Res_dma | Res_accel
+
+val resource_name : resource -> string
+val resource_of_category : category -> resource
+
+type whatif = {
+  wf_name : string;  (** "zero-cost-dma" | "infinite-dma-channels" | "perfect-overlap" *)
+  wf_bound_cycles : float;  (** estimated lower bound on the runtime *)
+  wf_speedup : float option;
+      (** makespan / bound, clamped to >= 1; [None] when the bound
+          degenerates to zero (nothing would remain) *)
+}
+
+type report = {
+  rp_makespan : float;
+  rp_host_end : float;
+  rp_segments : segment list;
+      (** the critical path, oldest first; contiguous cover of
+          [[0, makespan]] (empty iff the makespan is 0) *)
+  rp_attribution : (category * float) list;  (** all six, {!categories} order *)
+  rp_resources : (resource * float) list;
+  rp_binding : resource;  (** largest resource share of the path *)
+  rp_whatifs : whatif list;
+}
+
+val analyze : input -> (report, string) result
+(** Extract the critical path and everything derived from it. [Error]
+    means the input violates the DAG's structural assumptions (a
+    non-contiguous walk) — never raised for an empty run, which yields
+    an empty path. The returned report always passes {!verify}. *)
+
+val verify : input -> report -> (unit, string) result
+(** Check the exactness invariants independently of [analyze]'s own
+    internal checks: the path starts at 0 and ends at the makespan with
+    exact-float boundary sharing between consecutive segments, and the
+    category attribution sums to the makespan within 1e-6 relative
+    error (the only tolerance anywhere — boundary equality is exact). *)

@@ -1,0 +1,75 @@
+(** The "perf doctor": turns a {!Critpath} report into actionable
+    output — a human-readable diagnosis naming the binding resource and
+    the top-k critical operations, Amdahl-style what-if ceilings, a
+    machine-readable [axi4mlir-critpath-v1] JSON artifact, highlight
+    slices in the Chrome/Perfetto export, and [Analysis] remarks plus
+    metrics counters the tuner can seed from.
+
+    {2 The [axi4mlir-critpath-v1] schema}
+
+    {!to_json} emits one self-describing object:
+
+    {v
+{ "schema": "axi4mlir-critpath-v1",
+  "makespan_cycles": f, "host_serial_cycles": f,
+  "binding_resource": "host" | "dma" | "accel",
+  "attribution": { "<category>": cycles, ... all six },
+  "resources":   { "host": f, "dma": f, "accel": f },
+  "whatifs": [ { "name": s, "bound_cycles": f,
+                 "speedup_ceiling": f | null }, ... ],
+  "top": [ segment, ... k ], "critical_path": [ segment, ... ] }
+    v}
+
+    where a segment is [{ "start", "finish", "cycles", "category",
+    "label", "agent", "bound" }]. Compatibility guarantee: within v1,
+    fields are only ever {e added}; the six category names, the three
+    resource names and the three what-if names are frozen. Consumers
+    must ignore unknown fields and must key on names, not positions. *)
+
+type diagnosis = {
+  dg_report : Critpath.report;
+  dg_top : Critpath.segment list;
+      (** the top-k critical-path segments by duration (ties broken by
+          earlier start), excluding zero-length ones *)
+}
+
+val diagnose : ?top_k:int -> Critpath.input -> (diagnosis, string) result
+(** Run {!Critpath.analyze} and rank the top-k (default 5) critical
+    operations. [Error] propagates analysis failures. *)
+
+val binding_resource : diagnosis -> string
+(** The binding resource's stable name ("host" | "dma" | "accel"). *)
+
+val speedup_ceiling : diagnosis -> string -> float option
+(** The speedup ceiling of the named what-if ("zero-cost-dma",
+    "infinite-dma-channels", "perfect-overlap"); [None] for unknown
+    names or degenerate (unbounded) ceilings. *)
+
+val render : diagnosis -> string
+(** The human-readable diagnosis: binding resource, category
+    attribution table, top-k critical operations and what-if ceilings.
+    Never empty — even an idle run renders its (host-bound) verdict. *)
+
+val to_json : diagnosis -> Json.t
+(** The [axi4mlir-critpath-v1] artifact (schema above). *)
+
+val write_json : diagnosis -> path:string -> unit
+
+val emit_remarks : ?loc:string -> diagnosis -> unit
+(** Emit [Analysis] remarks into {!Remarks.default} (pass
+    ["perf-doctor"]): one ["binding-resource"] remark with the per
+    resource cycle split, and one ["speedup-ceiling"] remark per
+    what-if. No-ops while the collector is disabled. *)
+
+val emit_metrics : diagnosis -> unit
+(** Record into {!Metrics.default}: the ["doctor.critpath_cycles"]
+    counter labelled by category, the ["doctor.binding_resource"]
+    counter labelled by resource, and one ["doctor.whatif_speedup"]
+    gauge per what-if. No-ops while the registry is disabled. *)
+
+val annotate_trace : Trace.t -> diagnosis -> unit
+(** Highlight the critical path in the trace: one Complete slice per
+    segment on {!Trace.critpath_track} (category as the Chrome [cat],
+    binding constraint in the args) and a flow arrow — with a
+    {!Trace.fresh_flow_id} — between each pair of consecutive
+    segments, so the handoff points are visible edges in Perfetto. *)

@@ -22,6 +22,7 @@ let accel_track = 1
 let dma_track = 2
 let compile_track = 10
 let tuner_track = 11
+let critpath_track = 12
 
 (* Asynchronous activity gets one track per DMA channel and one per
    accelerator device, interleaved so a channel sits next to its
@@ -41,6 +42,7 @@ type recording = {
   snapshot : unit -> (string * float) list;
   mutable events : event list;  (* newest first *)
   mutable stack : open_span list;
+  mutable next_flow : int;  (* flow-arrow id allocator; never reused *)
 }
 
 type sink = Disabled | Recording of recording
@@ -52,7 +54,7 @@ let create () = { sink = Disabled }
 let noop = create ()
 
 let enable ?(clock = fun () -> 0.0) ?(snapshot = fun () -> []) t =
-  t.sink <- Recording { clock; snapshot; events = []; stack = [] }
+  t.sink <- Recording { clock; snapshot; events = []; stack = []; next_flow = 1 }
 
 let disable t = t.sink <- Disabled
 
@@ -151,6 +153,17 @@ let flow t ~kind ?(cat = "flow") ?(track = host_track) ?ts name =
 
 let flow_start t ?cat ?track ?ts ~id name = flow t ~kind:(Flow_start id) ?cat ?track ?ts name
 let flow_finish t ?cat ?track ?ts ~id name = flow t ~kind:(Flow_finish id) ?cat ?track ?ts name
+
+(* Not reset by [clear]: ids stay unique across every run recorded by
+   one sink, so arrows from different kernels or devices can never
+   alias in the exported trace. *)
+let fresh_flow_id t =
+  match t.sink with
+  | Disabled -> 0
+  | Recording r ->
+    let id = r.next_flow in
+    r.next_flow <- id + 1;
+    id
 
 let events t =
   match t.sink with Disabled -> [] | Recording r -> List.rev r.events

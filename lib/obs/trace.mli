@@ -63,6 +63,12 @@ val tuner_track : int
     tuning spans many independent simulations, so no single simulated
     clock covers it. *)
 
+val critpath_track : int
+(** Critical-path highlight slices emitted by {!Doctor.annotate_trace}:
+    one Complete event per path segment, in simulated cycles. Below 20
+    on purpose — {!Perf_report.overlap_ratio} counts only the
+    per-engine async tracks. *)
+
 val dma_channel_track : int -> int
 (** Per-DMA-channel track for asynchronous transfer windows. *)
 
@@ -134,6 +140,13 @@ val flow_finish :
   t -> ?cat:string -> ?track:int -> ?ts:float -> id:int -> string -> unit
 (** Terminate the flow arrow with the same [id] (the [accel.wait]
     side). *)
+
+val fresh_flow_id : t -> int
+(** Allocate a flow-arrow id that is unique for the lifetime of the
+    recording sink — {e not} reset by {!clear} — so arrows from
+    different kernels, devices or measured runs can never alias when
+    their events end up in one exported trace. Returns 0 when
+    disabled (flow events are dropped there anyway). *)
 
 val events : t -> event list
 (** Recorded events in recording order (timestamps are non-decreasing

@@ -8,6 +8,8 @@ type flight = {
   fl_window : int * int;
   fl_finish : float;  (* transfer completion, CPU cycles *)
   fl_data : float array;  (* drained output (recv tokens) *)
+  fl_seq : int;  (* timeline seq of the transfer event (dep edges) *)
+  fl_flow : int;  (* trace flow-arrow id, unique per recording sink *)
   mutable fl_waited : bool;
 }
 
@@ -30,9 +32,13 @@ type t = {
   mutable send_done_at : float;  (* completion time of an async send *)
   flights : (token, flight) Hashtbl.t;
   mutable next_token : int;
-  completions : float Queue.t;
-      (* per-batch device completion times, pushed in consume order by
-         token sends and popped by (token or blocking) receives *)
+  completions : (float * int) Queue.t;
+      (* per-batch device (completion time, compute event seq) pairs,
+         pushed in consume order by token sends and popped by (token or
+         blocking) receives *)
+  mutable last_compute_seq : int option;
+      (* timeline seq of the most recent device compute event, for dep
+         edges on receives that drain [ready_at] directly *)
 }
 
 let create ~cost ~counters ?tracer ?timeline ?(dma_id = 0) ~device ~in_capacity_words
@@ -59,7 +65,18 @@ let create ~cost ~counters ?tracer ?timeline ?(dma_id = 0) ~device ~in_capacity_
     flights = Hashtbl.create 16;
     next_token = 0;
     completions = Queue.create ();
+    last_compute_seq = None;
   }
+
+(* Host-clock marks: annotate what an interval of the serial counter
+   was spent on, for the critical-path analysis. Marks never move any
+   clock or counter — blocking runs stay bit-identical (the timeline's
+   makespan ignores marks). Every charge to [t.counters.cycles] below
+   that is not plain host compute pairs with exactly one mark whose
+   boundaries reuse the very floats the charge computed, so the
+   analyzer's exact-contiguity invariant holds. *)
+let mark t ?dep ~start ~finish label =
+  Timeline.mark t.timeline ?dep ~agent:"host" ~start ~finish ~label ()
 
 let device t = t.dev
 let in_capacity_words t = Array.length t.in_region
@@ -100,7 +117,9 @@ let start_send t ~offset ~len_words =
   Trace.begin_span t.tracer ~cat:"dma_send"
     ~args:[ ("len_words", Trace.Int len_words) ]
     "program_send";
-  t.counters.cycles <- t.counters.cycles +. t.cost.dma_program_cycles;
+  let t0 = t.counters.cycles in
+  t.counters.cycles <- t0 +. t.cost.dma_program_cycles;
+  mark t ~start:t0 ~finish:t.counters.cycles "program_send";
   t.counters.instructions <- t.counters.instructions +. 20.0;
   t.counters.dma_transactions <- t.counters.dma_transactions +. 1.0;
   m_transaction ();
@@ -116,7 +135,10 @@ let wait_send t =
       ~args:[ ("len_words", Trace.Int len) ]
       "wait_send";
     let transfer = float_of_int len *. Cost_model.cpu_cycles_per_word t.cost in
-    t.counters.cycles <- t.counters.cycles +. transfer +. t.cost.dma_wait_cycles;
+    let t0 = t.counters.cycles in
+    t.counters.cycles <- t0 +. transfer +. t.cost.dma_wait_cycles;
+    mark t ~start:t0 ~finish:(t0 +. transfer) "host_send";
+    mark t ~start:(t0 +. transfer) ~finish:t.counters.cycles "dma_poll";
     t.counters.dma_words_sent <- t.counters.dma_words_sent +. float_of_int len;
     m_words_sent len;
     Metrics.observe "sim.dma_send_len_words" (float_of_int len);
@@ -141,7 +163,10 @@ let send_staged t =
   t.batch_lo <- max_int
 
 let sync_sends t =
-  if t.send_done_at > t.counters.cycles then t.counters.cycles <- t.send_done_at
+  if t.send_done_at > t.counters.cycles then begin
+    mark t ~start:t.counters.cycles ~finish:t.send_done_at "send_sync";
+    t.counters.cycles <- t.send_done_at
+  end
 
 let send_staged_async t =
   let len = t.high_water in
@@ -151,7 +176,9 @@ let send_staged_async t =
       "send_async";
     (* only two buffer halves: wait out any transfer still in flight *)
     sync_sends t;
-    t.counters.cycles <- t.counters.cycles +. t.cost.dma_program_cycles;
+    let t0 = t.counters.cycles in
+    t.counters.cycles <- t0 +. t.cost.dma_program_cycles;
+    mark t ~start:t0 ~finish:t.counters.cycles "program_send";
     t.counters.instructions <- t.counters.instructions +. 20.0;
     t.counters.dma_transactions <- t.counters.dma_transactions +. 1.0;
     t.counters.dma_words_sent <- t.counters.dma_words_sent +. float_of_int len;
@@ -179,7 +206,9 @@ let start_recv t ~len_words =
   Trace.begin_span t.tracer ~cat:"dma_recv"
     ~args:[ ("len_words", Trace.Int len_words) ]
     "program_recv";
-  t.counters.cycles <- t.counters.cycles +. t.cost.dma_program_cycles;
+  let t0 = t.counters.cycles in
+  t.counters.cycles <- t0 +. t.cost.dma_program_cycles;
+  mark t ~start:t0 ~finish:t.counters.cycles "program_recv";
   t.counters.instructions <- t.counters.instructions +. 20.0;
   t.counters.dma_transactions <- t.counters.dma_transactions +. 1.0;
   m_transaction ();
@@ -204,10 +233,16 @@ let wait_recv t =
        this is the host's visible wait for the accelerator, so it gets
        its own phase. *)
     Trace.begin_span t.tracer ~cat:"accel_wait" "accel_stall";
-    if t.ready_at > t.counters.cycles then t.counters.cycles <- t.ready_at;
+    if t.ready_at > t.counters.cycles then begin
+      mark t ~start:t.counters.cycles ~finish:t.ready_at "accel_stall";
+      t.counters.cycles <- t.ready_at
+    end;
     Trace.end_span t.tracer;
     let transfer = float_of_int len *. Cost_model.cpu_cycles_per_word t.cost in
-    t.counters.cycles <- t.counters.cycles +. transfer +. t.cost.dma_wait_cycles;
+    let t0 = t.counters.cycles in
+    t.counters.cycles <- t0 +. transfer +. t.cost.dma_wait_cycles;
+    mark t ~start:t0 ~finish:(t0 +. transfer) "host_recv";
+    mark t ~start:(t0 +. transfer) ~finish:t.counters.cycles "dma_poll";
     t.counters.dma_words_received <- t.counters.dma_words_received +. float_of_int len;
     m_words_received len;
     Metrics.observe "sim.dma_recv_len_words" (float_of_int len);
@@ -232,8 +267,10 @@ let register_flight t fl =
   Hashtbl.replace t.flights tok fl;
   tok
 
-let charge_program t =
-  t.counters.cycles <- t.counters.cycles +. t.cost.dma_program_cycles;
+let charge_program t ~label =
+  let t0 = t.counters.cycles in
+  t.counters.cycles <- t0 +. t.cost.dma_program_cycles;
+  mark t ~start:t0 ~finish:t.counters.cycles label;
   t.counters.instructions <- t.counters.instructions +. 20.0;
   t.counters.dma_transactions <- t.counters.dma_transactions +. 1.0;
   m_transaction ()
@@ -248,7 +285,7 @@ let start_send_token t =
       if (not fl.fl_waited) && fl.fl_dir = `Send && ranges_overlap fl.fl_window (lo, lo + len)
       then failwith "DMA engine: staged batch overlaps a send still in flight")
     t.flights;
-  charge_program t;
+  charge_program t ~label:"program_send";
   t.counters.dma_words_sent <- t.counters.dma_words_sent +. float_of_int len;
   m_words_sent len;
   Metrics.observe "sim.dma_send_len_words" (float_of_int len);
@@ -256,8 +293,9 @@ let start_send_token t =
   let tstart = Float.max t.counters.cycles (Timeline.busy_until t.dma_agent) in
   let tfinish =
     Timeline.schedule t.timeline t.dma_agent ~not_before:t.counters.cycles
-      ~duration:transfer ~label:"send"
+      ~duration:transfer ~label:"send" ()
   in
+  let tseq = Timeline.last_seq t.timeline in
   let words = Array.sub t.in_region lo len in
   let accel_cycles = t.dev.Accel_device.consume words in
   t.counters.accel_busy_cycles <- t.counters.accel_busy_cycles +. accel_cycles;
@@ -266,17 +304,20 @@ let start_send_token t =
     let not_before = Float.max tfinish t.ready_at in
     let astart = Float.max not_before (Timeline.busy_until t.accel_agent) in
     let afinish =
-      Timeline.schedule t.timeline t.accel_agent ~not_before
+      Timeline.schedule t.timeline t.accel_agent ~dep:tseq ~not_before
         ~duration:(Cost_model.accel_to_cpu_cycles t.cost accel_cycles)
-        ~label:"compute"
+        ~label:"compute" ()
     in
+    let cseq = Timeline.last_seq t.timeline in
     t.ready_at <- afinish;
-    Queue.push afinish t.completions;
+    t.last_compute_seq <- Some cseq;
+    Queue.push (afinish, cseq) t.completions;
     Trace.complete t.tracer ~cat:"accel_busy"
       ~track:(Trace.accel_device_track t.dma_id)
       ~args:[ ("accel_cycles", Trace.Num accel_cycles) ]
       ~ts:astart ~dur:(afinish -. astart) t.dev.Accel_device.device_name
   end;
+  let flow = Trace.fresh_flow_id t.tracer in
   let tok =
     register_flight t
       {
@@ -284,6 +325,8 @@ let start_send_token t =
         fl_window = (lo, lo + len);
         fl_finish = tfinish;
         fl_data = [||];
+        fl_seq = tseq;
+        fl_flow = flow;
         fl_waited = false;
       }
   in
@@ -294,27 +337,32 @@ let start_send_token t =
   Trace.flow_start t.tracer
     ~track:(Trace.dma_channel_track t.dma_id)
     ~ts:(tstart +. (transfer /. 2.0))
-    ~id:((t.dma_id * 1_000_000) + tok)
-    "dma_token";
+    ~id:flow "dma_token";
   tok
 
 let start_recv_token t ~len_words =
   if len_words > t.out_capacity then failwith "DMA engine: recv exceeds output region";
-  charge_program t;
+  charge_program t ~label:"program_recv";
   t.counters.dma_words_received <- t.counters.dma_words_received +. float_of_int len_words;
   m_words_received len_words;
   Metrics.observe "sim.dma_recv_len_words" (float_of_int len_words);
   (* The batch this receive drains is the oldest undrained compute. *)
-  let completion =
-    if Queue.is_empty t.completions then t.ready_at else Queue.pop t.completions
+  let completion, dep =
+    if Queue.is_empty t.completions then (t.ready_at, t.last_compute_seq)
+    else
+      let finish, cseq = Queue.pop t.completions in
+      (finish, Some cseq)
   in
   let transfer = float_of_int len_words *. Cost_model.cpu_cycles_per_word t.cost in
   let not_before = Float.max t.counters.cycles completion in
   let tstart = Float.max not_before (Timeline.busy_until t.dma_agent) in
   let tfinish =
-    Timeline.schedule t.timeline t.dma_agent ~not_before ~duration:transfer ~label:"recv"
+    Timeline.schedule t.timeline t.dma_agent ?dep ~not_before ~duration:transfer
+      ~label:"recv" ()
   in
+  let tseq = Timeline.last_seq t.timeline in
   let data = t.dev.Accel_device.drain len_words in
+  let flow = Trace.fresh_flow_id t.tracer in
   let tok =
     register_flight t
       {
@@ -322,6 +370,8 @@ let start_recv_token t ~len_words =
         fl_window = (0, 0);
         fl_finish = tfinish;
         fl_data = data;
+        fl_seq = tseq;
+        fl_flow = flow;
         fl_waited = false;
       }
   in
@@ -332,8 +382,7 @@ let start_recv_token t ~len_words =
   Trace.flow_start t.tracer
     ~track:(Trace.dma_channel_track t.dma_id)
     ~ts:(tstart +. (transfer /. 2.0))
-    ~id:((t.dma_id * 1_000_000) + tok)
-    "dma_token";
+    ~id:flow "dma_token";
   tok
 
 let wait_token t tok =
@@ -345,17 +394,20 @@ let wait_token t tok =
     let now = t.counters.cycles in
     if fl.fl_finish > now then begin
       (* Transfer still in flight: stall to completion and pay the full
-         poll, exactly as a blocking wait would. *)
+         poll, exactly as a blocking wait would. The stall mark carries
+         a dep edge to the transfer it shadows, so the critical-path
+         walk jumps through it into the agent chain. *)
       t.counters.cycles <- fl.fl_finish +. t.cost.dma_wait_cycles;
+      mark t ~dep:fl.fl_seq ~start:now ~finish:fl.fl_finish "token_stall";
+      mark t ~start:fl.fl_finish ~finish:t.counters.cycles "dma_poll";
       t.counters.instructions <- t.counters.instructions +. 4.0
     end
     else begin
-      t.counters.cycles <- t.counters.cycles +. status_check_cycles;
+      t.counters.cycles <- now +. status_check_cycles;
+      mark t ~start:now ~finish:t.counters.cycles "status_check";
       t.counters.instructions <- t.counters.instructions +. 4.0
     end;
-    Trace.flow_finish t.tracer ~track:Trace.host_track
-      ~id:((t.dma_id * 1_000_000) + tok)
-      "dma_token";
+    Trace.flow_finish t.tracer ~track:Trace.host_track ~id:fl.fl_flow "dma_token";
     Trace.instant t.tracer ~cat:"dma_async"
       ~args:[ ("token", Trace.Int tok) ]
       "wait";
@@ -375,4 +427,5 @@ let reset_device t =
   t.send_done_at <- 0.0;
   Hashtbl.reset t.flights;
   t.next_token <- 0;
-  Queue.clear t.completions
+  Queue.clear t.completions;
+  t.last_compute_seq <- None

@@ -6,6 +6,7 @@ type t = {
   tracer : Trace.t;
   timeline : Timeline.t;
   mutable engines : (int * Dma_engine.t) list;
+  mutable host_serial : float option;
 }
 
 let create ?(cost = Cost_model.default)
@@ -19,6 +20,7 @@ let create ?(cost = Cost_model.default)
     tracer;
     timeline = Timeline.create ();
     engines = [];
+    host_serial = None;
   }
 
 let enable_tracing t =
@@ -47,6 +49,7 @@ let reset_run_state t =
      before the reset would break timestamp monotonicity. *)
   Trace.clear t.tracer;
   Timeline.reset t.timeline;
+  t.host_serial <- None;
   List.iter (fun (_, e) -> Dma_engine.reset_device e) t.engines
 
 let task_clock_cycles t = Float.max t.counters.Perf_counters.cycles (Timeline.makespan t.timeline)
@@ -55,8 +58,67 @@ let task_clock_cycles t = Float.max t.counters.Perf_counters.cycles (Timeline.ma
    everything downstream of a measured run (perf reports, bench
    artifacts, the fuzzer's invariants) reports the makespan. A blocking
    run schedules nothing on the timeline, so this is the identity
-   there — bit-for-bit. *)
-let absorb_makespan t = t.counters.Perf_counters.cycles <- task_clock_cycles t
+   there — bit-for-bit. The pre-absorb serial counter — how long the
+   host itself was busy — is what the critical-path doctor's
+   perfect-overlap floor needs, so remember it before overwriting. *)
+let absorb_makespan t =
+  if t.host_serial = None then
+    t.host_serial <- Some t.counters.Perf_counters.cycles;
+  t.counters.Perf_counters.cycles <- task_clock_cycles t
+
+let host_serial_cycles t =
+  match t.host_serial with Some c -> c | None -> t.counters.Perf_counters.cycles
+
+(* The timeline's neutral view for {!Critpath.analyze}: every scheduled
+   agent event and host mark becomes an interval, labelled with its
+   attribution category. The label vocabulary here is exactly what
+   {!Dma_engine} records. *)
+let critpath_interval (e : Timeline.event) =
+  let open Critpath in
+  let category, jump, offload =
+    if e.Timeline.ev_mark then
+      match e.Timeline.ev_label with
+      | "program_send" -> (Dma_send, false, false)
+      | "program_recv" -> (Dma_recv, false, false)
+      | "host_send" -> (Dma_send, false, true)
+      | "host_recv" -> (Dma_recv, false, true)
+      | "accel_stall" -> (Accel_compute, false, true)
+      | "send_sync" | "dma_poll" -> (Wait_stall, false, true)
+      | "token_stall" -> (Wait_stall, true, true)
+      | "status_check" -> (Status_check, false, true)
+      | _ -> (Host_compute, false, false)
+    else
+      match e.Timeline.ev_label with
+      | "send" -> (Dma_send, false, false)
+      | "recv" -> (Dma_recv, false, false)
+      | "compute" -> (Accel_compute, false, false)
+      | _ -> (Host_compute, false, false)
+  in
+  {
+    iv_seq = e.Timeline.ev_seq;
+    iv_agent = e.Timeline.ev_agent;
+    iv_label = e.Timeline.ev_label;
+    iv_start = e.Timeline.ev_start;
+    iv_finish = e.Timeline.ev_finish;
+    iv_not_before = e.Timeline.ev_not_before;
+    iv_dep = e.Timeline.ev_dep;
+    iv_mark = e.Timeline.ev_mark;
+    iv_jump = jump;
+    iv_category = category;
+    iv_offload = offload;
+  }
+
+let critpath_input t =
+  let c = t.counters in
+  {
+    Critpath.in_makespan = task_clock_cycles t;
+    in_host_end = host_serial_cycles t;
+    in_dma_transfer =
+      (c.Perf_counters.dma_words_sent +. c.Perf_counters.dma_words_received)
+      *. Cost_model.cpu_cycles_per_word t.cost;
+    in_accel_busy = Cost_model.accel_to_cpu_cycles t.cost c.Perf_counters.accel_busy_cycles;
+    in_intervals = List.map critpath_interval (Timeline.events t.timeline);
+  }
 
 let engine_track_names t =
   List.concat_map

@@ -16,6 +16,10 @@ type t = {
       (** per-agent clocks for asynchronous DMA/accelerator activity;
           empty (and cost-free) in blocking runs *)
   mutable engines : (int * Dma_engine.t) list;
+  mutable host_serial : float option;
+      (** the serial counter as it stood when {!absorb_makespan} first
+          ran — the host's own busy time, before the makespan
+          overwrote it. [None] until then. *)
 }
 
 val create :
@@ -60,7 +64,19 @@ val task_clock_cycles : t -> float
 val absorb_makespan : t -> unit
 (** Set [counters.cycles] to {!task_clock_cycles} — called once at the
     end of a measured run so reported task-clocks are makespans. A
-    no-op for blocking runs (empty timeline). *)
+    no-op for blocking runs (empty timeline). The first call also
+    captures [host_serial]. *)
+
+val host_serial_cycles : t -> float
+(** The host's own busy cycles: the captured pre-absorb counter, or the
+    live counter when {!absorb_makespan} has not run yet. *)
+
+val critpath_input : t -> Critpath.input
+(** Snapshot the run's event DAG — timeline agent events, host marks,
+    total DMA wire time and device busy time — in the neutral form
+    {!Critpath.analyze} and {!Doctor.diagnose} consume. Call after the
+    measured run (post-{!absorb_makespan}); the snapshot is read-only
+    and does not disturb counters or timeline. *)
 
 val engine_track_names : t -> (int * string) list
 (** Chrome-trace [tid -> name] labels for each attached engine's DMA

@@ -6,6 +6,9 @@ type event = {
   ev_label : string;
   ev_start : float;
   ev_finish : float;
+  ev_not_before : float;
+  ev_dep : int option;
+  ev_mark : bool;
 }
 
 type t = {
@@ -24,7 +27,7 @@ let add_agent t ~name =
 let agent_name a = a.name
 let busy_until a = a.busy_until
 
-let schedule t a ~not_before ~duration ~label =
+let schedule t a ?dep ~not_before ~duration ~label () =
   let start = Float.max not_before a.busy_until in
   let finish = start +. duration in
   a.busy_until <- finish;
@@ -35,11 +38,32 @@ let schedule t a ~not_before ~duration ~label =
       ev_label = label;
       ev_start = start;
       ev_finish = finish;
+      ev_not_before = not_before;
+      ev_dep = dep;
+      ev_mark = false;
     }
   in
   t.next_seq <- t.next_seq + 1;
   t.log <- ev :: t.log;
   finish
+
+let mark t ?dep ~agent ~start ~finish ~label () =
+  let ev =
+    {
+      ev_seq = t.next_seq;
+      ev_agent = agent;
+      ev_label = label;
+      ev_start = start;
+      ev_finish = finish;
+      ev_not_before = start;
+      ev_dep = dep;
+      ev_mark = true;
+    }
+  in
+  t.next_seq <- t.next_seq + 1;
+  t.log <- ev :: t.log
+
+let last_seq t = t.next_seq - 1
 
 let makespan t = List.fold_left (fun acc a -> Float.max acc a.busy_until) 0. t.agents
 

@@ -18,10 +18,26 @@
     makespan degenerates to the serial counter, so blocking runs are
     bit-for-bit identical to the pre-timeline simulator.
 
+    Besides scheduled agent work the timeline records {e marks}:
+    host-clock annotations ([mark]) that name what an interval of the
+    {e serial} counter was spent on (a PIO transfer, a stall waiting
+    for a token, a status-register check). Marks never touch any
+    agent's clock — the makespan, and therefore every counter, is
+    unaffected — they only feed the critical-path analysis
+    ({!Critpath}) with the host half of the event DAG.
+
+    Dependency edges: both [schedule] and [mark] accept [?dep], the
+    sequence number of an earlier event this one waits on (a token
+    send's transfer for the device compute, a transfer for the host
+    stall that waits on it). Together with per-agent program order and
+    the host marks this makes the event DAG explicit enough for
+    {!Critpath.analyze} to walk a contiguous critical path.
+
     Determinism: scheduling order is program order. Every event gets a
-    monotone sequence number at [schedule] time, and {!events} sorts by
-    [(start, seq)] — ties on start time are broken by issue order, so
-    two runs of the same program produce byte-identical event lists. *)
+    monotone sequence number at [schedule]/[mark] time, and {!events}
+    sorts by [(start, seq)] — ties on start time are broken by issue
+    order, so two runs of the same program produce byte-identical
+    event lists. *)
 
 type agent
 
@@ -31,6 +47,13 @@ type event = {
   ev_label : string;
   ev_start : float;  (** CPU cycles *)
   ev_finish : float;
+  ev_not_before : float;
+      (** the requested earliest start ([schedule]'s [not_before];
+          [ev_start] for marks). [ev_start > ev_not_before] means the
+          agent's own serialisation, not the dependency, bound the
+          start. *)
+  ev_dep : int option;  (** [ev_seq] of the event this one waits on *)
+  ev_mark : bool;  (** host-clock annotation, not agent work *)
 }
 
 type t
@@ -45,17 +68,45 @@ val add_agent : t -> name:string -> agent
 val agent_name : agent -> string
 
 val schedule :
-  t -> agent -> not_before:float -> duration:float -> label:string -> float
+  t ->
+  agent ->
+  ?dep:int ->
+  not_before:float ->
+  duration:float ->
+  label:string ->
+  unit ->
+  float
 (** Book [duration] cycles of work on the agent, starting at
     [max not_before (busy_until agent)]. Advances the agent's clock and
-    logs an event; returns the finish time. *)
+    logs an event; returns the finish time. [dep] names the upstream
+    event whose completion [not_before] encodes, when there is one. *)
+
+val mark :
+  t ->
+  ?dep:int ->
+  agent:string ->
+  start:float ->
+  finish:float ->
+  label:string ->
+  unit ->
+  unit
+(** Record a host-clock annotation covering [[start, finish]] of the
+    serial counter. No agent clock moves and the makespan is
+    unchanged — blocking runs stay bit-identical. [agent] is a display
+    identity (the DMA engine passes ["host"]). *)
+
+val last_seq : t -> int
+(** Sequence number of the most recently recorded event ([-1] when the
+    log is empty) — how the DMA engine wires [dep] edges to events it
+    just scheduled. *)
 
 val busy_until : agent -> float
 val makespan : t -> float
-(** Latest completion over all agents; [0.] when nothing was scheduled. *)
+(** Latest completion over all agents; [0.] when nothing was scheduled.
+    Marks do not count. *)
 
 val events : t -> event list
-(** All scheduled events, sorted by [(ev_start, ev_seq)]. *)
+(** All scheduled events and marks, sorted by [(ev_start, ev_seq)]. *)
 
 val reset : t -> unit
 (** Clear the event log and rewind every agent's clock to 0 (agents

@@ -1,4 +1,18 @@
-type outcome = { ev_cycles : float; ev_counters : Perf_counters.t }
+type outcome = {
+  ev_cycles : float;
+  ev_counters : Perf_counters.t;
+  ev_bottleneck : string option;
+}
+
+(* The binding resource of the measured run, per the perf doctor. The
+   diagnosis is a pure in-memory walk over the timeline snapshot —
+   cheap next to the simulation that produced it — so every fresh
+   evaluation gets one. An analysis failure is not an evaluation
+   failure; the tuner just loses the seeding hint. *)
+let bottleneck_of bench =
+  match Doctor.diagnose (Soc.critpath_input bench.Axi4mlir.soc) with
+  | Ok dg -> Some (Doctor.binding_resource dg)
+  | Error _ -> None
 
 let run_candidate ?host workload candidate =
   match Tune_space.config_of_candidate candidate with
@@ -14,7 +28,13 @@ let run_candidate ?host workload candidate =
         Axi4mlir.measure bench (fun () ->
             Axi4mlir.run_matmul bench ~options compiled ~a ~b ~c)
       in
-      Ok { ev_cycles = counters.Perf_counters.cycles; ev_counters = counters }
+      Ok
+        ( {
+            ev_cycles = counters.Perf_counters.cycles;
+            ev_counters = counters;
+            ev_bottleneck = bottleneck_of bench;
+          },
+          bench )
     | Tune_workload.Conv { ic; ih; iw; oc; fhw; stride } ->
       let n = 1 in
       let i, w, o =
@@ -30,20 +50,29 @@ let run_candidate ?host workload candidate =
               "conv_call"
               [ Interp.M i; Interp.M w; Interp.M o ])
       in
-      Ok { ev_cycles = counters.Perf_counters.cycles; ev_counters = counters })
+      Ok
+        ( {
+            ev_cycles = counters.Perf_counters.cycles;
+            ev_counters = counters;
+            ev_bottleneck = bottleneck_of bench;
+          },
+          bench ))
+
+(* The pipeline signals "cannot offload" with Failure (the facade's
+   on_skip) and pass breakage with Pass_failure / Rejected; all are
+   ordinary negative outcomes for a tuner. *)
+let protect f =
+  match f () with
+  | result -> result
+  | exception Failure msg -> Error msg
+  | exception Pass.Pass_failure { pass; failing_op = _; message } ->
+    Error (Printf.sprintf "%s: %s" pass message)
+  | exception Interp.Runtime_error msg -> Error ("runtime: " ^ msg)
 
 let evaluate ?host ?tracer workload candidate =
   let t0 = Sys.time () in
   let result =
-    (* The pipeline signals "cannot offload" with Failure (the
-       facade's on_skip) and pass breakage with Pass_failure /
-       Rejected; all are ordinary negative outcomes for a tuner. *)
-    match run_candidate ?host workload candidate with
-    | result -> result
-    | exception Failure msg -> Error msg
-    | exception Pass.Pass_failure { pass; failing_op = _; message } ->
-      Error (Printf.sprintf "%s: %s" pass message)
-    | exception Interp.Runtime_error msg -> Error ("runtime: " ^ msg)
+    protect (fun () -> Result.map fst (run_candidate ?host workload candidate))
   in
   (match result with
   | Ok _ -> Metrics.incr "tuner_evaluations"
@@ -63,3 +92,8 @@ let evaluate ?host ?tracer workload candidate =
         ]
       ("evaluate " ^ Tune_space.candidate_to_string candidate));
   result
+
+let diagnose ?host workload candidate =
+  match protect (fun () -> run_candidate ?host workload candidate) with
+  | Error msg -> Error msg
+  | Ok (_, bench) -> Doctor.diagnose (Soc.critpath_input bench.Axi4mlir.soc)

@@ -17,6 +17,11 @@
 type outcome = {
   ev_cycles : float;  (** simulated host cycles of the measured run *)
   ev_counters : Perf_counters.t;
+  ev_bottleneck : string option;
+      (** the binding resource ("host" | "dma" | "accel") the perf
+          doctor attributes the run's critical path to; [None] when the
+          analysis failed. Only fresh evaluations carry it — the tune
+          cache does not persist bottlenecks. *)
 }
 
 val evaluate :
@@ -29,3 +34,13 @@ val evaluate :
     the specialised copy strategy (the hand-written-driver default).
     [tracer] is the {e tuning} tracer (tuner track), not the simulated
     SoC's. *)
+
+val diagnose :
+  ?host:Host_config.t ->
+  Tune_workload.t ->
+  Tune_space.candidate ->
+  (Doctor.diagnosis, string) result
+(** Re-run the candidate (one full compile+simulate, uncached and not
+    counted as a tuner evaluation) and hand the measured run to the
+    perf doctor. Used by [axi4mlir-tune --doctor] to diagnose the
+    winning configuration. *)

@@ -5,6 +5,7 @@ type options = {
   host : Host_config.t option;
   tracer : Trace.t option;
   cost : Cost_model.t;
+  seed_from_bottleneck : bool;
 }
 
 let default_options =
@@ -15,6 +16,7 @@ let default_options =
     host = None;
     tracer = None;
     cost = Cost_model.default;
+    seed_from_bottleneck = false;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -117,8 +119,14 @@ let tune_workload opts (named : Tune_workload.named) =
   let arr = Array.of_list kept in
   let n = Array.length arr in
   let cache_hits = ref 0 and fresh = ref 0 and rejected = ref 0 in
+  (* The binding resource the perf doctor observed on the baseline
+     evaluation, when bottleneck seeding is on. Only a *fresh*
+     evaluation can fill it — the cache stores cycles, not diagnoses —
+     so a warm cache leaves the ranking untouched (and still runs zero
+     simulations). *)
+  let observed_bottleneck = ref None in
   (* cache-through evaluation of one candidate *)
-  let eval_candidate c =
+  let eval_candidate ?(capture_bottleneck = false) c =
     match Tune_space.config_of_candidate c with
     | Error _ -> None
     | Ok config -> (
@@ -135,6 +143,8 @@ let tune_workload opts (named : Tune_workload.named) =
         match Tune_eval.evaluate ?host:opts.host ?tracer:opts.tracer workload c with
         | Ok o ->
           incr fresh;
+          if capture_bottleneck then
+            observed_bottleneck := o.Tune_eval.ev_bottleneck;
           Option.iter
             (fun t ->
               Tune_cache.add t ~key ~label ~workload ~candidate:c
@@ -158,21 +168,46 @@ let tune_workload opts (named : Tune_workload.named) =
     in
     collect (n - 1) []
   in
-  let strategy_best, _distinct =
-    Tune_strategy.run opts.strategy ~n
-      ~predict:(fun i -> Tune_prune.predict ~cost:opts.cost workload arr.(i))
-      ~neighbors
-      ~eval:(fun i -> eval_candidate arr.(i))
-  in
   (* the heuristic fallback: always measured, so the tuner can never
-     return something slower than today's default *)
+     return something slower than today's default. Measured *before*
+     the strategy so its perf-doctor diagnosis can seed the ranking
+     (same evaluation either way — only the order moves). *)
   let baseline =
     match baseline_candidate ~cost:opts.cost opts.space workload with
     | None -> None
     | Some c -> (
-      match eval_candidate c with
+      match eval_candidate ~capture_bottleneck:opts.seed_from_bottleneck c with
       | None -> None
       | Some cycles -> Some (c, cycles))
+  in
+  (* Nudge the predicted ranking toward candidates that attack the
+     observed bottleneck: DMA-bound runs favour double buffering (it
+     hides transfer latency), host-bound runs favour the largest
+     engines (fewer host-managed tiles). A 10% discount reorders the
+     greedy frontier without overruling a clearly better prediction. *)
+  let max_engine_size =
+    List.fold_left (fun acc (_, s) -> max acc s) 0 opts.space.Tune_space.sp_engines
+  in
+  let bias (c : Tune_space.candidate) predicted =
+    match !observed_bottleneck with
+    | Some "dma" when c.Tune_space.cd_double_buffer -> predicted *. 0.9
+    | Some "host" when c.Tune_space.cd_size = max_engine_size -> predicted *. 0.9
+    | _ -> predicted
+  in
+  (match !observed_bottleneck with
+  | None -> ()
+  | Some resource ->
+    Remarks.emit ~kind:Remarks.Analysis ~pass:"tuner" ~name:"bottleneck-seed"
+      ~loc:label
+      ~args:[ ("bottleneck", Remarks.Str resource) ]
+      (Printf.sprintf
+         "greedy ranking seeded from the baseline's observed %s bottleneck"
+         resource));
+  let strategy_best, _distinct =
+    Tune_strategy.run opts.strategy ~n
+      ~predict:(fun i -> bias arr.(i) (Tune_prune.predict ~cost:opts.cost workload arr.(i)))
+      ~neighbors
+      ~eval:(fun i -> eval_candidate arr.(i))
   in
   let best =
     match (strategy_best, baseline) with

@@ -29,11 +29,19 @@ type options = {
   host : Host_config.t option;  (** simulated host; default PYNQ-Z2 *)
   tracer : Trace.t option;  (** tuning-progress tracer (tuner track) *)
   cost : Cost_model.t;  (** prediction model for pruning/seeding *)
+  seed_from_bottleneck : bool;
+      (** when true, the baseline candidate is measured first and the
+          perf doctor's binding-resource diagnosis of that run nudges
+          the greedy strategy's predicted ranking (DMA-bound: favour
+          double buffering; host-bound: favour the largest engines).
+          Only a {e fresh} baseline evaluation seeds — a warm cache
+          carries no diagnosis, so warm-cache runs are unaffected and
+          still execute zero simulations. Default [false]. *)
 }
 
 val default_options : options
 (** Grid over {!Tune_space.default}, no cache, default host and cost
-    model, no tracer. *)
+    model, no tracer, no bottleneck seeding. *)
 
 val baseline_candidate :
   ?cost:Cost_model.t -> Tune_space.t -> Tune_workload.t -> Tune_space.candidate option

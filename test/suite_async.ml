@@ -14,9 +14,9 @@ let test_timeline_determinism () =
     let tl = Timeline.create () in
     let dma = Timeline.add_agent tl ~name:"dma0" in
     let acc = Timeline.add_agent tl ~name:"accel" in
-    let f1 = Timeline.schedule tl dma ~not_before:10.0 ~duration:100.0 ~label:"send" in
-    let f2 = Timeline.schedule tl acc ~not_before:f1 ~duration:50.0 ~label:"compute" in
-    let f3 = Timeline.schedule tl dma ~not_before:20.0 ~duration:30.0 ~label:"send" in
+    let f1 = Timeline.schedule tl dma ~not_before:10.0 ~duration:100.0 ~label:"send" () in
+    let f2 = Timeline.schedule tl acc ~not_before:f1 ~duration:50.0 ~label:"compute" () in
+    let f3 = Timeline.schedule tl dma ~not_before:20.0 ~duration:30.0 ~label:"send" () in
     ( (f1, f2, f3),
       Timeline.makespan tl,
       List.map (fun e -> (e.Timeline.ev_label, e.Timeline.ev_start)) (Timeline.events tl)
@@ -37,8 +37,8 @@ let test_timeline_tie_breaking () =
   let tl = Timeline.create () in
   let a1 = Timeline.add_agent tl ~name:"z-agent" in
   let a2 = Timeline.add_agent tl ~name:"a-agent" in
-  ignore (Timeline.schedule tl a1 ~not_before:5.0 ~duration:1.0 ~label:"zzz");
-  ignore (Timeline.schedule tl a2 ~not_before:5.0 ~duration:1.0 ~label:"aaa");
+  ignore (Timeline.schedule tl a1 ~not_before:5.0 ~duration:1.0 ~label:"zzz" ());
+  ignore (Timeline.schedule tl a2 ~not_before:5.0 ~duration:1.0 ~label:"aaa" ());
   match Timeline.events tl with
   | [ e1; e2 ] ->
     Alcotest.(check string) "issue order wins the tie" "zzz" e1.Timeline.ev_label;
@@ -48,14 +48,14 @@ let test_timeline_tie_breaking () =
 let test_timeline_reset () =
   let tl = Timeline.create () in
   let a = Timeline.add_agent tl ~name:"dma0" in
-  ignore (Timeline.schedule tl a ~not_before:0.0 ~duration:42.0 ~label:"send");
+  ignore (Timeline.schedule tl a ~not_before:0.0 ~duration:42.0 ~label:"send" ());
   Timeline.reset tl;
   Alcotest.(check (float 0.0)) "clock rewinds" 0.0 (Timeline.busy_until a);
   Alcotest.(check (float 0.0)) "makespan rewinds" 0.0 (Timeline.makespan tl);
   Alcotest.(check int) "log clears" 0 (List.length (Timeline.events tl));
   (* agents stay registered: scheduling still works *)
   Alcotest.(check (float 0.0)) "agent still usable" 7.0
-    (Timeline.schedule tl a ~not_before:0.0 ~duration:7.0 ~label:"send")
+    (Timeline.schedule tl a ~not_before:0.0 ~duration:7.0 ~label:"send" ())
 
 (* ------------------------------------------------------------------ *)
 (* Blocking bit-compatibility                                          *)

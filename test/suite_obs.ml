@@ -216,6 +216,95 @@ let test_derived_metrics_zero_guard () =
   Alcotest.(check bool) "report prints n/a" true (contains "n/a");
   Alcotest.(check bool) "report never prints nan" false (contains "nan")
 
+(* A double-buffered run records async transfer windows (tracks >= 20)
+   and flow arrows between token issue and wait. *)
+let double_buffered_run () =
+  let accel = Presets.matmul ~version:Accel_matmul.V3 ~size:4 ~flow:"Ns" () in
+  let bench = Axi4mlir.create accel in
+  let a, b, c = Axi4mlir.alloc_matmul_operands bench ~m:8 ~n:8 ~k:8 in
+  let options = { Axi4mlir.default_codegen with Axi4mlir.double_buffer = true } in
+  let ir = Axi4mlir.compile_matmul bench ~options ~m:8 ~n:8 ~k:8 () in
+  let tracer = Axi4mlir.enable_tracing bench in
+  let counters =
+    Axi4mlir.measure bench (fun () -> Axi4mlir.run_matmul bench ~options ir ~a ~b ~c)
+  in
+  (bench, tracer, counters)
+
+(* Overlap ratio: None (rendered "n/a") on a blocking run — a 0.0 here
+   would read as "measured, and zero" when nothing asynchronous ever
+   happened — and Some on a double-buffered run of the same shape. *)
+let test_overlap_ratio_both_paths () =
+  let _bench, tracer, counters = traced_matmul_run () in
+  let total = Perf_counters.fields counters in
+  let events = Trace.events tracer in
+  Alcotest.(check bool) "blocking run reports None" true
+    (Perf_report.overlap_ratio ~total events = None);
+  let report =
+    Perf_report.render ~cpu_freq_mhz:650.0 ~bus_words_per_cpu_cycle:0.25
+      ~accel_freq_mhz:100.0 ~total events
+  in
+  let contains needle =
+    let nl = String.length needle and rl = String.length report in
+    let rec scan i = i + nl <= rl && (String.sub report i nl = needle || scan (i + 1)) in
+    scan 0
+  in
+  Alcotest.(check bool) "render shows n/a for overlap" true
+    (contains "transfer overlap      : n/a");
+  let _bench, tracer, counters = double_buffered_run () in
+  match Perf_report.overlap_ratio ~total:(Perf_counters.fields counters) (Trace.events tracer) with
+  | None -> Alcotest.fail "double-buffered run reported no overlap"
+  | Some r -> Alcotest.(check bool) "overlap ratio is positive" true (r > 0.0)
+
+(* Flow-arrow ids must be unique for the lifetime of the recording
+   sink: ids are NOT reset by clear, so arrows from different measured
+   runs (or engines) can never alias when their events are merged into
+   one exported trace. *)
+let test_flow_ids_globally_unique () =
+  let t = Trace.create () in
+  Alcotest.(check int) "disabled sink allocates 0" 0 (Trace.fresh_flow_id t);
+  Trace.enable t;
+  let a = Trace.fresh_flow_id t and b = Trace.fresh_flow_id t in
+  Alcotest.(check bool) "consecutive ids distinct" true (a <> b);
+  Trace.clear t;
+  let c = Trace.fresh_flow_id t in
+  Alcotest.(check bool) "clear does not recycle ids" true (c <> a && c <> b);
+  (* end-to-end: two measured runs on one SoC tracer must not share ids *)
+  let bench, tracer, _ = double_buffered_run () in
+  let flow_ids () =
+    List.filter_map
+      (fun (e : Trace.event) ->
+        match e.Trace.ev_kind with Trace.Flow_start id -> Some id | _ -> None)
+      (Trace.events tracer)
+  in
+  let first = flow_ids () in
+  Alcotest.(check bool) "async run records flow arrows" true (first <> []);
+  Alcotest.(check int) "ids unique within a run" (List.length first)
+    (List.length (List.sort_uniq compare first));
+  (* every arrow started is finished (the token was waited on) *)
+  let finishes =
+    List.filter_map
+      (fun (e : Trace.event) ->
+        match e.Trace.ev_kind with Trace.Flow_finish id -> Some id | _ -> None)
+      (Trace.events tracer)
+  in
+  Alcotest.(check (list int)) "starts pair with finishes"
+    (List.sort compare first) (List.sort compare finishes);
+  let a2, b2, c2 = Axi4mlir.alloc_matmul_operands bench ~m:8 ~n:8 ~k:8 in
+  let options = { Axi4mlir.default_codegen with Axi4mlir.double_buffer = true } in
+  let ir = Axi4mlir.compile_matmul bench ~options ~m:8 ~n:8 ~k:8 () in
+  let _ =
+    Axi4mlir.measure bench (fun () ->
+        Axi4mlir.run_matmul bench ~options ir ~a:a2 ~b:b2 ~c:c2)
+  in
+  let second = flow_ids () in
+  Alcotest.(check bool) "second run records flow arrows" true (second <> []);
+  List.iter
+    (fun id ->
+      Alcotest.(check bool)
+        (Printf.sprintf "id %d not reused across runs" id)
+        false (List.mem id first))
+    second
+
 (* ------------------------------------------------------------------ *)
 (* Pass stats                                                          *)
 (* ------------------------------------------------------------------ *)
@@ -284,6 +373,10 @@ let tests =
     Alcotest.test_case "perf report renders" `Quick test_render_report;
     Alcotest.test_case "derived metrics guard division by zero" `Quick
       test_derived_metrics_zero_guard;
+    Alcotest.test_case "overlap ratio: n/a blocking, measured async" `Quick
+      test_overlap_ratio_both_paths;
+    Alcotest.test_case "flow ids are globally unique" `Quick
+      test_flow_ids_globally_unique;
     Alcotest.test_case "pass stats and compile events" `Quick test_pass_stats;
     Alcotest.test_case "tracing does not perturb counters" `Quick
       test_tracing_does_not_perturb_counters;

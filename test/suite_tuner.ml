@@ -365,6 +365,45 @@ let test_trace_on_tuner_track () =
       Alcotest.(check int) "tuner track" Trace.tuner_track e.Trace.ev_track)
     events
 
+let test_seed_from_bottleneck () =
+  Remarks.enable ();
+  Remarks.clear ();
+  let opts strategy seed_from_bottleneck =
+    { Tuner.default_options with
+      Tuner.space = Tune_space.quick; strategy; seed_from_bottleneck }
+  in
+  let winner r =
+    match (List.hd r.Tune_report.rp_results).Tune_report.r_best with
+    | Some b ->
+      (Tune_space.candidate_to_string b.Tune_report.bs_candidate,
+       b.Tune_report.bs_cycles)
+    | None -> Alcotest.fail "no best"
+  in
+  (* grid is exhaustive, so biasing the predicted ranking must not
+     change the winner — seeding only reorders the frontier *)
+  let plain = Tuner.tune (opts Tune_strategy.Grid false) [ named "sb" (mm 16 16 16) ] in
+  Alcotest.(check bool) "off by default: no seed remark" true
+    (not
+       (List.exists (fun r -> r.Remarks.r_name = "bottleneck-seed") (Remarks.all ())));
+  let seeded = Tuner.tune (opts Tune_strategy.Grid true) [ named "sb" (mm 16 16 16) ] in
+  Alcotest.(check bool) "grid winner unchanged" true (winner plain = winner seeded);
+  Alcotest.(check bool) "seed remark names the bottleneck" true
+    (List.exists (fun r -> r.Remarks.r_name = "bottleneck-seed") (Remarks.all ()));
+  (* seeded greedy keeps the never-slower-than-heuristic guarantee *)
+  let greedy =
+    Tuner.tune
+      (opts (Tune_strategy.Greedy { seed = 0; budget = None }) true)
+      [ named "sbg" (mm 32 32 32) ]
+  in
+  let result = List.hd greedy.Tune_report.rp_results in
+  (match (result.Tune_report.r_best, result.Tune_report.r_baseline) with
+  | Some best, Some (_, baseline) ->
+    Alcotest.(check bool) "seeded tuned <= heuristic" true
+      (best.Tune_report.bs_cycles <= baseline)
+  | _ -> Alcotest.fail "expected both a best and a baseline");
+  Remarks.clear ();
+  Remarks.disable ()
+
 let test_remarks_emitted () =
   Remarks.enable ();
   Remarks.clear ();
@@ -462,6 +501,7 @@ let tests =
     Alcotest.test_case "report JSON and render" `Quick test_report_json_and_render;
     Alcotest.test_case "trace lands on the tuner track" `Quick test_trace_on_tuner_track;
     Alcotest.test_case "remarks emitted" `Quick test_remarks_emitted;
+    Alcotest.test_case "bottleneck seeding" `Quick test_seed_from_bottleneck;
     Alcotest.test_case "workload specs" `Quick test_workload_specs;
     Alcotest.test_case "find_by_name positive" `Quick test_find_by_name_positive;
     Alcotest.test_case "config hash pinned" `Quick test_config_hash_pinned;

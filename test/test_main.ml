@@ -11,6 +11,7 @@ let () =
       ("cache", Suite_cache.tests);
       ("sim", Suite_sim.tests);
       ("obs", Suite_obs.tests);
+      ("critpath", Suite_critpath.tests);
       ("metrics", Suite_metrics.tests);
       ("runtime", Suite_runtime.tests);
       ("config", Suite_config.tests);
