@@ -21,6 +21,7 @@ let experiments =
     ("fig_async", "Async: blocking vs double-buffered transfers", Exp_fig_async.run);
     ("ablation", "Ablation: codegen design choices", Exp_ablation.run);
     ("exp_tune", "Autotuner: design-space exploration gates", Exp_tune.run);
+    ("exp_serve", "Serving: multi-accelerator scheduling & tail latency", Exp_serve.run);
   ]
 
 (* ------------------------------------------------------------------ *)

@@ -41,6 +41,25 @@ let record_point bench counters =
       :: !json_points
   end
 
+(* Points whose metrics are not Perf_counters fields (the serving
+   experiment's latency percentiles): caller supplies kind, dims, a
+   config hash and the metric list directly. Unknown metric names are
+   compared Exact-at-zero by the gate, which is what a deterministic
+   simulation wants. *)
+let record_custom_point ~kind ~dims ~config metrics =
+  if !json_dir <> None then begin
+    incr point_seq;
+    json_points :=
+      {
+        Benchdiff.pt_id = Printf.sprintf "%s/%03d" !current_experiment !point_seq;
+        pt_kind = kind;
+        pt_dims = dims;
+        pt_config = config;
+        pt_metrics = metrics;
+      }
+      :: !json_points
+  end
+
 let begin_experiment name =
   current_experiment := name;
   point_seq := 0;

@@ -1,0 +1,205 @@
+(* axi4mlir-serve: inference-serving simulation over the deterministic
+   timeline — request streams, multi-accelerator scheduling, tail
+   latency per policy.
+
+     dune exec bin/axi4mlir_serve.exe -- --workload tinybert --rps 50 --accels 2
+     dune exec bin/axi4mlir_serve.exe -- --workload matmul:64,64,64 \
+       --workload resnet18 --rps 200 --accels 4 --policy batch --trace serve.json
+     dune exec bin/axi4mlir_serve.exe -- --workload tinybert --rps 100 \
+       --queue-cap 8 --json serve-report.json
+*)
+
+open Cmdliner
+
+let run_tool workloads rps accels policy_name requests seed queue_cap batch_max rows
+    seq report_out json_out trace_out remarks metrics_out =
+  Tool_common.with_observability ~remarks ~metrics:metrics_out @@ fun () ->
+  let fail_on_error = function Ok v -> v | Error msg -> failwith msg in
+  if workloads = [] then
+    failwith
+      "--workload is required (repeatable; e.g. --workload tinybert --workload \
+       matmul:64,64,64)";
+  if not (rps > 0.0) then
+    failwith (Printf.sprintf "--rps must be positive (got %g)" rps);
+  if requests < 1 then
+    failwith (Printf.sprintf "--requests must be >= 1 (got %d)" requests);
+  let policies =
+    match policy_name with
+    | "all" -> Serve_policy.all
+    | name -> [ fail_on_error (Serve_policy.of_string name) ]
+  in
+  let params =
+    {
+      Serve_sim.sp_accels = accels;
+      sp_policy = Serve_policy.Fifo;
+      sp_queue_cap = queue_cap;
+      sp_batch_max = batch_max;
+    }
+  in
+  fail_on_error (Serve_sim.validate params);
+  let models = fail_on_error (Serve_cost.models_of_specs ~rows ~seq workloads) in
+  let oracle = Serve_cost.create models in
+  let freq_mhz = Cost_model.default.Cost_model.cpu_freq_mhz in
+  let mean_gap = freq_mhz *. 1e6 /. rps in
+  let stream =
+    {
+      Serve_request.st_seed = seed;
+      st_count = requests;
+      st_mean_gap = mean_gap;
+      st_models = workloads;
+    }
+  in
+  let reqs = fail_on_error (Serve_request.generate stream) in
+  let outcomes =
+    List.map
+      (fun policy ->
+        let outcome =
+          fail_on_error
+            (Serve_sim.run
+               ~service:(Serve_cost.service oracle)
+               ~predict:(Serve_cost.predict oracle)
+               { params with Serve_sim.sp_policy = policy }
+               reqs)
+        in
+        (policy, outcome))
+      policies
+  in
+  let report =
+    {
+      Serve_report.rp_workloads = workloads;
+      rp_seed = seed;
+      rp_rps = rps;
+      rp_requests = requests;
+      rp_accels = accels;
+      rp_queue_cap = queue_cap;
+      rp_batch_max = batch_max;
+      rp_freq_mhz = freq_mhz;
+      rp_summaries =
+        List.map
+          (fun (policy, outcome) -> Serve_report.summarize ~freq_mhz policy outcome)
+          outcomes;
+    }
+  in
+  let rendered = Serve_report.render report in
+  print_string rendered;
+  (match report_out with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc rendered;
+    close_out oc;
+    Printf.eprintf "serve report : %s\n" path);
+  (match json_out with
+  | None -> ()
+  | Some path ->
+    Serve_report.write_file path report;
+    Printf.eprintf "serve json   : %s (axi4mlir-serve-v1)\n" path);
+  (match trace_out with
+  | None -> ()
+  | Some path ->
+    (* one standalone trace; with --policy all it shows the first
+       policy's timeline (fifo), the baseline worth inspecting *)
+    let policy, outcome = List.hd outcomes in
+    Serve_report.write_trace ~freq_mhz path outcome;
+    Printf.eprintf "serve trace  : %s (%s policy)\n" path
+      (Serve_policy.to_string policy));
+  `Ok ()
+
+let workload =
+  Arg.(
+    value & opt_all string []
+    & info [ "workload" ] ~docv:"SPEC"
+        ~doc:
+          "What each request invokes (repeatable; repeats weight the mix): \
+           $(b,matmul:M,N,K), $(b,conv:IC,IHW,OC,FHW[,STRIDE]), $(b,resnet18) \
+           (row-sampled conv proxies), $(b,resnet18/LAYER) or $(b,tinybert) \
+           (padded MatMul shape classes).")
+
+let rps =
+  Arg.(
+    value & opt float 100.0
+    & info [ "rps" ] ~docv:"RATE"
+        ~doc:
+          "Offered load in requests per second of simulated time (exponential \
+           inter-arrival gaps with mean 1/$(docv)).")
+
+let accels =
+  Arg.(
+    value & opt int 2
+    & info [ "accels" ] ~docv:"K" ~doc:"Accelerator instances to dispatch across.")
+
+let policy =
+  Arg.(
+    value & opt string "all"
+    & info [ "policy" ] ~docv:"NAME"
+        ~doc:
+          "Scheduling policy: $(b,fifo), $(b,sjf), $(b,batch), or $(b,all) to run \
+           every policy on the same stream.")
+
+let requests =
+  Arg.(
+    value & opt int 32
+    & info [ "requests" ] ~docv:"N" ~doc:"Stream length (number of requests).")
+
+let seed =
+  Arg.(
+    value & opt int 0
+    & info [ "seed" ] ~docv:"N"
+        ~doc:"Deterministic seed for arrival gaps and model choices.")
+
+let queue_cap =
+  Arg.(
+    value & opt (some int) None
+    & info [ "queue-cap" ] ~docv:"N"
+        ~doc:
+          "Admission control: reject a request arriving while $(docv) admitted \
+           requests are still in flight (default: unbounded).")
+
+let batch_max =
+  Arg.(
+    value & opt int 4
+    & info [ "batch-max" ] ~docv:"N"
+        ~doc:"Max same-model requests coalesced per kernel under $(b,batch).")
+
+let rows =
+  Arg.(
+    value & opt int 2
+    & info [ "rows" ] ~docv:"N"
+        ~doc:"ResNet-18 row-sampling depth (output rows simulated per layer).")
+
+let seq =
+  Arg.(
+    value & opt int 128
+    & info [ "seq" ] ~docv:"N" ~doc:"TinyBERT sequence length.")
+
+let report_out =
+  Arg.(
+    value & opt (some string) None
+    & info [ "report" ] ~docv:"FILE"
+        ~doc:"Write the rendered comparison table to $(docv) as well as stdout.")
+
+let json_out =
+  Arg.(
+    value & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:"Write the axi4mlir-serve-v1 JSON artifact to $(docv).")
+
+let trace_out =
+  Arg.(
+    value & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace (per-accelerator dispatch slices plus a \
+           per-request lifetime track) to $(docv).")
+
+let cmd =
+  let doc = "inference-serving simulation over AXI4MLIR accelerators" in
+  Cmd.v
+    (Cmd.info "axi4mlir-serve" ~doc)
+    Term.(
+      ret
+        (const run_tool $ workload $ rps $ accels $ policy $ requests $ seed
+       $ queue_cap $ batch_max $ rows $ seq $ report_out $ json_out $ trace_out
+       $ Tool_common.remarks_flag $ Tool_common.metrics_out))
+
+let () = exit (Cmd.eval cmd)

@@ -23,12 +23,18 @@ let dma_track = 2
 let compile_track = 10
 let tuner_track = 11
 let critpath_track = 12
+let serve_request_track = 13
 
 (* Asynchronous activity gets one track per DMA channel and one per
    accelerator device, interleaved so a channel sits next to its
    device in the viewer. *)
 let dma_channel_track id = 20 + (2 * id)
 let accel_device_track id = 21 + (2 * id)
+
+(* Serving-simulation accelerator instances live in their own id range;
+   serve traces are written standalone, so the numeric distance from
+   the per-engine async tracks is cosmetic, not load-bearing. *)
+let serve_accel_track id = 40 + id
 
 (* An open span: what begin_span captured, waiting for its end. *)
 type open_span = {

@@ -69,12 +69,23 @@ val critpath_track : int
     on purpose — {!Perf_report.overlap_ratio} counts only the
     per-engine async tracks. *)
 
+val serve_request_track : int
+(** Per-request lifetime spans (arrival to finish) emitted by the
+    serving simulator's trace export ({!Serve_report} in
+    [axi4mlir.serve]); simulated cycles. *)
+
 val dma_channel_track : int -> int
 (** Per-DMA-channel track for asynchronous transfer windows. *)
 
 val accel_device_track : int -> int
 (** Per-accelerator track for asynchronously-triggered busy windows;
     sits next to its channel's track in the viewer. *)
+
+val serve_accel_track : int -> int
+(** Per-accelerator-instance track for the serving simulator's
+    dispatch slices (one Complete event per batched kernel). Serve
+    traces are standalone files, so these ids never meet the async
+    engine tracks. *)
 
 type t
 

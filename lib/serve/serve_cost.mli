@@ -1,0 +1,56 @@
+(** The serving simulator's service-time oracle.
+
+    Maps a model name to the simulated cycles one invocation costs, by
+    running every layer of the model through the {e real}
+    compile+simulate pipeline (the same path the bench experiments
+    measure) — matmul layers on the flexible v4_16 engine under the
+    [Best] heuristic's flow/tile choice, conv layers on the Conv2D
+    engine under the [Os] flow with copy specialisation. Results are
+    memoised per (layer, batch), so a serving run pays for each
+    distinct kernel once no matter how many requests invoke it.
+
+    Batching semantics ([batch > 1]): the batch's requests share the
+    model, so a batched invocation runs each layer with a batched
+    leading dimension — matmul [m -> batch * m] (the stationary [B]
+    operand, the weights, is shared across the batch), conv
+    [n -> batch] images. This is the mechanism by which the [Batch]
+    policy reduces total work: DMA bring-up is paid once per batched
+    kernel and stationary-operand transfers are amortised.
+
+    Whole-model names expand through {!Tune_workload}: ["resnet18"] is
+    the row-sampled convolution proxy list (the Fig. 16 sampling) and
+    ["tinybert"] the distinct padded MatMul shape classes — one kernel
+    per shape class, the Fig. 17 class-sampling, so a "model" here is
+    the per-class representative work, not the full multiplied layer
+    count. Any single-kernel spec ([matmul:M,N,K], [conv:...]) is also
+    a valid model. *)
+
+type t
+
+val models_of_specs :
+  ?rows:int ->
+  ?seq:int ->
+  string list ->
+  ((string * Tune_workload.named list) list, string) result
+(** Resolve CLI workload specs to named models with their layer lists.
+    [rows] is the ResNet-18 row-sampling depth (default 2), [seq] the
+    TinyBERT sequence length (default 128). The result preserves order
+    and repeats (a repeated spec weights the request mix). [Error]
+    names the offending spec. *)
+
+val create : (string * Tune_workload.named list) list -> t
+(** An oracle over the given models, with an empty memo table. *)
+
+val models : t -> string list
+(** The model names, in [create] order (repeats preserved). *)
+
+val service : t -> string -> batch:int -> float
+(** Measured cycles for one invocation of the model serving [batch]
+    coalesced requests (see batching semantics above). Memoised.
+    Raises [Failure] for an unknown model, a non-positive batch, or a
+    workload the pipeline rejects (the message names the layer). *)
+
+val predict : t -> string -> float
+(** Cheap analytic estimate of [service ~batch:1], for the SJF policy:
+    {!Heuristics.best}'s [predicted_cycles] for matmul layers, a
+    MAC-count proxy for conv layers. Never runs the pipeline. *)

@@ -1,0 +1,22 @@
+(* Scheduling policies for the serving simulator. *)
+
+type t = Fifo | Sjf | Batch
+
+let all = [ Fifo; Sjf; Batch ]
+
+let to_string = function Fifo -> "fifo" | Sjf -> "sjf" | Batch -> "batch"
+
+let describe = function
+  | Fifo -> "dispatch in strict arrival order"
+  | Sjf -> "shortest predicted job first (cost-model estimate)"
+  | Batch -> "coalesce same-model requests into one batched kernel"
+
+let of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "fifo" -> Ok Fifo
+  | "sjf" -> Ok Sjf
+  | "batch" -> Ok Batch
+  | other ->
+    Error
+      (Printf.sprintf "unknown scheduling policy %S (valid policies: %s)" other
+         (String.concat ", " (List.map to_string all)))

@@ -1,0 +1,89 @@
+(** Serving-run accounting: latency distributions, the rendered
+    per-policy comparison table, the byte-stable [axi4mlir-serve-v1]
+    JSON artifact, and the Perfetto trace export.
+
+    {2 The [axi4mlir-serve-v1] artifact}
+
+    COMPATIBILITY RULE (same as [axi4mlir-critpath-v1]): the schema is
+    {e add-only}. New fields may be appended to any object; existing
+    fields must never be renamed, re-typed, reordered or removed —
+    a golden test under [test/golden/] pins the rendering byte for
+    byte. If a breaking change is ever unavoidable, bump the schema
+    string. *)
+
+type dist = {
+  d_mean : float;
+  d_p50 : float;
+  d_p95 : float;
+  d_p99 : float;
+  d_max : float;
+}
+
+val percentile : int -> float list -> float
+(** Nearest-rank percentile ([percentile 99 xs] = the smallest value
+    with at least 99% of the samples at or below it); [0.] on the
+    empty list. *)
+
+val dist_of : float list -> dist
+
+type accel_row = {
+  ar_id : int;
+  ar_busy : float;  (** cycles serving *)
+  ar_util : float;  (** busy / makespan; [0.] for an empty run *)
+  ar_requests : int;
+  ar_dispatches : int;
+}
+
+type summary = {
+  sm_policy : Serve_policy.t;
+  sm_requests : int;  (** offered (generated) requests *)
+  sm_completed : int;
+  sm_rejected : int;
+  sm_dispatches : int;  (** kernel invocations (< completed under Batch) *)
+  sm_makespan : float;  (** cycles *)
+  sm_throughput_rps : float;  (** completed per wall second at [freq_mhz] *)
+  sm_utilization : float;  (** mean accelerator utilization *)
+  sm_latency : dist;  (** per-request arrival-to-finish cycles *)
+  sm_queue : dist;  (** per-request arrival-to-start cycles *)
+  sm_accels : accel_row list;
+}
+
+val summarize :
+  freq_mhz:float -> Serve_policy.t -> Serve_sim.outcome -> summary
+
+type t = {
+  rp_workloads : string list;  (** the CLI specs, repeats preserved *)
+  rp_seed : int;
+  rp_rps : float;  (** offered load, requests per second *)
+  rp_requests : int;
+  rp_accels : int;
+  rp_queue_cap : int option;
+  rp_batch_max : int;
+  rp_freq_mhz : float;
+  rp_summaries : summary list;
+}
+
+val render : t -> string
+(** The per-policy comparison table plus per-accelerator utilization
+    rows, as printed by [axi4mlir_serve --report]. *)
+
+val to_json : t -> Json.t
+(** The [axi4mlir-serve-v1] document (see the compatibility rule). *)
+
+val write_file : string -> t -> unit
+(** [Json.to_string ~indent:1] plus a trailing newline — the
+    byte-stable rendering the golden test pins. *)
+
+(** {2 Perfetto export} *)
+
+val annotate_trace : Trace.t -> Serve_sim.outcome -> unit
+(** Record the outcome onto an enabled tracer: one Complete slice per
+    dispatch on its accelerator's {!Trace.serve_accel_track}, and one
+    per-request lifetime span (arrival to finish, with queueing time
+    and batch in the args) on {!Trace.serve_request_track}. *)
+
+val track_names : Serve_sim.outcome -> (int * string) list
+(** Thread-name metadata for {!Chrome_trace.write_file}. *)
+
+val write_trace : freq_mhz:float -> string -> Serve_sim.outcome -> unit
+(** Write a standalone Chrome trace of the outcome to a path. *)

@@ -1,0 +1,35 @@
+(* Deterministic Poisson-ish request streams (splitmix64-seeded). *)
+
+type t = { rq_id : int; rq_arrival : float; rq_model : string }
+
+type stream = {
+  st_seed : int;
+  st_count : int;
+  st_mean_gap : float;
+  st_models : string list;
+}
+
+(* [Fuzz_rng.bits] yields 62 non-negative bits; (bits + 1) / 2^62 is
+   uniform on (0, 1], so [-mean * log u] is a finite exponential gap
+   (u = 1 gives gap 0, never an infinity). *)
+let two_pow_62 = 4611686018427387904.0
+
+let generate s =
+  if s.st_count < 0 then
+    Error (Printf.sprintf "request count must be non-negative (got %d)" s.st_count)
+  else if not (s.st_mean_gap > 0.0) then
+    Error
+      (Printf.sprintf "mean inter-arrival gap must be positive (got %g cycles)"
+         s.st_mean_gap)
+  else if s.st_models = [] then Error "request stream needs at least one model"
+  else begin
+    let arrival = ref 0.0 in
+    Ok
+      (List.init s.st_count (fun i ->
+           let rng = Fuzz_rng.derive ~seed:s.st_seed ~index:i in
+           let u = (float_of_int (Fuzz_rng.bits rng) +. 1.0) /. two_pow_62 in
+           let gap = -.(s.st_mean_gap *. log u) in
+           let model = Fuzz_rng.pick rng s.st_models in
+           arrival := !arrival +. gap;
+           { rq_id = i; rq_arrival = !arrival; rq_model = model }))
+  end

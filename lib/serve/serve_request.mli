@@ -1,0 +1,31 @@
+(** Deterministic request streams for the serving simulator.
+
+    A stream is a Poisson-ish arrival process on the simulated cycle
+    clock: inter-arrival gaps are exponentially distributed with a
+    configurable mean, and each request picks a model uniformly from
+    the stream's model list (repeat a name to weight the mix).
+
+    Determinism follows {!Fuzz_rng}'s stream discipline: request [i]
+    draws from its own splitmix64 stream [derive ~seed ~index:i], so
+    the stream is identical across runs, insensitive to how many draws
+    any one request consumes, and any request can be regenerated in
+    isolation. *)
+
+type t = {
+  rq_id : int;  (** 0-based position; arrival order, the FIFO key *)
+  rq_arrival : float;  (** arrival time in simulated host cycles *)
+  rq_model : string;  (** model name, resolved by {!Serve_cost} *)
+}
+
+type stream = {
+  st_seed : int;
+  st_count : int;
+  st_mean_gap : float;  (** mean inter-arrival gap in cycles; [> 0] *)
+  st_models : string list;
+      (** uniform choice per request; repeats weight the mix *)
+}
+
+val generate : stream -> (t list, string) result
+(** The stream's requests in arrival order ([rq_arrival] is
+    non-decreasing and [rq_id] increasing). [Error] on a negative
+    count, a non-positive mean gap or an empty model list. *)

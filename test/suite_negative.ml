@@ -325,6 +325,51 @@ let test_wait_on_undefined_token_rejected () =
     (token_module (fun b -> Accel.wait b ~token:(Ir.fresh_value Ty.token)))
     ~op:"accel.wait" ~fragment:"use of undefined value"
 
+(* ------------------------------------------------------------------ *)
+(* Serving simulator: malformed streams, policies and scheduler
+   parameters must come back as structured [Error]s, never mis-run.    *)
+(* ------------------------------------------------------------------ *)
+
+let test_serve_structured_errors () =
+  expect_error "unknown policy" (Serve_policy.of_string "warp") "unknown scheduling policy";
+  expect_error "unknown model spec"
+    (Serve_cost.models_of_specs [ "resnet19" ])
+    "resnet19";
+  expect_error "empty spec list" (Serve_cost.models_of_specs []) "at least one";
+  let stream ?(count = 4) ?(mean_gap = 10.0) ?(models = [ "m" ]) () =
+    Serve_request.generate
+      { Serve_request.st_seed = 0; st_count = count; st_mean_gap = mean_gap; st_models = models }
+  in
+  expect_error "negative request count" (stream ~count:(-1) ()) "request count";
+  expect_error "zero mean gap" (stream ~mean_gap:0.0 ()) "mean inter-arrival gap";
+  expect_error "no models" (stream ~models:[] ()) "at least one model";
+  let params ?(accels = 1) ?queue_cap ?(batch_max = 1) () =
+    Serve_sim.validate
+      {
+        Serve_sim.sp_accels = accels;
+        sp_policy = Serve_policy.Fifo;
+        sp_queue_cap = queue_cap;
+        sp_batch_max = batch_max;
+      }
+  in
+  expect_error "zero accelerators" (params ~accels:0 ()) "at least one accelerator";
+  expect_error "zero batch limit" (params ~batch_max:0 ()) "batch size limit";
+  expect_error "zero queue capacity" (params ~queue_cap:0 ()) "queue capacity";
+  (* a non-positive service oracle must fail the run, not hang it *)
+  let requests = [ { Serve_request.rq_id = 0; rq_arrival = 0.0; rq_model = "m" } ] in
+  expect_error "non-positive service time"
+    (Serve_sim.run
+       ~service:(fun _ ~batch:_ -> 0.0)
+       ~predict:(fun _ -> 1.0)
+       {
+         Serve_sim.sp_accels = 1;
+         sp_policy = Serve_policy.Fifo;
+         sp_queue_cap = None;
+         sp_batch_max = 1;
+       }
+       requests)
+    "service cycles must be positive"
+
 let tests =
   [
     Alcotest.test_case "codegen rejects over-deep flows" `Quick test_codegen_rejects_deep_flow;
@@ -352,4 +397,5 @@ let tests =
       test_double_waited_token_rejected;
     Alcotest.test_case "verifier rejects wait on undefined token" `Quick
       test_wait_on_undefined_token_rejected;
+    Alcotest.test_case "serving: structured errors" `Quick test_serve_structured_errors;
   ]

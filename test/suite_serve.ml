@@ -1,0 +1,576 @@
+(* The serving simulator: request-stream determinism, policy
+   semantics, the QCheck scheduler invariants (work conservation, FIFO
+   order, determinism, conservation of requests), the differential
+   latency-accounting checks against the real pipeline, the golden
+   axi4mlir-serve-v1 artifact and the Perfetto export. *)
+
+let ok = function Ok v -> v | Error msg -> Alcotest.fail msg
+
+(* ------------------------------------------------------------------ *)
+(* Synthetic oracle: the scheduler tests must not pay for (or depend
+   on) real pipeline measurements, so they drive the event loop with a
+   fixed service-time table. Batching is sublinear, as on the real
+   engines (amortised bring-up, stationary-operand reuse). *)
+
+let synth_service model ~batch =
+  let base =
+    match model with "small" -> 50.0 | "medium" -> 180.0 | _ -> 400.0
+  in
+  base *. (0.25 +. (0.75 *. float_of_int batch))
+
+let synth_predict model = synth_service model ~batch:1
+let synth_models = [ "small"; "medium"; "large" ]
+
+let run_synth params requests =
+  ok (Serve_sim.run ~service:synth_service ~predict:synth_predict params requests)
+
+let stream ?(seed = 7) ?(count = 12) ?(mean_gap = 100.0) ?(models = synth_models) ()
+    =
+  {
+    Serve_request.st_seed = seed;
+    st_count = count;
+    st_mean_gap = mean_gap;
+    st_models = models;
+  }
+
+let params ?(accels = 2) ?(policy = Serve_policy.Fifo) ?queue_cap ?(batch_max = 4) ()
+    =
+  {
+    Serve_sim.sp_accels = accels;
+    sp_policy = policy;
+    sp_queue_cap = queue_cap;
+    sp_batch_max = batch_max;
+  }
+
+(* a hand-placed request, for tests that need exact arrivals *)
+let rq id arrival model =
+  { Serve_request.rq_id = id; rq_arrival = arrival; rq_model = model }
+
+(* ------------------------------------------------------------------ *)
+(* Request streams                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_stream_deterministic () =
+  let s = stream ~count:50 () in
+  let a = ok (Serve_request.generate s) in
+  let b = ok (Serve_request.generate s) in
+  Alcotest.(check bool) "same seed, same stream" true (a = b);
+  List.iteri
+    (fun i (r : Serve_request.t) ->
+      Alcotest.(check int) "ids are positions" i r.Serve_request.rq_id;
+      Alcotest.(check bool) "model from the list" true
+        (List.mem r.rq_model synth_models))
+    a;
+  let rec sorted = function
+    | (x : Serve_request.t) :: (y : Serve_request.t) :: rest ->
+      x.Serve_request.rq_arrival <= y.Serve_request.rq_arrival && sorted (y :: rest)
+    | _ -> true
+  in
+  Alcotest.(check bool) "arrivals non-decreasing" true (sorted a);
+  Alcotest.(check bool) "arrivals non-negative" true
+    (List.for_all (fun (r : Serve_request.t) -> r.Serve_request.rq_arrival >= 0.0) a)
+
+let test_stream_seed_sensitivity () =
+  let a = ok (Serve_request.generate (stream ~seed:1 ~count:20 ())) in
+  let b = ok (Serve_request.generate (stream ~seed:2 ~count:20 ())) in
+  Alcotest.(check bool) "different seeds, different arrivals" true (a <> b)
+
+let test_percentile () =
+  let xs = List.init 100 (fun i -> float_of_int (i + 1)) in
+  Alcotest.(check (float 0.0)) "p50 of 1..100" 50.0 (Serve_report.percentile 50 xs);
+  Alcotest.(check (float 0.0)) "p95 of 1..100" 95.0 (Serve_report.percentile 95 xs);
+  Alcotest.(check (float 0.0)) "p99 of 1..100" 99.0 (Serve_report.percentile 99 xs);
+  Alcotest.(check (float 0.0)) "p99 of a singleton" 42.0
+    (Serve_report.percentile 99 [ 42.0 ]);
+  Alcotest.(check (float 0.0)) "empty list" 0.0 (Serve_report.percentile 99 []);
+  (* small n: p99's nearest rank is the maximum *)
+  Alcotest.(check (float 0.0)) "p99 of 10 samples is the max" 10.0
+    (Serve_report.percentile 99 (List.init 10 (fun i -> float_of_int (i + 1))))
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_policy_names () =
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (Serve_policy.to_string p ^ " round-trips")
+        true
+        (Serve_policy.of_string (Serve_policy.to_string p) = Ok p))
+    Serve_policy.all;
+  match Serve_policy.of_string "warp" with
+  | Ok _ -> Alcotest.fail "unknown policy accepted"
+  | Error msg ->
+    Alcotest.(check bool) "error lists the valid policies" true
+      (contains msg "fifo" && contains msg "sjf" && contains msg "batch")
+
+(* ------------------------------------------------------------------ *)
+(* Policy semantics                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_sjf_reorders_queue () =
+  (* one accelerator; a large job arrives first and two small ones pile
+     up behind it while it runs *)
+  let requests =
+    [ rq 0 1.0 "large"; rq 1 2.0 "small"; rq 2 3.0 "small" ]
+  in
+  let fifo =
+    run_synth (params ~accels:1 ~policy:Serve_policy.Fifo ()) requests
+  in
+  let sjf = run_synth (params ~accels:1 ~policy:Serve_policy.Sjf ()) requests in
+  let finish o id =
+    let r =
+      List.find
+        (fun (r : Serve_sim.request_stat) -> r.Serve_sim.rs_id = id)
+        o.Serve_sim.oc_completed
+    in
+    r.Serve_sim.rs_finish
+  in
+  (* both serve the large head first (it is alone in the queue), but
+     SJF keeps serving small jobs in predicted order afterwards — the
+     schedules coincide here; the reorder shows with a second long job *)
+  let requests2 = requests @ [ rq 3 4.0 "large" ] in
+  let fifo2 =
+    run_synth (params ~accels:1 ~policy:Serve_policy.Fifo ()) requests2
+  in
+  let sjf2 = run_synth (params ~accels:1 ~policy:Serve_policy.Sjf ()) requests2 in
+  Alcotest.(check bool) "fifo serves in arrival order" true
+    (finish fifo 1 < finish fifo 2);
+  Alcotest.(check bool) "sjf keeps equal-cost jobs in arrival order" true
+    (finish sjf 1 < finish sjf 2);
+  Alcotest.(check bool) "sjf finishes the small jobs before the second large" true
+    (finish sjf2 1 < finish sjf2 3 && finish sjf2 2 < finish sjf2 3);
+  (* under FIFO the last small job waits for the queue ahead of it;
+     under SJF it overtakes the queued large job *)
+  Alcotest.(check bool) "sjf improves the small job's finish" true
+    (finish sjf2 2 <= finish fifo2 2)
+
+let test_batch_coalesces () =
+  (* one accelerator busy with the first request; three same-model
+     requests queue up behind it and must leave as one kernel *)
+  let requests =
+    [ rq 0 0.0 "medium"; rq 1 1.0 "small"; rq 2 2.0 "small"; rq 3 3.0 "small" ]
+  in
+  let o = run_synth (params ~accels:1 ~policy:Serve_policy.Batch ()) requests in
+  let stat id =
+    List.find
+      (fun (r : Serve_sim.request_stat) -> r.Serve_sim.rs_id = id)
+      o.Serve_sim.oc_completed
+  in
+  Alcotest.(check int) "two kernels total" 2 o.Serve_sim.oc_dispatches;
+  let s1 = stat 1 and s2 = stat 2 and s3 = stat 3 in
+  Alcotest.(check int) "batch of three" 3 s1.Serve_sim.rs_batch;
+  Alcotest.(check bool) "batch members share the dispatch" true
+    (s1.Serve_sim.rs_start = s2.Serve_sim.rs_start
+    && s2.Serve_sim.rs_start = s3.Serve_sim.rs_start
+    && s1.Serve_sim.rs_finish = s3.Serve_sim.rs_finish);
+  let dur = s1.Serve_sim.rs_finish -. s1.Serve_sim.rs_start in
+  Alcotest.(check (float 1e-9)) "batched service time" (synth_service "small" ~batch:3)
+    dur;
+  Alcotest.(check bool) "batching is cheaper than three singles" true
+    (dur < 3.0 *. synth_service "small" ~batch:1)
+
+let test_queue_cap_rejects () =
+  (* burst of 6 into a capacity-2 system with one slow accelerator *)
+  let requests = List.init 6 (fun i -> rq i (float_of_int i) "large") in
+  let o =
+    run_synth (params ~accels:1 ~policy:Serve_policy.Fifo ~queue_cap:2 ()) requests
+  in
+  Alcotest.(check bool) "overload rejects" true (o.Serve_sim.oc_rejected <> []);
+  Alcotest.(check int) "conservation under rejection" 6
+    (List.length o.Serve_sim.oc_completed + List.length o.Serve_sim.oc_rejected);
+  (* the earliest arrivals were admitted; rejections hit later ones *)
+  let min_rejected =
+    List.fold_left
+      (fun acc (r : Serve_sim.rejection) -> min acc r.Serve_sim.rj_id)
+      max_int o.Serve_sim.oc_rejected
+  in
+  Alcotest.(check bool) "first two admitted" true (min_rejected >= 2)
+
+(* ------------------------------------------------------------------ *)
+(* QCheck scheduler invariants                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Derive a whole scheduling case from one integer, Fuzz_rng-style, so
+   shrinking stays meaningful and every case is reproducible from its
+   seed alone. *)
+let case_of_seed ?policy seed =
+  let rng = Fuzz_rng.derive ~seed ~index:0 in
+  let count = Fuzz_rng.int_range rng 0 40 in
+  let accels = Fuzz_rng.int_range rng 1 4 in
+  let policy =
+    match policy with Some p -> p | None -> Fuzz_rng.pick rng Serve_policy.all
+  in
+  let batch_max = Fuzz_rng.int_range rng 1 4 in
+  let queue_cap =
+    if Fuzz_rng.bool rng then Some (Fuzz_rng.int_range rng 1 8) else None
+  in
+  let mean_gap = float_of_int (Fuzz_rng.int_range rng 20 400) in
+  let p =
+    {
+      Serve_sim.sp_accels = accels;
+      sp_policy = policy;
+      sp_queue_cap = queue_cap;
+      sp_batch_max = batch_max;
+    }
+  in
+  let requests =
+    match
+      Serve_request.generate
+        {
+          Serve_request.st_seed = seed;
+          st_count = count;
+          st_mean_gap = mean_gap;
+          st_models = synth_models;
+        }
+    with
+    | Ok r -> r
+    | Error msg -> failwith msg
+  in
+  (p, requests)
+
+(* per-accel service intervals (deduped per dispatch), sorted *)
+let service_intervals (o : Serve_sim.outcome) =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (r : Serve_sim.request_stat) ->
+      let key = (r.Serve_sim.rs_accel, r.rs_start, r.rs_finish) in
+      Hashtbl.replace tbl key ())
+    o.Serve_sim.oc_completed;
+  let by_accel = Hashtbl.create 4 in
+  Hashtbl.iter
+    (fun (accel, s, f) () ->
+      let prev = try Hashtbl.find by_accel accel with Not_found -> [] in
+      Hashtbl.replace by_accel accel ((s, f) :: prev))
+    tbl;
+  Hashtbl.iter
+    (fun accel ivs -> Hashtbl.replace by_accel accel (List.sort compare ivs))
+    by_accel;
+  by_accel
+
+let eps = 1e-6
+
+(* is [a, b) fully inside the union of the sorted intervals? *)
+let covered intervals a b =
+  if b <= a +. eps then true
+  else begin
+    let t = ref a in
+    List.iter
+      (fun (s, f) -> if s <= !t +. eps && f > !t then t := f)
+      intervals;
+    !t >= b -. eps
+  end
+
+let prop_conservation =
+  QCheck.Test.make ~name:"conservation: offered = completed + rejected" ~count:150
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let p, requests = case_of_seed seed in
+      let o = run_synth p requests in
+      let ids xs = List.sort compare xs in
+      let completed_ids =
+        List.map (fun (r : Serve_sim.request_stat) -> r.Serve_sim.rs_id)
+          o.Serve_sim.oc_completed
+      in
+      let rejected_ids =
+        List.map (fun (r : Serve_sim.rejection) -> r.Serve_sim.rj_id)
+          o.Serve_sim.oc_rejected
+      in
+      let all = ids (completed_ids @ rejected_ids) in
+      all = List.init (List.length requests) (fun i -> i))
+
+let prop_accounting =
+  QCheck.Test.make
+    ~name:"accounting: per-accel busy <= makespan (so sum <= makespan * K)"
+    ~count:150
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let p, requests = case_of_seed seed in
+      let o = run_synth p requests in
+      let sum =
+        List.fold_left
+          (fun acc (a : Serve_sim.accel_stat) -> acc +. a.Serve_sim.ac_busy)
+          0.0 o.Serve_sim.oc_accels
+      in
+      List.for_all
+        (fun (a : Serve_sim.accel_stat) ->
+          a.Serve_sim.ac_busy <= o.Serve_sim.oc_makespan +. eps)
+        o.Serve_sim.oc_accels
+      && sum <= (o.Serve_sim.oc_makespan *. float_of_int p.Serve_sim.sp_accels) +. eps)
+
+let prop_determinism =
+  QCheck.Test.make ~name:"determinism: same seed+policy, identical outcome" ~count:100
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let p, requests = case_of_seed seed in
+      run_synth p requests = run_synth p requests)
+
+let prop_work_conservation =
+  QCheck.Test.make
+    ~name:"work conservation: no accel idles through a request's wait" ~count:150
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let p, requests = case_of_seed seed in
+      let o = run_synth p requests in
+      let by_accel = service_intervals o in
+      List.for_all
+        (fun (r : Serve_sim.request_stat) ->
+          List.init p.Serve_sim.sp_accels (fun i -> i)
+          |> List.for_all (fun accel ->
+                 let ivs =
+                   try Hashtbl.find by_accel accel with Not_found -> []
+                 in
+                 covered ivs r.Serve_sim.rs_arrival r.Serve_sim.rs_start))
+        o.Serve_sim.oc_completed)
+
+let prop_fifo_order =
+  QCheck.Test.make
+    ~name:"fifo: per-accel service follows arrival order (no starvation)" ~count:150
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let p, requests = case_of_seed ~policy:Serve_policy.Fifo seed in
+      let o = run_synth p requests in
+      List.init p.Serve_sim.sp_accels (fun i -> i)
+      |> List.for_all (fun accel ->
+             let mine =
+               List.filter
+                 (fun (r : Serve_sim.request_stat) -> r.Serve_sim.rs_accel = accel)
+                 o.Serve_sim.oc_completed
+               |> List.sort (fun (a : Serve_sim.request_stat) b ->
+                      compare
+                        (a.Serve_sim.rs_start, a.Serve_sim.rs_id)
+                        (b.Serve_sim.rs_start, b.Serve_sim.rs_id))
+             in
+             let rec increasing = function
+               | (a : Serve_sim.request_stat) :: (b : Serve_sim.request_stat) :: rest
+                 ->
+                 a.Serve_sim.rs_id < b.Serve_sim.rs_id && increasing (b :: rest)
+               | _ -> true
+             in
+             increasing mine))
+
+(* ------------------------------------------------------------------ *)
+(* Differential checks against the real pipeline                       *)
+(* ------------------------------------------------------------------ *)
+
+let real_oracle () =
+  Serve_cost.create (ok (Serve_cost.models_of_specs [ "matmul:16,16,16" ]))
+
+(* what the oracle should measure, spelled out independently: the
+   Best-heuristic compile+run of the single kernel, exactly as the
+   bench experiments do it *)
+let direct_matmul_cycles ~m ~n ~k =
+  let accel = Presets.matmul ~version:Accel_matmul.V4 ~size:16 () in
+  let bench = Axi4mlir.create accel in
+  let options =
+    match Heuristics.best accel ~m ~n ~k with
+    | Some c ->
+      {
+        Axi4mlir.default_codegen with
+        flow = Some c.Heuristics.flow;
+        tiles = Some [ c.Heuristics.tm; c.Heuristics.tn; c.Heuristics.tk ];
+      }
+    | None -> Axi4mlir.default_codegen
+  in
+  let a, b, c = Axi4mlir.alloc_matmul_operands bench ~m ~n ~k in
+  let ir = Axi4mlir.compile_matmul bench ~options ~m ~n ~k () in
+  let counters =
+    Axi4mlir.measure bench (fun () -> Axi4mlir.run_matmul bench ~options ir ~a ~b ~c)
+  in
+  counters.Perf_counters.cycles
+
+let test_single_request_matches_pipeline () =
+  (* single-accel FIFO serving of one request must be cycle-identical
+     to the single-kernel pipeline run *)
+  let oracle = real_oracle () in
+  let requests = [ rq 0 10.0 "matmul:16,16,16" ] in
+  let o =
+    ok
+      (Serve_sim.run
+         ~service:(Serve_cost.service oracle)
+         ~predict:(Serve_cost.predict oracle)
+         (params ~accels:1 ~policy:Serve_policy.Fifo ())
+         requests)
+  in
+  let r = List.hd o.Serve_sim.oc_completed in
+  let direct = direct_matmul_cycles ~m:16 ~n:16 ~k:16 in
+  Alcotest.(check (float 0.0)) "service cycles = pipeline cycles" direct
+    (r.Serve_sim.rs_finish -. r.Serve_sim.rs_start);
+  Alcotest.(check (float 0.0)) "no queueing for a lone request" r.Serve_sim.rs_arrival
+    r.Serve_sim.rs_start;
+  Alcotest.(check (float 0.0)) "makespan is the finish" r.Serve_sim.rs_finish
+    o.Serve_sim.oc_makespan
+
+let test_batched_kernel_amortises () =
+  let oracle = real_oracle () in
+  let s1 = Serve_cost.service oracle "matmul:16,16,16" ~batch:1 in
+  let s2 = Serve_cost.service oracle "matmul:16,16,16" ~batch:2 in
+  Alcotest.(check bool) "a batch of two costs more than one" true (s2 > s1);
+  Alcotest.(check bool) "a batch of two costs less than two singles" true
+    (s2 < 2.0 *. s1);
+  (* memoisation: the same query is served from the table *)
+  Alcotest.(check (float 0.0)) "memoised service is stable" s1
+    (Serve_cost.service oracle "matmul:16,16,16" ~batch:1)
+
+(* ------------------------------------------------------------------ *)
+(* The axi4mlir-serve-v1 artifact                                      *)
+(* ------------------------------------------------------------------ *)
+
+let golden_report () =
+  (* must mirror bin/axi4mlir_serve.ml's construction for:
+       --workload matmul:16,16,16 --requests 6 --accels 2 --rps 30000
+       --policy all --seed 3 --batch-max 2 *)
+  let specs = [ "matmul:16,16,16" ] in
+  let oracle = Serve_cost.create (ok (Serve_cost.models_of_specs specs)) in
+  let freq_mhz = Cost_model.default.Cost_model.cpu_freq_mhz in
+  let rps = 30000.0 in
+  let requests = 6 in
+  let seed = 3 in
+  let batch_max = 2 in
+  let accels = 2 in
+  let reqs =
+    ok
+      (Serve_request.generate
+         {
+           Serve_request.st_seed = seed;
+           st_count = requests;
+           st_mean_gap = freq_mhz *. 1e6 /. rps;
+           st_models = specs;
+         })
+  in
+  let summaries =
+    List.map
+      (fun policy ->
+        let o =
+          ok
+            (Serve_sim.run
+               ~service:(Serve_cost.service oracle)
+               ~predict:(Serve_cost.predict oracle)
+               (params ~accels ~policy ~batch_max ())
+               reqs)
+        in
+        Serve_report.summarize ~freq_mhz policy o)
+      Serve_policy.all
+  in
+  {
+    Serve_report.rp_workloads = specs;
+    rp_seed = seed;
+    rp_rps = rps;
+    rp_requests = requests;
+    rp_accels = accels;
+    rp_queue_cap = None;
+    rp_batch_max = batch_max;
+    rp_freq_mhz = freq_mhz;
+    rp_summaries = summaries;
+  }
+
+(* Regenerate (after an intentional cost-model or schema change) with:
+     dune exec bin/axi4mlir_serve.exe -- --workload matmul:16,16,16 \
+       --requests 6 --accels 2 --rps 30000 --policy all --seed 3 \
+       --batch-max 2 --json test/golden/serve_matmul16.json *)
+let test_golden_artifact () =
+  let fresh =
+    Json.to_string ~indent:1 (Serve_report.to_json (golden_report ())) ^ "\n"
+  in
+  let path = Filename.concat "golden" "serve_matmul16.json" in
+  let ic = open_in_bin path in
+  let golden = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Alcotest.(check string) "serve artifact matches the golden file" golden fresh
+
+let test_artifact_schema () =
+  (* the add-only compatibility floor: these fields must stay *)
+  let doc = Serve_report.to_json (golden_report ()) in
+  Alcotest.(check string) "schema string" "axi4mlir-serve-v1"
+    Json.(to_str (member "schema" doc));
+  Alcotest.(check int) "one summary per policy" 3
+    (List.length Json.(to_list (member "policies" doc)));
+  let first = List.hd Json.(to_list (member "policies" doc)) in
+  List.iter
+    (fun field ->
+      Alcotest.(check bool) (field ^ " present") true
+        (Json.member_opt field first <> None))
+    [
+      "policy";
+      "requests";
+      "completed";
+      "rejected";
+      "dispatches";
+      "makespan_cycles";
+      "throughput_rps";
+      "utilization";
+      "latency_cycles";
+      "queue_cycles";
+      "accels";
+    ];
+  List.iter
+    (fun field ->
+      Alcotest.(check bool) ("latency " ^ field ^ " present") true
+        (Json.member_opt field (Json.member "latency_cycles" first) <> None))
+    [ "mean"; "p50"; "p95"; "p99"; "max" ];
+  (* and the rendering must re-parse *)
+  let reparsed = Json.of_string (Json.to_string ~indent:1 doc) in
+  Alcotest.(check string) "artifact re-parses" "axi4mlir-serve-v1"
+    Json.(to_str (member "schema" reparsed))
+
+(* ------------------------------------------------------------------ *)
+(* Perfetto export                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_export () =
+  let requests =
+    [ rq 0 0.0 "medium"; rq 1 1.0 "small"; rq 2 2.0 "small"; rq 3 3.0 "small" ]
+  in
+  let o = run_synth (params ~accels:2 ~policy:Serve_policy.Batch ()) requests in
+  let tracer = Trace.create () in
+  Trace.enable tracer;
+  Serve_report.annotate_trace tracer o;
+  let events = Trace.events tracer in
+  let on_track track =
+    List.filter (fun (e : Trace.event) -> e.Trace.ev_track = track) events
+  in
+  Alcotest.(check int) "one lifetime span per completed request"
+    (List.length o.Serve_sim.oc_completed)
+    (List.length (on_track Trace.serve_request_track));
+  let dispatch_events =
+    List.filter
+      (fun (e : Trace.event) ->
+        e.Trace.ev_track = Trace.serve_accel_track 0
+        || e.Trace.ev_track = Trace.serve_accel_track 1)
+      events
+  in
+  Alcotest.(check int) "one slice per dispatch" o.Serve_sim.oc_dispatches
+    (List.length dispatch_events);
+  let names = Serve_report.track_names o in
+  Alcotest.(check bool) "request track is named" true
+    (List.mem_assoc Trace.serve_request_track names);
+  Alcotest.(check bool) "accel tracks are named" true
+    (List.mem_assoc (Trace.serve_accel_track 0) names
+    && List.mem_assoc (Trace.serve_accel_track 1) names)
+
+let tests =
+  [
+    Alcotest.test_case "stream: deterministic and ordered" `Quick
+      test_stream_deterministic;
+    Alcotest.test_case "stream: seed sensitivity" `Quick test_stream_seed_sensitivity;
+    Alcotest.test_case "percentile: nearest rank" `Quick test_percentile;
+    Alcotest.test_case "policy: names and errors" `Quick test_policy_names;
+    Alcotest.test_case "sjf: reorders behind a long job" `Quick test_sjf_reorders_queue;
+    Alcotest.test_case "batch: coalesces same-model requests" `Quick
+      test_batch_coalesces;
+    Alcotest.test_case "queue cap: rejects and conserves" `Quick test_queue_cap_rejects;
+    QCheck_alcotest.to_alcotest prop_conservation;
+    QCheck_alcotest.to_alcotest prop_accounting;
+    QCheck_alcotest.to_alcotest prop_determinism;
+    QCheck_alcotest.to_alcotest prop_work_conservation;
+    QCheck_alcotest.to_alcotest prop_fifo_order;
+    Alcotest.test_case "differential: single request = pipeline run" `Quick
+      test_single_request_matches_pipeline;
+    Alcotest.test_case "differential: batching amortises" `Quick
+      test_batched_kernel_amortises;
+    Alcotest.test_case "golden: serve artifact" `Quick test_golden_artifact;
+    Alcotest.test_case "serve-v1 schema floor" `Quick test_artifact_schema;
+    Alcotest.test_case "trace: request + dispatch tracks" `Quick test_trace_export;
+  ]

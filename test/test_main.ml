@@ -26,4 +26,5 @@ let () =
       ("negative", Suite_negative.tests);
       ("tuner", Suite_tuner.tests);
       ("fuzz", Suite_fuzz.tests);
+      ("serve", Suite_serve.tests);
     ]
