@@ -14,7 +14,14 @@
      saturating load (batching genuinely removes work — DMA bring-up
      amortised, stationary weights shared — so it wins throughput too);
    - conservation: every request completes (no admission control here);
-   - accounting: per-accelerator busy cycles fit inside the makespan.
+   - accounting: per-accelerator busy cycles fit inside the makespan;
+   - reconciliation: windowed telemetry sums equal the end-of-run
+     totals exactly (arrivals = offered, completions = completed,
+     kernels = dispatches);
+   - alerting: with a latency SLO pinned between the two tails (the
+     geometric mean of the batch and fifo p99), fifo must trip the
+     multi-window burn-rate alert while batch stays within budget —
+     the end-to-end telemetry->SLO->alert path, deterministically.
 
    Workload sizes are trimmed (seq, row sampling) so the oracle's
    memoised kernel measurements stay interactive; the scheduling
@@ -75,7 +82,11 @@ let run () =
            ("rows", Json.Int rows);
          ])
   in
-  let summaries =
+  (* one telemetry window per mean single-request service time: fine
+     enough that the burn-rate long window (4) sees the tail build up,
+     coarse enough that every window holds several events *)
+  let window = mean_service in
+  let observed =
     List.map
       (fun policy ->
         let params =
@@ -86,9 +97,14 @@ let run () =
             sp_batch_max = batch_max;
           }
         in
+        let telemetry =
+          match Serve_telemetry.create ~window ~accels with
+          | Ok t -> t
+          | Error msg -> failwith msg
+        in
         let outcome =
           match
-            Serve_sim.run
+            Serve_sim.run ~telemetry
               ~service:(Serve_cost.service oracle)
               ~predict:(Serve_cost.predict oracle)
               params requests
@@ -108,24 +124,27 @@ let run () =
               failwith "serving gate: accelerator busy beyond the makespan")
           outcome.Serve_sim.oc_accels;
         let s = Serve_report.summarize ~freq_mhz policy outcome in
-        Report.record_custom_point
-          ~kind:(Printf.sprintf "serve_%s" (Serve_policy.to_string policy))
-          ~dims:[ count; accels ] ~config:config_hash
+        (* reconciliation: window sums must equal the end-of-run report
+           totals exactly — telemetry that drifts from the report is
+           worse than none *)
+        List.iter
+          (fun (name, expect) ->
+            let got = List.assoc name (Serve_telemetry.totals telemetry) in
+            if got <> float_of_int expect then
+              failwith
+                (Printf.sprintf
+                   "serving gate: telemetry %s (%g) disagrees with the report (%d)"
+                   name got expect))
           [
-            ("latency_p50_cycles", s.Serve_report.sm_latency.Serve_report.d_p50);
-            ("latency_p95_cycles", s.sm_latency.Serve_report.d_p95);
-            ("latency_p99_cycles", s.sm_latency.Serve_report.d_p99);
-            ("latency_mean_cycles", s.sm_latency.Serve_report.d_mean);
-            ("queue_p99_cycles", s.sm_queue.Serve_report.d_p99);
-            ("makespan_cycles", s.sm_makespan);
-            ("throughput_rps", s.sm_throughput_rps);
-            ("utilization", s.sm_utilization);
-            ("completed", float_of_int s.sm_completed);
-            ("dispatches", float_of_int s.sm_dispatches);
+            (Serve_telemetry.s_arrivals, s.Serve_report.sm_requests);
+            (Serve_telemetry.s_completions, s.sm_completed);
+            (Serve_telemetry.s_rejections, s.sm_rejected);
+            (Serve_telemetry.s_kernels, s.sm_dispatches);
           ];
-        s)
+        (policy, s, telemetry))
       Serve_policy.all
   in
+  let summaries = List.map (fun (_, s, _) -> s) observed in
   let report =
     {
       Serve_report.rp_workloads = specs;
@@ -157,4 +176,79 @@ let run () =
       (Printf.sprintf
          "serving gate: neither sjf (p99 %.0f) nor batch (p99 %.0f) beat fifo (p99 \
           %.0f) at saturating load"
-         sjf batch fifo)
+         sjf batch fifo);
+  (* alerting gate: the SLO limit sits at the geometric mean of the two
+     tails, strictly between them (p99 over <=100 samples is the max,
+     so every batch latency clears the limit while fifo's tail does
+     not). fifo must trip the burn-rate alert; batch must not. *)
+  let limit = sqrt (fifo *. batch) in
+  let slo =
+    match Slo.parse (Printf.sprintf "p99<=%.0f" limit) with
+    | Ok s -> s
+    | Error msg -> failwith msg
+  in
+  let avail =
+    match Slo.parse "availability>=99%" with Ok s -> s | Error msg -> failwith msg
+  in
+  Report.note "slo: %s (geometric mean of the fifo/batch p99 tails)"
+    (Slo.to_string slo);
+  List.iter
+    (fun (policy, s, telemetry) ->
+      let name = Serve_policy.to_string policy in
+      let evals = Serve_telemetry.evaluate telemetry [ slo; avail ] in
+      List.iter
+        (fun ev ->
+          Report.note "%s %s" name (String.trim (Slo.render ev));
+          Slo.emit_remarks ~loc:(Printf.sprintf "exp_serve/%s" name) ev;
+          Slo.emit_metrics ~labels:[ ("policy", name) ] ev)
+        evals;
+      let latency_ev = List.hd evals in
+      let avail_ev = List.nth evals 1 in
+      if not (Slo.met avail_ev) then
+        failwith
+          (Printf.sprintf
+             "serving gate: %s broke the availability SLO with no admission control"
+             name);
+      (match policy with
+      | Serve_policy.Fifo ->
+        if latency_ev.Slo.sv_fired < 1 then
+          failwith
+            (Printf.sprintf
+               "serving gate: fifo did not fire the burn-rate alert at 2x overload \
+                (p99 limit %.0f, budget spent %.0f%%)"
+               limit
+               (100.0 *. latency_ev.Slo.sv_budget_spent))
+      | Serve_policy.Batch ->
+        if latency_ev.Slo.sv_fired > 0 || not (Slo.met latency_ev) then
+          failwith
+            (Printf.sprintf
+               "serving gate: batch blew the latency budget at 2x overload (p99 \
+                limit %.0f, %d alert(s) fired)"
+               limit latency_ev.Slo.sv_fired)
+      | Serve_policy.Sjf -> ());
+      Report.record_custom_point
+        ~kind:(Printf.sprintf "serve_%s" name)
+        ~dims:[ count; accels ] ~config:config_hash
+        [
+          ("latency_p50_cycles", s.Serve_report.sm_latency.Serve_report.d_p50);
+          ("latency_p95_cycles", s.sm_latency.Serve_report.d_p95);
+          ("latency_p99_cycles", s.sm_latency.Serve_report.d_p99);
+          ("latency_mean_cycles", s.sm_latency.Serve_report.d_mean);
+          ("queue_p99_cycles", s.sm_queue.Serve_report.d_p99);
+          ("makespan_cycles", s.sm_makespan);
+          ("throughput_rps", Option.value ~default:0.0 s.sm_throughput_rps);
+          ("utilization", Option.value ~default:0.0 s.sm_utilization);
+          ("completed", float_of_int s.sm_completed);
+          ("dispatches", float_of_int s.sm_dispatches);
+          ("slo_alerts_fired", float_of_int latency_ev.Slo.sv_fired);
+          ("slo_budget_spent", latency_ev.Slo.sv_budget_spent);
+        ])
+    observed;
+  (* the fifo dashboard, so the bench log shows the backlog building *)
+  (match observed with
+  | (policy, _, telemetry) :: _ ->
+    print_string
+      (Serve_report.render_dashboard ~policy
+         ~slos:(Serve_telemetry.evaluate telemetry [ slo ])
+         telemetry)
+  | [] -> ())

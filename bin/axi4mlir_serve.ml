@@ -7,12 +7,16 @@
        --workload resnet18 --rps 200 --accels 4 --policy batch --trace serve.json
      dune exec bin/axi4mlir_serve.exe -- --workload tinybert --rps 100 \
        --queue-cap 8 --json serve-report.json
+     dune exec bin/axi4mlir_serve.exe -- --workload tinybert --rps 200 \
+       --dashboard --slo 'p99<=250000000' --slo 'availability>=99%' \
+       --telemetry telemetry.json
 *)
 
 open Cmdliner
 
 let run_tool workloads rps accels policy_name requests seed queue_cap batch_max rows
-    seq report_out json_out trace_out remarks metrics_out =
+    seq window slo_specs dashboard telemetry_out assert_fired report_out json_out
+    trace_out remarks metrics_out =
   Tool_common.with_observability ~remarks ~metrics:metrics_out @@ fun () ->
   let fail_on_error = function Ok v -> v | Error msg -> failwith msg in
   if workloads = [] then
@@ -23,6 +27,13 @@ let run_tool workloads rps accels policy_name requests seed queue_cap batch_max 
     failwith (Printf.sprintf "--rps must be positive (got %g)" rps);
   if requests < 1 then
     failwith (Printf.sprintf "--requests must be >= 1 (got %d)" requests);
+  (match window with
+  | Some w when not (w > 0.0) ->
+    failwith (Printf.sprintf "--window must be a positive cycle count (got %g)" w)
+  | _ -> ());
+  let slos = List.map (fun s -> fail_on_error (Slo.parse s)) slo_specs in
+  if assert_fired > 0 && slos = [] then
+    failwith "--assert-fired needs at least one --slo to evaluate";
   let policies =
     match policy_name with
     | "all" -> Serve_policy.all
@@ -82,6 +93,52 @@ let run_tool workloads rps accels policy_name requests seed queue_cap batch_max 
   in
   let rendered = Serve_report.render report in
   print_string rendered;
+  (* Telemetry is a second, observed pass over the same streams: the
+     scheduler is deterministic and the cost oracle memoised, so the
+     re-run is cheap and its outcomes are bit-identical — which also
+     lets --window default to a width derived from the measured
+     makespan (about 20 windows across the first policy's run). *)
+  let want_telemetry =
+    dashboard || slos <> [] || telemetry_out <> None || window <> None
+  in
+  let observed =
+    if not want_telemetry then []
+    else begin
+      let width =
+        match window with
+        | Some w -> w
+        | None ->
+          let _, first = List.hd outcomes in
+          Float.max 1.0 (first.Serve_sim.oc_makespan /. 20.0)
+      in
+      List.map
+        (fun (policy, _) ->
+          let telemetry = fail_on_error (Serve_telemetry.create ~window:width ~accels) in
+          let outcome =
+            fail_on_error
+              (Serve_sim.run ~telemetry
+                 ~service:(Serve_cost.service oracle)
+                 ~predict:(Serve_cost.predict oracle)
+                 { params with Serve_sim.sp_policy = policy }
+                 reqs)
+          in
+          ignore outcome;
+          (policy, telemetry, Serve_telemetry.evaluate telemetry slos))
+        outcomes
+    end
+  in
+  List.iter
+    (fun (policy, telemetry, evals) ->
+      let name = Serve_policy.to_string policy in
+      if dashboard then
+        print_string (Serve_report.render_dashboard ~slos:evals ~policy telemetry)
+      else List.iter (fun ev -> print_string (Slo.render ev)) evals;
+      List.iter
+        (fun ev ->
+          Slo.emit_remarks ~loc:(Printf.sprintf "serve/%s" name) ev;
+          Slo.emit_metrics ~labels:[ ("policy", name) ] ev)
+        evals)
+    observed;
   (match report_out with
   | None -> ()
   | Some path ->
@@ -94,15 +151,40 @@ let run_tool workloads rps accels policy_name requests seed queue_cap batch_max 
   | Some path ->
     Serve_report.write_file path report;
     Printf.eprintf "serve json   : %s (axi4mlir-serve-v1)\n" path);
+  (match telemetry_out with
+  | None -> ()
+  | Some path ->
+    Serve_telemetry.write_file path
+      (List.map
+         (fun (policy, telemetry, evals) ->
+           (Serve_policy.to_string policy, telemetry, evals))
+         observed);
+    Printf.eprintf "serve telem  : %s (axi4mlir-telemetry-v1)\n" path);
   (match trace_out with
   | None -> ()
   | Some path ->
     (* one standalone trace; with --policy all it shows the first
        policy's timeline (fifo), the baseline worth inspecting *)
     let policy, outcome = List.hd outcomes in
-    Serve_report.write_trace ~freq_mhz path outcome;
+    let telemetry =
+      match observed with (_, tel, _) :: _ -> Some tel | [] -> None
+    in
+    Serve_report.write_trace ?telemetry ~freq_mhz path outcome;
     Printf.eprintf "serve trace  : %s (%s policy)\n" path
       (Serve_policy.to_string policy));
+  (if assert_fired > 0 then
+     let fired =
+       List.fold_left
+         (fun acc (_, _, evals) ->
+           List.fold_left (fun acc ev -> acc + ev.Slo.sv_fired) acc evals)
+         0 observed
+     in
+     if fired < assert_fired then
+       failwith
+         (Printf.sprintf
+            "--assert-fired %d: only %d burn-rate alert(s) fired across %d policy \
+             runs"
+            assert_fired fired (List.length observed)));
   `Ok ()
 
 let workload =
@@ -172,6 +254,51 @@ let seq =
     value & opt int 128
     & info [ "seq" ] ~docv:"N" ~doc:"TinyBERT sequence length.")
 
+let window =
+  Arg.(
+    value & opt (some float) None
+    & info [ "window" ] ~docv:"CYCLES"
+        ~doc:
+          "Telemetry window width in simulated cycles (must be positive). Default: \
+           the first policy's makespan divided into 20 windows.")
+
+let slo =
+  Arg.(
+    value & opt_all string []
+    & info [ "slo" ] ~docv:"SPEC"
+        ~doc:
+          "Evaluate a service-level objective over the telemetry windows \
+           (repeatable): $(b,pP<=LIMIT[@W]) with P in 50/90/95/99 and LIMIT in \
+           cycles, or $(b,availability>=TARGET[@W]) with TARGET a percentage or \
+           fraction. @W sets the burn-rate long window (default 4). Burn-rate \
+           alert transitions are printed, logged as remarks and exported as \
+           slo.* metrics.")
+
+let dashboard =
+  Arg.(
+    value & flag
+    & info [ "dashboard" ]
+        ~doc:
+          "Print the ASCII telemetry dashboard (per-window sparklines of \
+           arrivals, completions, rejections, kernels, queue depth, in-flight \
+           count, rolling p99 latency and per-accelerator busy fraction) for \
+           each policy.")
+
+let telemetry_out =
+  Arg.(
+    value & opt (some string) None
+    & info [ "telemetry" ] ~docv:"FILE"
+        ~doc:"Write the axi4mlir-telemetry-v1 JSON artifact to $(docv).")
+
+let assert_fired =
+  Arg.(
+    value & opt int 0
+    & info [ "assert-fired" ] ~docv:"N"
+        ~doc:
+          "Fail (exit 124) unless at least $(docv) burn-rate alerts fired across \
+           all policies and --slo objectives — a CI hook for pinning alerting \
+           behaviour.")
+
 let report_out =
   Arg.(
     value & opt (some string) None
@@ -199,7 +326,8 @@ let cmd =
     Term.(
       ret
         (const run_tool $ workload $ rps $ accels $ policy $ requests $ seed
-       $ queue_cap $ batch_max $ rows $ seq $ report_out $ json_out $ trace_out
+       $ queue_cap $ batch_max $ rows $ seq $ window $ slo $ dashboard
+       $ telemetry_out $ assert_fired $ report_out $ json_out $ trace_out
        $ Tool_common.remarks_flag $ Tool_common.metrics_out))
 
 let () = exit (Cmd.eval cmd)

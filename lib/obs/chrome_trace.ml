@@ -20,6 +20,7 @@ let event_to_json ~scale (e : Trace.event) =
     | Trace.Instant -> ("i", [ ("s", Json.String "t") ])
     | Trace.Complete dur ->
       ("X", [ ("dur", Json.Float (if on_compile_track then dur else dur /. scale)) ])
+    | Trace.Counter _ -> ("C", [])
     | Trace.Flow_start id ->
       ("s", [ ("id", Json.Int id); ("bp", Json.String "e") ])
     | Trace.Flow_finish id ->
@@ -36,7 +37,14 @@ let event_to_json ~scale (e : Trace.event) =
      ]
     @ extra
     @
-    match e.ev_args with
+    (* a counter sample's value is its args payload — Perfetto plots
+       every numeric key of a "C" event as one series of the track *)
+    let args =
+      match e.ev_kind with
+      | Trace.Counter v -> e.ev_args @ [ ("value", Trace.Num v) ]
+      | _ -> e.ev_args
+    in
+    match args with
     | [] -> []
     | args -> [ ("args", Json.Obj (List.map (fun (k, v) -> (k, arg_to_json v)) args)) ])
 

@@ -248,6 +248,21 @@ let render ?(reg = default) () =
             (Printf.sprintf "%s_count%s %d\n" s.s_name lbl h.h_count);
           Buffer.add_string buf
             (Printf.sprintf "%s_sum%s %s\n" s.s_name lbl (fmt_value h.h_sum));
+          (* cumulative buckets, Prometheus text-format style: each
+             populated bound once plus the +Inf catch-all (= _count) *)
+          let bucket_line bound cum =
+            Buffer.add_string buf
+              (Printf.sprintf "%s_bucket%s %d\n" s.s_name
+                 (labels_to_text (s.s_labels @ [ ("le", bound) ]))
+                 cum)
+          in
+          let cum = ref 0 in
+          List.iter
+            (fun (ub, c) ->
+              cum := !cum + c;
+              bucket_line (fmt_value ub) !cum)
+            h.h_buckets;
+          bucket_line "+Inf" h.h_count;
           List.iter
             (fun (tag, q) ->
               match quantile h q with

@@ -115,5 +115,8 @@ val to_json : ?reg:t -> unit -> Json.t
 
 val render : ?reg:t -> unit -> string
 (** Prometheus-flavoured text: one [name{k="v"} value] line per
-    counter/gauge; histograms expand to [_count], [_sum] and p50/p90/p99
-    estimate lines. Empty registry renders a one-line placeholder. *)
+    counter/gauge; histograms expand to [_count], [_sum], cumulative
+    [_bucket{le="<bound>"}] lines (each populated power-of-two bound
+    plus the [le="+Inf"] catch-all, which always equals [_count]) and
+    p50/p90/p99 estimate lines. Empty registry renders a one-line
+    placeholder. *)

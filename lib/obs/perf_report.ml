@@ -47,7 +47,8 @@ let spans_of_events events =
                 sp_deltas = deltas_of_args e.ev_args;
                 sp_children = List.rev !children;
               })
-        | Trace.Instant | Trace.Complete _ | Trace.Flow_start _ | Trace.Flow_finish _ ->
+        | Trace.Instant | Trace.Complete _ | Trace.Counter _ | Trace.Flow_start _
+        | Trace.Flow_finish _ ->
           ())
     events;
   List.rev !roots

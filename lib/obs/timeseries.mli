@@ -1,0 +1,124 @@
+(** Fixed-width windowed time series over simulated cycle time.
+
+    Where {!Metrics} answers "how much, in total" for a whole run, a
+    time series answers "how did it evolve": observations are stamped
+    with a simulated-cycle timestamp and land in the window
+    [floor (t / width)], so a request stream's arrivals, queue depths
+    and latency percentiles become per-window curves a dashboard (or an
+    {!Slo} evaluation) can read.
+
+    Two series shapes share one namespace:
+
+    - {e scalar} series carry one aggregated value per window, under an
+      aggregation chosen at first use ({!Sum} for rates like arrivals
+      per window, {!Mean}/{!Max}/{!Last} for level signals like queue
+      depth);
+    - {e distribution} series keep every observation per window, so
+      exact nearest-rank percentiles (a window's p99 latency) can be
+      computed afterwards, including rolling percentiles over a trailing
+      window span.
+
+    Using one name as both shapes — or one scalar name under two
+    aggregations — raises [Invalid_argument]: that is an
+    instrumentation bug, not a data condition (same contract as
+    {!Metrics}).
+
+    A collector is cheap but not free; callers that need the zero-cost
+    discipline ({!Trace}/{!Metrics} style) hold a [Timeseries.t option]
+    and skip recording entirely when disabled — see [Serve_sim]'s
+    [?telemetry] parameter. Out-of-order timestamps are accepted (the
+    serving scheduler records a dispatch's completion at its future
+    finish time). *)
+
+type agg = Sum | Mean | Max | Last
+
+val agg_to_string : agg -> string
+
+type t
+
+val create : window:float -> (t, string) result
+(** A collector with the given window width in cycles; [Error] when the
+    width is not positive. *)
+
+val window_width : t -> float
+
+(** {1 Recording} *)
+
+val record : t -> ?agg:agg -> series:string -> t:float -> float -> unit
+(** Record a scalar observation at time [t] (default aggregation
+    {!Sum}). The aggregation is fixed by the series' first record;
+    passing a different one later raises [Invalid_argument]. Negative
+    timestamps clamp into window 0. *)
+
+val observe : t -> series:string -> t:float -> float -> unit
+(** Record one sample into a distribution series at time [t]. *)
+
+(** {1 Views}
+
+    Windows are indexed from 0; every per-window array returned below
+    has length {!n_windows} (the highest populated index + 1, across
+    every series), so curves from one collector align. *)
+
+val n_windows : t -> int
+(** 0 when nothing was recorded. *)
+
+val window_start : t -> int -> float
+(** [window_start t i] = [i * width], the window's inclusive lower
+    cycle bound. *)
+
+val series_names : t -> string list
+(** Every recorded series name, in first-recorded order. *)
+
+val values : t -> string -> float option array
+(** Per-window aggregated values of a scalar series ([None] = no
+    observation landed in that window). Raises [Invalid_argument] on a
+    distribution series; an unknown name yields an all-[None] array. *)
+
+val counts : t -> string -> int array
+(** Per-window observation counts (scalar or distribution series). *)
+
+val total : t -> string -> float
+(** Whole-run reconciliation total: the sum of raw observations for
+    {!Sum}/{!Mean}/{!Max}/{!Last} scalars, the sample count for a
+    distribution series. 0 for an unknown name. The serving telemetry
+    invariant — window sums must equal the end-of-run report totals —
+    is checked against this. *)
+
+val percentile : int -> float list -> float option
+(** Nearest-rank percentile of an unsorted sample list: the smallest
+    sample with at least [p]% of the samples at or below it. [None] on
+    the empty list. *)
+
+val dist_percentile : t -> string -> p:int -> float option array
+(** Per-window nearest-rank percentile of a distribution series
+    ([None] = empty window). Raises [Invalid_argument] on a scalar
+    series. *)
+
+val dist_rolling_percentile : t -> string -> p:int -> windows:int -> float option array
+(** As {!dist_percentile}, but window [i]'s value pools the samples of
+    windows [max 0 (i - windows + 1) .. i] — the rolling p99 the
+    serving dashboard plots. [windows <= 1] degenerates to
+    {!dist_percentile}. *)
+
+val dist_counts_above : t -> string -> limit:float -> (int * int) array
+(** Per-window [(total, above)] sample counts against a threshold —
+    the {!Slo} latency-objective input ([above] = samples strictly
+    greater than [limit]). *)
+
+(** {1 Rendering and export} *)
+
+val sparkline : ?width:int -> float option array -> string
+(** An ASCII sparkline of a per-window curve, scaled to its own
+    maximum: one character per window from the ramp
+    [" .:-=+*#%@"] (space = empty window, ['.'] = lowest, ['@'] =
+    the maximum). [width] (default unlimited) resamples longer curves
+    by taking each output cell's maximum, so bursts stay visible. *)
+
+val to_json : t -> Json.t
+(** The collector as a JSON object:
+    [{"window_cycles": w, "windows": n, "series": [...]}] with one
+    entry per series carrying its name, kind ("scalar"/"dist"),
+    aggregation and dense per-window values (scalars: value-or-null;
+    distributions: per-window count plus p50/p99). Byte-stable for a
+    deterministic run; consumed by the [axi4mlir-telemetry-v1]
+    artifact. *)

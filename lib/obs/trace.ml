@@ -5,6 +5,7 @@ type kind =
   | End
   | Instant
   | Complete of float
+  | Counter of float
   | Flow_start of int
   | Flow_finish of int
 
@@ -24,6 +25,7 @@ let compile_track = 10
 let tuner_track = 11
 let critpath_track = 12
 let serve_request_track = 13
+let serve_telemetry_track = 14
 
 (* Asynchronous activity gets one track per DMA channel and one per
    accelerator device, interleaved so a channel sits next to its
@@ -145,6 +147,20 @@ let complete t ?(cat = "host") ?(track = host_track) ?(args = []) ~ts ~dur name 
         ev_name = name;
         ev_cat = cat;
         ev_kind = Complete dur;
+        ev_ts = ts;
+        ev_track = track;
+        ev_args = args;
+      }
+
+let counter t ?(cat = "counter") ?(track = host_track) ?(args = []) ~ts name v =
+  match t.sink with
+  | Disabled -> ()
+  | Recording r ->
+    push r
+      {
+        ev_name = name;
+        ev_cat = cat;
+        ev_kind = Counter v;
         ev_ts = ts;
         ev_track = track;
         ev_args = args;

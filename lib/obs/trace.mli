@@ -29,6 +29,8 @@ type kind =
   | End  (** span closing ([ph:"E"]), carries the counter deltas *)
   | Instant  (** point event ([ph:"i"]) *)
   | Complete of float  (** pre-timed interval with a duration ([ph:"X"]) *)
+  | Counter of float  (** counter-track sample ([ph:"C"]); Perfetto plots
+          the value as a filled step curve *)
   | Flow_start of int  (** flow-arrow origin ([ph:"s"]), keyed by id *)
   | Flow_finish of int  (** flow-arrow target ([ph:"f"]), keyed by id *)
 
@@ -73,6 +75,12 @@ val serve_request_track : int
 (** Per-request lifetime spans (arrival to finish) emitted by the
     serving simulator's trace export ({!Serve_report} in
     [axi4mlir.serve]); simulated cycles. *)
+
+val serve_telemetry_track : int
+(** Per-window counter samples emitted by the serving telemetry export
+    ([Serve_telemetry.annotate_trace] in [axi4mlir.serve]): queue
+    depth, in-flight count, arrival/completion rates and per-window
+    p99 as Perfetto counter tracks, in simulated cycles. *)
 
 val dma_channel_track : int -> int
 (** Per-DMA-channel track for asynchronous transfer windows. *)
@@ -140,6 +148,21 @@ val complete :
 (** Record an interval whose extent is known up front (e.g. an
     accelerator busy window computed by the DMA engine, or a pass
     timing). Does not consult the clock. *)
+
+val counter :
+  t ->
+  ?cat:string ->
+  ?track:int ->
+  ?args:(string * arg) list ->
+  ts:float ->
+  string ->
+  float ->
+  unit
+(** Record one sample of a named counter track at an explicit
+    timestamp ({!Chrome_trace} serialises it as a ["C"] phase event,
+    which Perfetto renders as a stepped area chart). Samples of the
+    same name on the same track form one curve; like {!complete}, does
+    not consult the clock. *)
 
 val flow_start :
   t -> ?cat:string -> ?track:int -> ?ts:float -> id:int -> string -> unit

@@ -45,8 +45,8 @@ type summary = {
   sm_rejected : int;
   sm_dispatches : int;
   sm_makespan : float;
-  sm_throughput_rps : float;
-  sm_utilization : float;
+  sm_throughput_rps : float option;
+  sm_utilization : float option;
   sm_latency : dist;
   sm_queue : dist;
   sm_accels : accel_row list;
@@ -78,17 +78,21 @@ let summarize ~freq_mhz policy (o : Serve_sim.outcome) =
         })
       o.oc_accels
   in
+  (* A run in which nothing completed has no makespan to divide by:
+     rates and utilizations are undefined (rendered "n/a"), not 0. *)
   let mean_util =
     match accels with
-    | [] -> 0.0
+    | _ when makespan <= 0.0 -> None
+    | [] -> None
     | _ ->
-      List.fold_left (fun acc a -> acc +. a.ar_util) 0.0 accels
-      /. float_of_int (List.length accels)
+      Some
+        (List.fold_left (fun acc a -> acc +. a.ar_util) 0.0 accels
+        /. float_of_int (List.length accels))
   in
   let throughput =
     if makespan > 0.0 then
-      float_of_int (List.length completed) /. (makespan /. (freq_mhz *. 1e6))
-    else 0.0
+      Some (float_of_int (List.length completed) /. (makespan /. (freq_mhz *. 1e6)))
+    else None
   in
   {
     sm_policy = policy;
@@ -156,8 +160,12 @@ let render rp =
           string_of_int s.sm_rejected;
           string_of_int s.sm_dispatches;
           Tabulate.fmt_ms (to_ms s.sm_makespan);
-          Printf.sprintf "%.1f" s.sm_throughput_rps;
-          Tabulate.fmt_pct s.sm_utilization;
+          (match s.sm_throughput_rps with
+          | None -> "n/a"
+          | Some rps -> Printf.sprintf "%.1f" rps);
+          (match s.sm_utilization with
+          | None -> "n/a"
+          | Some u -> Tabulate.fmt_pct u);
           Tabulate.fmt_ms (to_ms s.sm_latency.d_p50);
           Tabulate.fmt_ms (to_ms s.sm_latency.d_p95);
           Tabulate.fmt_ms (to_ms s.sm_latency.d_p99);
@@ -177,6 +185,73 @@ let render rp =
                a.ar_id (Tabulate.fmt_pct a.ar_util) a.ar_requests a.ar_dispatches))
         s.sm_accels)
     rp.rp_summaries;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry dashboard                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let spark_width = 64
+
+let render_dashboard ?(slos = []) ~policy tel =
+  let ts = Serve_telemetry.timeseries tel in
+  let n = Timeseries.n_windows ts in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "-- %s telemetry: %d window(s) x %.0f cycles --\n"
+       (Serve_policy.to_string policy) n
+       (Serve_telemetry.window_width tel));
+  if n = 0 then Buffer.add_string buf "  (nothing recorded)\n"
+  else begin
+    let row label curve stat =
+      Buffer.add_string buf
+        (Printf.sprintf "  %-12s |%s| %s\n" label
+           (Timeseries.sparkline ~width:spark_width curve)
+           stat)
+    in
+    let peak curve =
+      Array.fold_left
+        (fun m v -> match v with Some v when v > m -> v | _ -> m)
+        0.0 curve
+    in
+    let last curve =
+      Array.fold_left (fun acc v -> match v with Some _ -> v | None -> acc) None curve
+    in
+    let rate label series =
+      let curve = Timeseries.values ts series in
+      row label curve
+        (Printf.sprintf "total %.0f, peak %.0f/window" (Timeseries.total ts series)
+           (peak curve))
+    in
+    let level label series =
+      let curve = Timeseries.values ts series in
+      row label curve (Printf.sprintf "peak %.0f" (peak curve))
+    in
+    rate "arrivals" Serve_telemetry.s_arrivals;
+    rate "completions" Serve_telemetry.s_completions;
+    rate "rejections" Serve_telemetry.s_rejections;
+    rate "kernels" Serve_telemetry.s_kernels;
+    level "queue depth" Serve_telemetry.s_queue;
+    level "in flight" Serve_telemetry.s_in_flight;
+    let p99 =
+      Timeseries.dist_rolling_percentile ts Serve_telemetry.s_latency ~p:99 ~windows:4
+    in
+    row "p99 latency" p99
+      (match last p99 with
+      | None -> "no samples"
+      | Some v -> Printf.sprintf "last %.0f cycles (rolling x4)" v);
+    let width = Serve_telemetry.window_width tel in
+    for a = 0 to Serve_telemetry.accels tel - 1 do
+      let curve = Serve_telemetry.busy_fraction tel a in
+      let mean =
+        Timeseries.total ts (Serve_telemetry.busy_series a)
+        /. (width *. float_of_int n)
+      in
+      row (Printf.sprintf "accel%d busy" a) curve
+        (Printf.sprintf "mean %.1f%%" (100.0 *. mean))
+    done
+  end;
+  List.iter (fun ev -> Buffer.add_string buf (Slo.render ev)) slos;
   Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)
@@ -202,8 +277,10 @@ let summary_json s =
       ("rejected", Json.Int s.sm_rejected);
       ("dispatches", Json.Int s.sm_dispatches);
       ("makespan_cycles", Json.Float s.sm_makespan);
-      ("throughput_rps", Json.Float s.sm_throughput_rps);
-      ("utilization", Json.Float s.sm_utilization);
+      (* undefined rates serialize as 0, keeping the v1 field types —
+         and existing golden bytes — unchanged *)
+      ("throughput_rps", Json.Float (Option.value ~default:0.0 s.sm_throughput_rps));
+      ("utilization", Json.Float (Option.value ~default:0.0 s.sm_utilization));
       ("latency_cycles", dist_json s.sm_latency);
       ("queue_cycles", dist_json s.sm_queue);
       ( "accels",
@@ -289,9 +366,17 @@ let track_names (o : Serve_sim.outcome) =
           Printf.sprintf "accel%d" a.ac_id))
        o.Serve_sim.oc_accels
 
-let write_trace ~freq_mhz path (o : Serve_sim.outcome) =
+let write_trace ?telemetry ~freq_mhz path (o : Serve_sim.outcome) =
   let tracer = Trace.create () in
   Trace.enable tracer;
   annotate_trace tracer o;
-  Chrome_trace.write_file ~cpu_freq_mhz:freq_mhz ~track_names:(track_names o) path
+  let names = track_names o in
+  let names =
+    match telemetry with
+    | None -> names
+    | Some tel ->
+      Serve_telemetry.annotate_trace tel tracer;
+      names @ [ (Trace.serve_telemetry_track, "telemetry") ]
+  in
+  Chrome_trace.write_file ~cpu_freq_mhz:freq_mhz ~track_names:names path
     (Trace.events tracer)

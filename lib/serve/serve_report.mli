@@ -41,8 +41,12 @@ type summary = {
   sm_rejected : int;
   sm_dispatches : int;  (** kernel invocations (< completed under Batch) *)
   sm_makespan : float;  (** cycles *)
-  sm_throughput_rps : float;  (** completed per wall second at [freq_mhz] *)
-  sm_utilization : float;  (** mean accelerator utilization *)
+  sm_throughput_rps : float option;
+      (** completed per wall second at [freq_mhz]; [None] when nothing
+          completed (no makespan to divide by — rendered "n/a", 0 in
+          the JSON artifact to keep the v1 field type) *)
+  sm_utilization : float option;
+      (** mean accelerator utilization; [None] on an empty run *)
   sm_latency : dist;  (** per-request arrival-to-finish cycles *)
   sm_queue : dist;  (** per-request arrival-to-start cycles *)
   sm_accels : accel_row list;
@@ -67,6 +71,14 @@ val render : t -> string
 (** The per-policy comparison table plus per-accelerator utilization
     rows, as printed by [axi4mlir_serve --report]. *)
 
+val render_dashboard :
+  ?slos:Slo.eval list -> policy:Serve_policy.t -> Serve_telemetry.t -> string
+(** The ASCII telemetry dashboard printed by [axi4mlir_serve
+    --dashboard]: one sparkline row per series (arrival/completion/
+    rejection/kernel rates, queue depth, in-flight count, rolling p99
+    latency, per-accelerator busy fraction), each scaled to its own
+    maximum, followed by one {!Slo.render} block per evaluation. *)
+
 val to_json : t -> Json.t
 (** The [axi4mlir-serve-v1] document (see the compatibility rule). *)
 
@@ -85,5 +97,8 @@ val annotate_trace : Trace.t -> Serve_sim.outcome -> unit
 val track_names : Serve_sim.outcome -> (int * string) list
 (** Thread-name metadata for {!Chrome_trace.write_file}. *)
 
-val write_trace : freq_mhz:float -> string -> Serve_sim.outcome -> unit
-(** Write a standalone Chrome trace of the outcome to a path. *)
+val write_trace :
+  ?telemetry:Serve_telemetry.t -> freq_mhz:float -> string -> Serve_sim.outcome -> unit
+(** Write a standalone Chrome trace of the outcome to a path. With
+    [telemetry], the per-window counter curves ride along on
+    {!Trace.serve_telemetry_track} as Perfetto counter tracks. *)

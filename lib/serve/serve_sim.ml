@@ -113,10 +113,14 @@ let pick p ~predict queue =
     in
     take (max 1 (min p.sp_batch_max fair_count)) members
 
-let run ~service ~predict p (requests : Serve_request.t list) =
+let run ?telemetry ~service ~predict p (requests : Serve_request.t list) =
   match validate p with
   | Error _ as e -> e
   | Ok () -> (
+    (* Zero-cost when disabled: one match on an immediate per hook site,
+       exactly the Trace/Metrics discipline. Recording never feeds back
+       into scheduling decisions. *)
+    let tel f = match telemetry with None -> () | Some tlm -> f tlm in
     let tl = Timeline.create () in
     let agents =
       Array.init p.sp_accels (fun i ->
@@ -145,16 +149,19 @@ let run ~service ~predict p (requests : Serve_request.t list) =
         match !arrivals with
         | (a : Serve_request.t) :: rest when a.Serve_request.rq_arrival <= now ->
           arrivals := rest;
+          tel (fun tlm -> Serve_telemetry.on_arrival tlm ~at:a.rq_arrival);
           let admitted =
             match p.sp_queue_cap with
             | None -> true
             | Some cap -> in_flight_at a.rq_arrival < cap
           in
           if admitted then queue := !queue @ [ a ]
-          else
+          else begin
             rejected :=
               { rj_id = a.rq_id; rj_model = a.rq_model; rj_arrival = a.rq_arrival }
               :: !rejected;
+            tel (fun tlm -> Serve_telemetry.on_reject tlm ~at:a.rq_arrival)
+          end;
           go ()
         | _ -> ()
       in
@@ -232,7 +239,17 @@ let run ~service ~predict p (requests : Serve_request.t list) =
                   rs_finish = finish;
                 }
                 :: !completed)
-            batch
+            batch;
+          tel (fun tlm ->
+              (* queue depth after removal, in-flight including the
+                 batch just scheduled (its finish is in the future) *)
+              Serve_telemetry.on_dispatch tlm ~at:!now ~accel:idx ~start ~finish
+                ~queue:(List.length !queue) ~in_flight:(in_flight_at !now);
+              List.iter
+                (fun (r : Serve_request.t) ->
+                  Serve_telemetry.on_complete tlm ~finish
+                    ~latency:(finish -. r.Serve_request.rq_arrival))
+                batch)
         end
       done
     with

@@ -69,6 +69,7 @@ type outcome = {
 val validate : params -> (unit, string) result
 
 val run :
+  ?telemetry:Serve_telemetry.t ->
   service:(string -> batch:int -> float) ->
   predict:(string -> float) ->
   params ->
@@ -80,4 +81,11 @@ val run :
     is the SJF ranking key. Both are injectable so property tests can
     drive the scheduler with synthetic oracles; production callers
     pass {!Serve_cost.service}/{!Serve_cost.predict}. [Error] on
-    invalid params or a non-positive service time. *)
+    invalid params or a non-positive service time.
+
+    [telemetry], when given, receives every arrival, rejection,
+    dispatch and completion as it happens on the simulated clock
+    ({!Serve_telemetry}); when absent each hook site is one match on
+    an immediate — the zero-cost-when-disabled discipline of
+    {!Trace}/{!Metrics}. Recording never influences scheduling, so an
+    observed run's outcome is bit-identical to an unobserved one. *)

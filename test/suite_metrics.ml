@@ -109,6 +109,33 @@ let test_histogram_edges () =
   Alcotest.(check (option (float 0.0))) "min survives overflow" (Some 42.0)
     v.Metrics.h_min
 
+let test_histogram_bucket_lines () =
+  let reg = Metrics.create () in
+  Metrics.enable reg;
+  (* buckets cover (2^(i-1), 2^i]: 3 and 4 land in le=4, 9 in le=16,
+     100 in le=128 — the rendered lines must be cumulative *)
+  List.iter
+    (fun v -> Metrics.observe ~reg ~labels:[ ("k", "v") ] "lat" v)
+    [ 3.0; 4.0; 9.0; 100.0 ];
+  let text = Metrics.render ~reg () in
+  List.iter
+    (fun line ->
+      Alcotest.(check bool) (Printf.sprintf "render has %S" line) true
+        (contains text line))
+    [
+      "lat_bucket{k=\"v\",le=\"4\"} 2";
+      "lat_bucket{k=\"v\",le=\"16\"} 3";
+      "lat_bucket{k=\"v\",le=\"128\"} 4";
+      "lat_bucket{k=\"v\",le=\"+Inf\"} 4";
+    ];
+  Alcotest.(check bool) "unpopulated bounds are skipped" false
+    (contains text "le=\"8\"");
+  (* +Inf always equals _count, overflow included *)
+  Metrics.observe ~reg ~labels:[ ("k", "v") ] "lat" 1e30;
+  let text = Metrics.render ~reg () in
+  Alcotest.(check bool) "+Inf includes the overflow bucket" true
+    (contains text "lat_bucket{k=\"v\",le=\"+Inf\"} 5")
+
 (* ------------------------------------------------------------------ *)
 (* Remark emission from the transform passes                           *)
 (* ------------------------------------------------------------------ *)
@@ -258,6 +285,7 @@ let tests =
     Alcotest.test_case "registry basics" `Quick test_registry_basics;
     Alcotest.test_case "registry export" `Quick test_registry_export;
     Alcotest.test_case "histogram edge cases" `Quick test_histogram_edges;
+    Alcotest.test_case "histogram bucket lines" `Quick test_histogram_bucket_lines;
     Alcotest.test_case "remarks: applied and missed" `Quick test_remarks_applied_and_missed;
     Alcotest.test_case "benchdiff gate fires" `Quick test_benchdiff_gate_fires;
     Alcotest.test_case "benchdiff artifact round-trip" `Quick

@@ -370,6 +370,46 @@ let test_serve_structured_errors () =
        requests)
     "service cycles must be positive"
 
+let test_slo_telemetry_structured_errors () =
+  (* every malformed --slo spec must come back as a grammar-citing
+     [Error] — the CLI maps these to exit 124 *)
+  expect_error "empty spec" (Slo.parse "   ") "empty SLO spec";
+  expect_error "unknown objective" (Slo.parse "latency<=10") "unknown SLO objective";
+  expect_error "unsupported percentile" (Slo.parse "p42<=10")
+    "unsupported latency percentile p42";
+  expect_error "missing comparator" (Slo.parse "p99") "malformed latency objective";
+  expect_error "wrong latency comparator" (Slo.parse "p99<10") "latency objectives use <=";
+  expect_error "non-positive limit" (Slo.parse "p99<=0") "latency limit must be positive";
+  expect_error "malformed limit" (Slo.parse "p99<=fast") "malformed latency limit";
+  expect_error "wrong availability comparator"
+    (Slo.parse "availability=99%")
+    "availability objectives use >=";
+  expect_error "availability above 100%"
+    (Slo.parse "availability>=150%")
+    "strictly between 0 and 100%";
+  expect_error "malformed target" (Slo.parse "availability>=often")
+    "malformed availability target";
+  expect_error "zero burn window" (Slo.parse "p99<=10@0") "burn-rate window count must be >= 1";
+  expect_error "malformed burn window" (Slo.parse "p99<=10@soon")
+    "malformed burn-rate window count";
+  (* valid forms normalise to the canonical rendering *)
+  (match Slo.parse " p99<=250000 " with
+  | Ok spec -> Alcotest.(check string) "canonical latency" "p99<=250000@4" (Slo.to_string spec)
+  | Error msg -> Alcotest.fail msg);
+  (match Slo.parse "availability>=0.999@6" with
+  | Ok spec ->
+    Alcotest.(check string) "canonical availability" "availability>=99.9%@6"
+      (Slo.to_string spec)
+  | Error msg -> Alcotest.fail msg);
+  (* collector construction rejects degenerate parameters *)
+  expect_error "zero window width" (Timeseries.create ~window:0.0) "window width must be positive";
+  expect_error "negative telemetry window"
+    (Serve_telemetry.create ~window:(-5.0) ~accels:1)
+    "window width must be positive";
+  expect_error "no accelerators"
+    (Serve_telemetry.create ~window:100.0 ~accels:0)
+    "accels >= 1"
+
 let tests =
   [
     Alcotest.test_case "codegen rejects over-deep flows" `Quick test_codegen_rejects_deep_flow;
@@ -398,4 +438,6 @@ let tests =
     Alcotest.test_case "verifier rejects wait on undefined token" `Quick
       test_wait_on_undefined_token_rejected;
     Alcotest.test_case "serving: structured errors" `Quick test_serve_structured_errors;
+    Alcotest.test_case "slo + telemetry: structured errors" `Quick
+      test_slo_telemetry_structured_errors;
   ]

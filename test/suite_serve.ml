@@ -189,6 +189,89 @@ let test_queue_cap_rejects () =
   in
   Alcotest.(check bool) "first two admitted" true (min_rejected >= 2)
 
+let test_zero_completion_report () =
+  (* an empty run: no completions, makespan 0 — summarize must not
+     raise and the undefined rates must render "n/a", not 0 or nan *)
+  let o = run_synth (params ~accels:2 ()) [] in
+  Alcotest.(check int) "nothing completed" 0 (List.length o.Serve_sim.oc_completed);
+  let s = Serve_report.summarize ~freq_mhz:100.0 Serve_policy.Fifo o in
+  Alcotest.(check bool) "throughput undefined" true (s.Serve_report.sm_throughput_rps = None);
+  Alcotest.(check bool) "utilization undefined" true (s.sm_utilization = None);
+  Alcotest.(check (float 0.0)) "empty percentiles are 0" 0.0
+    s.sm_latency.Serve_report.d_p99;
+  let report =
+    {
+      Serve_report.rp_workloads = [ "small" ];
+      rp_seed = 0;
+      rp_rps = 1.0;
+      rp_requests = 0;
+      rp_accels = 2;
+      rp_queue_cap = None;
+      rp_batch_max = 1;
+      rp_freq_mhz = 100.0;
+      rp_summaries = [ s ];
+    }
+  in
+  let rendered = Serve_report.render report in
+  Alcotest.(check bool) "renders n/a for the undefined rates" true
+    (contains rendered "n/a");
+  (* the JSON artifact keeps the v1 field types: undefined -> 0 *)
+  let policies = Json.(to_list (member "policies" (Serve_report.to_json report))) in
+  Alcotest.(check (float 0.0)) "artifact throughput is 0" 0.0
+    Json.(to_float (member "throughput_rps" (List.hd policies)));
+  (* a heavily-rejecting run still summarizes from its survivors *)
+  let burst = List.init 8 (fun i -> rq i 0.0 "large") in
+  let o = run_synth (params ~accels:1 ~queue_cap:1 ()) burst in
+  Alcotest.(check int) "cap 1 admits one" 1 (List.length o.Serve_sim.oc_completed);
+  let s = Serve_report.summarize ~freq_mhz:100.0 Serve_policy.Fifo o in
+  Alcotest.(check bool) "rates defined once anything completed" true
+    (s.Serve_report.sm_throughput_rps <> None && s.sm_utilization <> None)
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry reconciliation                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_telemetry_reconciles () =
+  (* the tested invariant: windowed telemetry sums equal the end-of-run
+     outcome totals exactly, and observing a run never changes it *)
+  let requests = ok (Serve_request.generate (stream ~count:30 ~mean_gap:60.0 ())) in
+  List.iter
+    (fun policy ->
+      let p = params ~accels:2 ~policy ~queue_cap:3 () in
+      let telemetry = ok (Serve_telemetry.create ~window:500.0 ~accels:2) in
+      let unobserved = run_synth p requests in
+      let observed =
+        ok
+          (Serve_sim.run ~telemetry ~service:synth_service ~predict:synth_predict p
+             requests)
+      in
+      Alcotest.(check bool)
+        (Serve_policy.to_string policy ^ ": telemetry does not perturb the run")
+        true (observed = unobserved);
+      let total name = List.assoc name (Serve_telemetry.totals telemetry) in
+      let n = List.length observed.Serve_sim.oc_completed in
+      let r = List.length observed.Serve_sim.oc_rejected in
+      Alcotest.(check (float 0.0)) "arrivals = offered" (float_of_int (n + r))
+        (total Serve_telemetry.s_arrivals);
+      Alcotest.(check (float 0.0)) "completions = completed" (float_of_int n)
+        (total Serve_telemetry.s_completions);
+      Alcotest.(check (float 0.0)) "rejections = rejected" (float_of_int r)
+        (total Serve_telemetry.s_rejections);
+      Alcotest.(check (float 0.0)) "kernels = dispatches"
+        (float_of_int observed.Serve_sim.oc_dispatches)
+        (total Serve_telemetry.s_kernels);
+      (* per-accel busy cycles reconcile too (spread over windows) *)
+      List.iter
+        (fun (a : Serve_sim.accel_stat) ->
+          Alcotest.(check (float 1e-6))
+            (Printf.sprintf "accel%d busy cycles" a.Serve_sim.ac_id)
+            a.Serve_sim.ac_busy
+            (Timeseries.total
+               (Serve_telemetry.timeseries telemetry)
+               (Serve_telemetry.busy_series a.Serve_sim.ac_id)))
+        observed.Serve_sim.oc_accels)
+    Serve_policy.all
+
 (* ------------------------------------------------------------------ *)
 (* QCheck scheduler invariants                                         *)
 (* ------------------------------------------------------------------ *)
@@ -418,28 +501,26 @@ let test_batched_kernel_amortises () =
 (* The axi4mlir-serve-v1 artifact                                      *)
 (* ------------------------------------------------------------------ *)
 
-let golden_report () =
+let golden_specs = [ "matmul:16,16,16" ]
+
+let golden_freq_mhz = Cost_model.default.Cost_model.cpu_freq_mhz
+
+let golden_requests () =
+  ok
+    (Serve_request.generate
+       {
+         Serve_request.st_seed = 3;
+         st_count = 6;
+         st_mean_gap = golden_freq_mhz *. 1e6 /. 30000.0;
+         st_models = golden_specs;
+       })
+
+let golden_report ?(policies = Serve_policy.all) () =
   (* must mirror bin/axi4mlir_serve.ml's construction for:
        --workload matmul:16,16,16 --requests 6 --accels 2 --rps 30000
        --policy all --seed 3 --batch-max 2 *)
-  let specs = [ "matmul:16,16,16" ] in
-  let oracle = Serve_cost.create (ok (Serve_cost.models_of_specs specs)) in
-  let freq_mhz = Cost_model.default.Cost_model.cpu_freq_mhz in
-  let rps = 30000.0 in
-  let requests = 6 in
-  let seed = 3 in
-  let batch_max = 2 in
-  let accels = 2 in
-  let reqs =
-    ok
-      (Serve_request.generate
-         {
-           Serve_request.st_seed = seed;
-           st_count = requests;
-           st_mean_gap = freq_mhz *. 1e6 /. rps;
-           st_models = specs;
-         })
-  in
+  let oracle = Serve_cost.create (ok (Serve_cost.models_of_specs golden_specs)) in
+  let reqs = golden_requests () in
   let summaries =
     List.map
       (fun policy ->
@@ -448,21 +529,21 @@ let golden_report () =
             (Serve_sim.run
                ~service:(Serve_cost.service oracle)
                ~predict:(Serve_cost.predict oracle)
-               (params ~accels ~policy ~batch_max ())
+               (params ~accels:2 ~policy ~batch_max:2 ())
                reqs)
         in
-        Serve_report.summarize ~freq_mhz policy o)
-      Serve_policy.all
+        Serve_report.summarize ~freq_mhz:golden_freq_mhz policy o)
+      policies
   in
   {
-    Serve_report.rp_workloads = specs;
-    rp_seed = seed;
-    rp_rps = rps;
-    rp_requests = requests;
-    rp_accels = accels;
+    Serve_report.rp_workloads = golden_specs;
+    rp_seed = 3;
+    rp_rps = 30000.0;
+    rp_requests = 6;
+    rp_accels = 2;
     rp_queue_cap = None;
-    rp_batch_max = batch_max;
-    rp_freq_mhz = freq_mhz;
+    rp_batch_max = 2;
+    rp_freq_mhz = golden_freq_mhz;
     rp_summaries = summaries;
   }
 
@@ -470,15 +551,71 @@ let golden_report () =
      dune exec bin/axi4mlir_serve.exe -- --workload matmul:16,16,16 \
        --requests 6 --accels 2 --rps 30000 --policy all --seed 3 \
        --batch-max 2 --json test/golden/serve_matmul16.json *)
+let read_golden path =
+  let ic = open_in_bin (Filename.concat "golden" path) in
+  let golden = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  golden
+
 let test_golden_artifact () =
   let fresh =
     Json.to_string ~indent:1 (Serve_report.to_json (golden_report ())) ^ "\n"
   in
-  let path = Filename.concat "golden" "serve_matmul16.json" in
-  let ic = open_in_bin path in
-  let golden = really_input_string ic (in_channel_length ic) in
-  close_in ic;
-  Alcotest.(check string) "serve artifact matches the golden file" golden fresh
+  Alcotest.(check string) "serve artifact matches the golden file"
+    (read_golden "serve_matmul16.json") fresh
+
+(* Regenerate with:
+     dune exec bin/axi4mlir_serve.exe -- --workload matmul:16,16,16 \
+       --requests 6 --accels 2 --rps 30000 --policy batch --seed 3 \
+       --batch-max 2 --json test/golden/serve_batch16.json *)
+let test_golden_batch_artifact () =
+  let fresh =
+    Json.to_string ~indent:1
+      (Serve_report.to_json (golden_report ~policies:[ Serve_policy.Batch ] ()))
+    ^ "\n"
+  in
+  Alcotest.(check string) "batch-policy artifact matches the golden file"
+    (read_golden "serve_batch16.json") fresh
+
+(* Regenerate with:
+     dune exec bin/axi4mlir_serve.exe -- --workload matmul:16,16,16 \
+       --requests 6 --accels 2 --rps 30000 --policy all --seed 3 \
+       --batch-max 2 --window 200000 --slo 'p99<=500000' \
+       --telemetry test/golden/serve_telemetry.json *)
+let test_golden_telemetry_artifact () =
+  let oracle = Serve_cost.create (ok (Serve_cost.models_of_specs golden_specs)) in
+  let reqs = golden_requests () in
+  let slo = ok (Slo.parse "p99<=500000") in
+  let observed =
+    List.map
+      (fun policy ->
+        let telemetry = ok (Serve_telemetry.create ~window:200000.0 ~accels:2) in
+        let _ =
+          ok
+            (Serve_sim.run ~telemetry
+               ~service:(Serve_cost.service oracle)
+               ~predict:(Serve_cost.predict oracle)
+               (params ~accels:2 ~policy ~batch_max:2 ())
+               reqs)
+        in
+        ( Serve_policy.to_string policy,
+          telemetry,
+          Serve_telemetry.evaluate telemetry [ slo ] ))
+      Serve_policy.all
+  in
+  let fresh = Json.to_string ~indent:1 (Serve_telemetry.to_json observed) ^ "\n" in
+  Alcotest.(check string) "telemetry artifact matches the golden file"
+    (read_golden "serve_telemetry.json") fresh;
+  (* telemetry-v1 schema floor: add-only fields that must stay *)
+  let doc = Serve_telemetry.to_json observed in
+  Alcotest.(check string) "schema string" "axi4mlir-telemetry-v1"
+    Json.(to_str (member "schema" doc));
+  let first = List.hd Json.(to_list (member "policies" doc)) in
+  List.iter
+    (fun field ->
+      Alcotest.(check bool) (field ^ " present") true
+        (Json.member_opt field first <> None))
+    [ "policy"; "window_cycles"; "accels"; "totals"; "timeseries"; "slos" ]
 
 let test_artifact_schema () =
   (* the add-only compatibility floor: these fields must stay *)
@@ -561,6 +698,10 @@ let tests =
     Alcotest.test_case "batch: coalesces same-model requests" `Quick
       test_batch_coalesces;
     Alcotest.test_case "queue cap: rejects and conserves" `Quick test_queue_cap_rejects;
+    Alcotest.test_case "report: zero completions render n/a" `Quick
+      test_zero_completion_report;
+    Alcotest.test_case "telemetry: reconciles with the report" `Quick
+      test_telemetry_reconciles;
     QCheck_alcotest.to_alcotest prop_conservation;
     QCheck_alcotest.to_alcotest prop_accounting;
     QCheck_alcotest.to_alcotest prop_determinism;
@@ -571,6 +712,10 @@ let tests =
     Alcotest.test_case "differential: batching amortises" `Quick
       test_batched_kernel_amortises;
     Alcotest.test_case "golden: serve artifact" `Quick test_golden_artifact;
+    Alcotest.test_case "golden: batch-policy artifact" `Quick
+      test_golden_batch_artifact;
+    Alcotest.test_case "golden: telemetry artifact" `Quick
+      test_golden_telemetry_artifact;
     Alcotest.test_case "serve-v1 schema floor" `Quick test_artifact_schema;
     Alcotest.test_case "trace: request + dispatch tracks" `Quick test_trace_export;
   ]

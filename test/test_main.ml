@@ -13,6 +13,7 @@ let () =
       ("obs", Suite_obs.tests);
       ("critpath", Suite_critpath.tests);
       ("metrics", Suite_metrics.tests);
+      ("telemetry", Suite_telemetry.tests);
       ("runtime", Suite_runtime.tests);
       ("config", Suite_config.tests);
       ("transforms", Suite_transforms.tests);
