@@ -22,6 +22,7 @@ let experiments =
     ("ablation", "Ablation: codegen design choices", Exp_ablation.run);
     ("exp_tune", "Autotuner: design-space exploration gates", Exp_tune.run);
     ("exp_serve", "Serving: multi-accelerator scheduling & tail latency", Exp_serve.run);
+    ("exp_graph", "Whole-model graph: residency reuse vs per-kernel baseline", Exp_graph.run);
   ]
 
 (* ------------------------------------------------------------------ *)

@@ -11,10 +11,71 @@
 
 open Cmdliner
 
+(* Whole-model graph mode (--graph): no --config — the graph's engine
+   kind picks its preset. Runs the per-kernel baseline, and with
+   --residency also the residency-planned execution, verifying the two
+   are bit-identical on every graph output. *)
+let run_graph_mode ~model ~residency ~batch ~width ~graph_json =
+  let g =
+    match Graph_build.of_name ~width model with
+    | Ok g -> g
+    | Error msg -> failwith msg
+  in
+  let accel_nodes =
+    Array.to_list g.Graph_ir.g_nodes
+    |> List.filter (fun nd -> Graph_ir.is_accel nd.Graph_ir.nd_op)
+    |> List.length
+  in
+  Printf.printf "model        : %s (%d nodes, %d accelerated, %d MACs)\n"
+    g.Graph_ir.g_name (Array.length g.g_nodes) accel_nodes (Graph_ir.macs g);
+  Printf.printf "batch        : %d\n" batch;
+  let base = Graph_exec.run ~batch ~residency:false g in
+  let words r = Graph_exec.result_dma_words r in
+  Printf.printf "baseline     : %.0f cycles, %.0f DMA words\n"
+    base.Graph_exec.rs_counters.Perf_counters.cycles (words base);
+  let report_run =
+    if not residency then base
+    else begin
+      let resd = Graph_exec.run ~batch ~residency:true g in
+      Printf.printf
+        "residency    : %.0f cycles, %.0f DMA words (%d skipped; %d chained \
+         edges, %d stationary, %d fallback)\n"
+        resd.Graph_exec.rs_counters.Perf_counters.cycles (words resd)
+        resd.Graph_exec.rs_skipped_words
+        (Graph_residency.chained_edges resd.Graph_exec.rs_plan)
+        (Graph_residency.stationary_nodes resd.Graph_exec.rs_plan)
+        (Graph_residency.fallback_nodes g resd.Graph_exec.rs_plan);
+      let identical = Graph_exec.outputs_equal base resd in
+      Printf.printf "bit-identity : %s\n" (if identical then "PASS" else "FAIL");
+      if not identical then failwith "residency execution changed output bytes";
+      if words resd >= words base then
+        Printf.printf "note         : residency saved no DMA words on this plan\n"
+      else
+        Printf.printf "savings      : %.1f%% of baseline DMA words elided\n"
+          (100.0 *. (1.0 -. (words resd /. words base)));
+      resd
+    end
+  in
+  (match graph_json with
+  | Some path ->
+    Graph_report.write report_run ~path;
+    Printf.printf "graph report : %s (%s)\n" path Graph_report.schema
+  | None -> ());
+  `Ok ()
+
 let run_tool config_path matmul conv flow tiles coalesce double_buffer cpu_only
-    trace_out timing remarks metrics_out doctor critical_path =
+    trace_out timing remarks metrics_out doctor critical_path graph residency batch
+    width graph_json =
   Tool_common.with_observability ~remarks ~metrics:metrics_out @@ fun () ->
   Dialects.register_all ();
+  match graph with
+  | Some model ->
+    if matmul <> None || conv <> None then
+      failwith "--graph cannot be combined with --matmul/--conv";
+    if batch < 1 then failwith "--batch must be >= 1";
+    run_graph_mode ~model ~residency ~batch ~width ~graph_json
+  | None ->
+  if residency then failwith "--residency requires --graph";
   let config_path =
     match config_path with Some p -> p | None -> failwith "--config is required"
   in
@@ -153,6 +214,33 @@ let timing =
 let double_buffer = Arg.(value & flag & info [ "double-buffer" ] ~doc:"Ping-pong sends.")
 let cpu_only = Arg.(value & flag & info [ "cpu" ] ~doc:"CPU-only lowering instead.")
 
+let graph =
+  Arg.(value & opt (some string) None & info [ "graph" ] ~docv:"MODEL"
+         ~doc:"Run a whole-model graph (resnet18 or tinybert) instead of a \
+               single kernel. No --config needed: the graph's engine kind \
+               selects its preset.")
+
+let residency =
+  Arg.(value & flag & info [ "residency" ]
+         ~doc:"With --graph: also run the residency-planned execution \
+               (weight-stationary reuse, accel-to-accel chaining) and verify \
+               it is bit-identical to the per-kernel baseline.")
+
+let batch =
+  Arg.(value & opt int 1 & info [ "batch" ] ~docv:"N"
+         ~doc:"With --graph: images per forward pass (batch > 1 enables \
+               weight-stationary reuse).")
+
+let width =
+  Arg.(value & opt int 8 & info [ "width" ] ~docv:"N"
+         ~doc:"With --graph resnet18: stage-1 channel width (later stages \
+               scale 2/4/8x).")
+
+let graph_json =
+  Arg.(value & opt (some string) None & info [ "graph-json" ] ~docv:"FILE"
+         ~doc:"With --graph: write the axi4mlir-graph-v1 run artifact to \
+               $(docv).")
+
 let cmd =
   let doc = "compile a linalg op for an AXI accelerator and run it on the simulated SoC" in
   Cmd.v
@@ -162,6 +250,7 @@ let cmd =
         (const run_tool $ config $ matmul $ conv $ flow $ tiles $ coalesce $ double_buffer
        $ cpu_only $ trace_out $ timing $ Tool_common.remarks_flag
        $ Tool_common.metrics_out $ Tool_common.doctor_flag
-       $ Tool_common.critical_path_out))
+       $ Tool_common.critical_path_out $ graph $ residency $ batch $ width
+       $ graph_json))
 
 let () = exit (Cmd.eval cmd)

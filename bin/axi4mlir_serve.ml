@@ -14,8 +14,8 @@
 
 open Cmdliner
 
-let run_tool workloads rps accels policy_name requests seed queue_cap batch_max rows
-    seq window slo_specs dashboard telemetry_out assert_fired report_out json_out
+let run_tool workloads graph rps accels policy_name requests seed queue_cap batch_max
+    rows seq window slo_specs dashboard telemetry_out assert_fired report_out json_out
     trace_out remarks metrics_out =
   Tool_common.with_observability ~remarks ~metrics:metrics_out @@ fun () ->
   let fail_on_error = function Ok v -> v | Error msg -> failwith msg in
@@ -48,8 +48,28 @@ let run_tool workloads rps accels policy_name requests seed queue_cap batch_max 
     }
   in
   fail_on_error (Serve_sim.validate params);
-  let models = fail_on_error (Serve_cost.models_of_specs ~rows ~seq workloads) in
-  let oracle = Serve_cost.create models in
+  let oracle =
+    if graph then begin
+      (* whole-model serving: each request costs a full Graph_exec
+         forward pass under the residency plan, not a shape-class sum *)
+      let graphs =
+        List.map
+          (fun spec ->
+            match Graph_build.of_name spec with
+            | Ok g -> (spec, g)
+            | Error msg ->
+              failwith
+                (Printf.sprintf
+                   "%s (with --graph every --workload must be a whole-model \
+                    name)"
+                   msg))
+          workloads
+      in
+      Serve_cost.create ~graphs []
+    end
+    else
+      Serve_cost.create (fail_on_error (Serve_cost.models_of_specs ~rows ~seq workloads))
+  in
   let freq_mhz = Cost_model.default.Cost_model.cpu_freq_mhz in
   let mean_gap = freq_mhz *. 1e6 /. rps in
   let stream =
@@ -197,6 +217,17 @@ let workload =
            (row-sampled conv proxies), $(b,resnet18/LAYER) or $(b,tinybert) \
            (padded MatMul shape classes).")
 
+let graph =
+  Arg.(
+    value & flag
+    & info [ "graph" ]
+        ~doc:
+          "Whole-model mode: every $(b,--workload) must be a graph model name \
+           ($(b,resnet18) or $(b,tinybert)); each request is costed as a full \
+           residency-planned forward pass through the model graph \
+           (weight-stationary reuse and accel-to-accel chaining included) \
+           instead of a per-shape-class layer sum.")
+
 let rps =
   Arg.(
     value & opt float 100.0
@@ -325,7 +356,7 @@ let cmd =
     (Cmd.info "axi4mlir-serve" ~doc)
     Term.(
       ret
-        (const run_tool $ workload $ rps $ accels $ policy $ requests $ seed
+        (const run_tool $ workload $ graph $ rps $ accels $ policy $ requests $ seed
        $ queue_cap $ batch_max $ rows $ seq $ window $ slo $ dashboard
        $ telemetry_out $ assert_fired $ report_out $ json_out $ trace_out
        $ Tool_common.remarks_flag $ Tool_common.metrics_out))

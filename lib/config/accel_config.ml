@@ -107,7 +107,9 @@ let validate t =
 let make_device ?tracer t =
   match t.engine with
   | Matmul_engine (version, size) -> Accel_matmul.create ?tracer ~version ~size ()
-  | Conv_engine -> Accel_conv.create ~ops_per_cycle:t.ops_per_cycle ?tracer ()
+  | Conv_engine ->
+    Accel_conv.create ~ops_per_cycle:t.ops_per_cycle ?tracer
+      ~capacity_elems:t.buffer_capacity_elems ()
 
 let attach soc t =
   (* Share the SoC's tracer so device-level events (tile computations,

@@ -1,0 +1,22 @@
+(** Graph-level differential fuzzing: random conv-chain graphs run
+    baseline vs residency; residency must be bit-identical on every
+    graph output and move strictly fewer DMA words. Generated graphs
+    include chain-breaking branches and exported intermediates, 1x1 and
+    stride-2 convolutions, and both batch 1 (chaining) and batch 2
+    (weight-stationary) regimes. *)
+
+type case = {
+  gc_seed : int;
+  gc_batch : int;
+  gc_graph : Graph_ir.t;
+}
+
+val generate : seed:int -> case
+(** Deterministic per seed. *)
+
+val run : case -> Graph_exec.result * Graph_exec.result
+(** [(baseline, residency)]. *)
+
+val check : case -> (unit, string) result
+(** Run both modes and enforce the two oracle invariants; [Error]
+    carries the seed and the violation. *)

@@ -1,0 +1,187 @@
+(* Whole-model proxy builders.
+
+   The shapes are scaled-down proxies of the paper's models (the full
+   ResNet-18 spatial extents would make the cycle-accurate simulation
+   interactive-hostile), but the *structure* is faithful: the ResNet
+   proxy has the real 20-convolution skeleton (stem + 8 basic blocks,
+   three of them with a 1x1 downsample shortcut) and the TinyBERT proxy
+   the real 8-matmuls-per-layer attention/FFN chain. Valid padding
+   shrinks feature maps, so [Resize] glue nodes centre-crop / zero-pad
+   between blocks to keep every stage's input at its nominal extent —
+   the same role `same` padding plays in the reference models. *)
+
+type builder = {
+  mutable b_tensors : Graph_ir.tensor list; (* reversed *)
+  mutable b_nodes : Graph_ir.node list; (* reversed *)
+  mutable b_next_tensor : int;
+  mutable b_next_node : int;
+}
+
+let make_builder () =
+  { b_tensors = []; b_nodes = []; b_next_tensor = 0; b_next_node = 0 }
+
+let add_tensor b ~name ~kind ~shape =
+  let id = b.b_next_tensor in
+  b.b_next_tensor <- id + 1;
+  b.b_tensors <-
+    { Graph_ir.tn_id = id; tn_name = name; tn_kind = kind; tn_shape = shape }
+    :: b.b_tensors;
+  id
+
+let add_node b ~name ~op ~args ~out_name ~out_shape =
+  let out =
+    add_tensor b ~name:out_name ~kind:Graph_ir.Activation ~shape:out_shape
+  in
+  let id = b.b_next_node in
+  b.b_next_node <- id + 1;
+  b.b_nodes <-
+    { Graph_ir.nd_id = id; nd_name = name; nd_op = op; nd_args = args; nd_out = out }
+    :: b.b_nodes;
+  out
+
+let finish b ~name ~outputs =
+  let g =
+    {
+      Graph_ir.g_name = name;
+      g_tensors = Array.of_list (List.rev b.b_tensors);
+      g_nodes = Array.of_list (List.rev b.b_nodes);
+      g_outputs = outputs;
+    }
+  in
+  match Graph_ir.validate g with
+  | Ok () -> g
+  | Error msg -> failwith (Printf.sprintf "graph builder bug (%s): %s" name msg)
+
+let conv_out = Graph_ir.conv_out
+
+(* One convolution: declares its weights tensor alongside the node. *)
+let conv b ~name ~input ~ic ~hw ~oc ~fhw ~stride =
+  let w =
+    add_tensor b ~name:(name ^ ".w") ~kind:Graph_ir.Weights
+      ~shape:[ oc; ic; fhw; fhw ]
+  in
+  let ohw = conv_out hw ~fhw ~stride in
+  ( add_node b ~name ~op:(Graph_ir.Conv { stride }) ~args:[ input; w ]
+      ~out_name:(name ^ ".out") ~out_shape:[ oc; ohw; ohw ],
+    ohw )
+
+let resize b ~name ~input ~shape =
+  add_node b ~name ~op:Graph_ir.Resize ~args:[ input ] ~out_name:(name ^ ".out")
+    ~out_shape:shape
+
+(* A basic block at nominal extent [hw]:
+   conv1 (3x3, [stride]) -> conv2 (3x3, s1) -> add the shortcut.
+   [down] blocks double the channels with conv1 at stride 2 and take
+   the shortcut through a 1x1 stride-2 projection; plain blocks use
+   the identity shortcut. conv1's output feeds conv2 and nothing else —
+   that edge is the accel->accel chaining opportunity. *)
+let basic_block b ~name ~input ~ic ~hw ~oc ~down =
+  let stride1 = if down then 2 else 1 in
+  let c1, hw1 = conv b ~name:(name ^ ".conv1") ~input ~ic ~hw ~oc ~fhw:3 ~stride:stride1 in
+  let c2, hw2 = conv b ~name:(name ^ ".conv2") ~input:c1 ~ic:oc ~hw:hw1 ~oc ~fhw:3 ~stride:1 in
+  let shortcut =
+    if down then
+      fst (conv b ~name:(name ^ ".proj") ~input ~ic ~hw ~oc ~fhw:1 ~stride:2)
+    else input
+  in
+  ( add_node b ~name:(name ^ ".add") ~op:Graph_ir.Residual_add
+      ~args:[ c2; shortcut ] ~out_name:(name ^ ".out")
+      ~out_shape:[ oc; hw2; hw2 ],
+    hw2 )
+
+let resnet18 ?(width = 8) () =
+  if width < 1 then invalid_arg "Graph_build.resnet18: width must be >= 1";
+  let b = make_builder () in
+  let input = add_tensor b ~name:"image" ~kind:Graph_ir.Input ~shape:[ 3; 20; 20 ] in
+  let stem, _ = conv b ~name:"stem" ~input ~ic:3 ~hw:20 ~oc:width ~fhw:7 ~stride:2 in
+  (* stage nominal extents: 11 / 9 / 9 / 9 *)
+  let stage b ~idx ~input ~ic ~hw ~oc ~down =
+    let x =
+      resize b ~name:(Printf.sprintf "stage%d.in" idx) ~input ~shape:[ ic; hw; hw ]
+    in
+    let y, _ =
+      basic_block b
+        ~name:(Printf.sprintf "stage%d.block1" idx)
+        ~input:x ~ic ~hw ~oc ~down
+    in
+    let y =
+      resize b ~name:(Printf.sprintf "stage%d.mid" idx) ~input:y ~shape:[ oc; hw; hw ]
+    in
+    basic_block b
+      ~name:(Printf.sprintf "stage%d.block2" idx)
+      ~input:y ~ic:oc ~hw ~oc ~down:false
+  in
+  let s1, _ = stage b ~idx:1 ~input:stem ~ic:width ~hw:11 ~oc:width ~down:false in
+  let s2, _ = stage b ~idx:2 ~input:s1 ~ic:width ~hw:9 ~oc:(2 * width) ~down:true in
+  let s3, _ = stage b ~idx:3 ~input:s2 ~ic:(2 * width) ~hw:9 ~oc:(4 * width) ~down:true in
+  let s4, _ = stage b ~idx:4 ~input:s3 ~ic:(4 * width) ~hw:9 ~oc:(8 * width) ~down:true in
+  finish b ~name:(Printf.sprintf "resnet18-w%d" width) ~outputs:[ s4 ]
+
+let pad16 n = ((n + 15) / 16) * 16
+
+let tinybert ?(seq = 32) ?(layers = 4) () =
+  if seq < 1 then invalid_arg "Graph_build.tinybert: seq must be >= 1";
+  if layers < 1 then invalid_arg "Graph_build.tinybert: layers must be >= 1";
+  let seq = pad16 seq in
+  let hidden = pad16 312 (* 320: TinyBERT's 312, padded to the v4 granularity *) in
+  let ffn = 1200 in
+  let b = make_builder () in
+  let input =
+    add_tensor b ~name:"embeddings" ~kind:Graph_ir.Input ~shape:[ seq; hidden ]
+  in
+  let weight name shape = add_tensor b ~name ~kind:Graph_ir.Weights ~shape in
+  let matmul ~name ~a ~bt ~out_shape =
+    add_node b ~name ~op:Graph_ir.Matmul ~args:[ a; bt ] ~out_name:(name ^ ".out")
+      ~out_shape
+  in
+  let layer x i =
+    let p fmt = Printf.ksprintf (fun s -> Printf.sprintf "layer%d.%s" i s) fmt in
+    let proj name =
+      matmul ~name:(p "%s" name) ~a:x
+        ~bt:(weight (p "%s.w" name) [ hidden; hidden ])
+        ~out_shape:[ seq; hidden ]
+    in
+    let q = proj "q" and k = proj "k" and v = proj "v" in
+    let kt =
+      add_node b ~name:(p "kT") ~op:Graph_ir.Transpose ~args:[ k ]
+        ~out_name:(p "kT.out") ~out_shape:[ hidden; seq ]
+    in
+    let scores = matmul ~name:(p "scores") ~a:q ~bt:kt ~out_shape:[ seq; seq ] in
+    let ctx = matmul ~name:(p "ctx") ~a:scores ~bt:v ~out_shape:[ seq; hidden ] in
+    let proj_out =
+      matmul ~name:(p "proj") ~a:ctx
+        ~bt:(weight (p "proj.w") [ hidden; hidden ])
+        ~out_shape:[ seq; hidden ]
+    in
+    let res1 =
+      add_node b ~name:(p "res1") ~op:Graph_ir.Residual_add ~args:[ proj_out; x ]
+        ~out_name:(p "res1.out") ~out_shape:[ seq; hidden ]
+    in
+    let ffn1 =
+      matmul ~name:(p "ffn1") ~a:res1
+        ~bt:(weight (p "ffn1.w") [ hidden; ffn ])
+        ~out_shape:[ seq; ffn ]
+    in
+    let ffn2 =
+      matmul ~name:(p "ffn2") ~a:ffn1
+        ~bt:(weight (p "ffn2.w") [ ffn; hidden ])
+        ~out_shape:[ seq; hidden ]
+    in
+    add_node b ~name:(p "res2") ~op:Graph_ir.Residual_add ~args:[ ffn2; res1 ]
+      ~out_name:(p "res2.out") ~out_shape:[ seq; hidden ]
+  in
+  let out = ref input in
+  for i = 1 to layers do
+    out := layer !out i
+  done;
+  finish b
+    ~name:(Printf.sprintf "tinybert-s%d-l%d" seq layers)
+    ~outputs:[ !out ]
+
+let of_name ?width name =
+  match name with
+  | "resnet18" -> Ok (resnet18 ?width ())
+  | "tinybert" -> Ok (tinybert ())
+  | other ->
+    Error
+      (Printf.sprintf "unknown graph model %S (expected resnet18 or tinybert)" other)

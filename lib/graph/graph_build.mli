@@ -1,0 +1,24 @@
+(** Whole-model proxy graphs.
+
+    Scaled-down but structurally faithful builders for the paper's two
+    models. Both run {!Graph_ir.validate} and raise on an internal
+    inconsistency, so a returned graph is always well-formed. *)
+
+val resnet18 : ?width:int -> unit -> Graph_ir.t
+(** The 20-convolution ResNet-18 skeleton on a [3x20x20] input: stem
+    (7x7, stride 2) then four stages of two basic blocks; stages 2-4
+    open with a downsampling block (stride-2 conv1 plus a 1x1 stride-2
+    projection shortcut). [width] (default 8) is the stage-1 channel
+    count; later stages use 2/4/8x. [Resize] glue keeps each stage at
+    its nominal extent (11/9/9/9) under valid padding. Each block's
+    conv1->conv2 edge is single-consumer — the 8 accel->accel chaining
+    opportunities the residency scheduler exploits. *)
+
+val tinybert : ?seq:int -> ?layers:int -> unit -> Graph_ir.t
+(** [layers] (default 4) transformer layers of 8 matmuls each
+    (q/k/v/scores/ctx/proj/ffn1/ffn2) plus transpose and residual host
+    ops; hidden 320 (TinyBERT's 312 padded to the v4 granularity 16),
+    FFN 1200, [seq] (default 32) padded up to a multiple of 16. *)
+
+val of_name : ?width:int -> string -> (Graph_ir.t, string) result
+(** CLI entry: ["resnet18"] (honours [width]) or ["tinybert"]. *)

@@ -1,0 +1,17 @@
+(** The [axi4mlir-graph-v1] whole-model run artifact.
+
+    One JSON object per run: the graph structure, the residency plan,
+    counter totals and per-node cycle/DMA attribution. The schema is
+    {e add-only}: fields never change name, meaning or value type;
+    extensions append new fields, and a breaking redesign bumps the
+    schema string. The golden test pins exact bytes for a fixed run. *)
+
+val schema : string
+
+val to_json : Graph_exec.result -> Json.t
+
+val render : Graph_exec.result -> string
+(** [to_json] pretty-printed with [indent:1] plus a trailing newline —
+    the exact bytes {!write} emits and the golden test compares. *)
+
+val write : Graph_exec.result -> path:string -> unit

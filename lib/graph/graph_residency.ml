@@ -1,0 +1,198 @@
+let pass_name = "graph-residency"
+
+type decision = {
+  dc_node : int;
+  dc_stationary : bool;
+  dc_chain_in : bool;
+  dc_keep_out : bool;
+  dc_missed : (string * string) list;
+}
+
+type plan = {
+  pl_batch : int;
+  pl_residency : bool;
+  pl_decisions : decision array;
+}
+
+let chained_edges p =
+  Array.fold_left (fun acc d -> if d.dc_keep_out then acc + 1 else acc) 0 p.pl_decisions
+
+let stationary_nodes p =
+  Array.fold_left (fun acc d -> if d.dc_stationary then acc + 1 else acc) 0 p.pl_decisions
+
+let fallback_nodes (g : Graph_ir.t) p =
+  let n = ref 0 in
+  Array.iteri
+    (fun i nd ->
+      let d = p.pl_decisions.(i) in
+      if
+        Graph_ir.is_accel nd.Graph_ir.nd_op
+        && (not d.dc_stationary) && (not d.dc_chain_in) && not d.dc_keep_out
+      then incr n)
+    g.g_nodes;
+  !n
+
+let no_decision i =
+  { dc_node = i; dc_stationary = false; dc_chain_in = false; dc_keep_out = false;
+    dc_missed = [] }
+
+let baseline ~batch (g : Graph_ir.t) =
+  {
+    pl_batch = batch;
+    pl_residency = false;
+    pl_decisions = Array.init (Array.length g.g_nodes) no_decision;
+  }
+
+(* The conv weight slice the driver loads per output channel. *)
+let weight_slice_words (d : Graph_ir.conv_dims) = d.cd_ic * d.cd_fhw * d.cd_fhw
+
+(* A chain candidate: conv output consumed by exactly one later conv as
+   its image operand, and not itself a graph output the host must read. *)
+let chain_candidate (g : Graph_ir.t) (nd : Graph_ir.node) =
+  match nd.nd_op with
+  | Graph_ir.Conv _ -> (
+    if List.mem nd.nd_out g.g_outputs then None
+    else
+      match Graph_ir.consumers g nd.nd_out with
+      | [ consumer ] -> (
+        match (consumer.Graph_ir.nd_op, consumer.nd_args) with
+        | Graph_ir.Conv _, arg0 :: _ when arg0 = nd.nd_out -> Some consumer
+        | _ -> None)
+      | _ -> None)
+  | _ -> None
+
+let schedule ~batch ~(device : Accel_device.t) (g : Graph_ir.t) =
+  let n = Array.length g.g_nodes in
+  let stationary = Array.make n false in
+  let chain_in = Array.make n false in
+  let keep_out = Array.make n false in
+  let missed = Array.make n [] in
+  let applied nd name args msg =
+    Remarks.emit ~kind:Remarks.Applied ~pass:pass_name ~name ~loc:nd.Graph_ir.nd_name
+      ~args msg
+  in
+  let miss i nd name reason =
+    missed.(i) <- (name, reason) :: missed.(i);
+    Remarks.emit ~kind:Remarks.Missed ~pass:pass_name ~name ~loc:nd.Graph_ir.nd_name
+      reason
+  in
+  let w_region = Accel_device.find_region device "weights" in
+  let act_region = Accel_device.find_region device "activations" in
+  (* the activation image is single-tenant: a kept output occupies it
+     until its consumer runs, so keep intervals must not overlap *)
+  let act_busy_until = ref (-1) in
+  Array.iteri
+    (fun i nd ->
+      match nd.Graph_ir.nd_op with
+      | Graph_ir.Conv _ -> (
+        let dims = Graph_ir.conv_dims g nd in
+        let slice = weight_slice_words dims in
+        (if batch > 1 then
+           match w_region with
+           | None ->
+             miss i nd "weight-stationary" "device exposes no weights region"
+           | Some r ->
+             if slice <= r.Accel_device.rg_capacity_words then begin
+               stationary.(i) <- true;
+               applied nd "weight-stationary"
+                 [ ("slice_words", Remarks.Int slice); ("batch", Remarks.Int batch) ]
+                 (Printf.sprintf
+                    "weight slice stays loaded across %d images (%d words/filter \
+                     re-sent once instead of %d times)"
+                    batch slice batch)
+             end
+             else
+               miss i nd "weight-stationary"
+                 (Printf.sprintf "weight slice %d words exceeds region capacity %d"
+                    slice r.Accel_device.rg_capacity_words));
+        match chain_candidate g nd with
+        | None -> ()
+        | Some consumer -> (
+          let out_words = Graph_ir.words (Graph_ir.tensor g nd.nd_out) in
+          if batch > 1 then
+            miss i nd "chain-output"
+              (Printf.sprintf "chaining is single-image (batch=%d)" batch)
+          else
+            match act_region with
+            | None -> miss i nd "chain-output" "device exposes no activations region"
+            | Some r ->
+              if out_words > r.Accel_device.rg_capacity_words then
+                miss i nd "chain-output"
+                  (Printf.sprintf "output %d words exceeds region capacity %d"
+                     out_words r.Accel_device.rg_capacity_words)
+              else if i < !act_busy_until then
+                miss i nd "chain-output"
+                  "activation image busy with an earlier kept output"
+              else begin
+                keep_out.(i) <- true;
+                chain_in.(consumer.Graph_ir.nd_id) <- true;
+                act_busy_until := consumer.Graph_ir.nd_id;
+                applied nd "chain-output"
+                  [
+                    ("words", Remarks.Int out_words);
+                    ("consumer", Remarks.Str consumer.Graph_ir.nd_name);
+                  ]
+                  (Printf.sprintf
+                     "output stays on the accelerator for %s (%d words never \
+                      cross the bus)"
+                     consumer.Graph_ir.nd_name out_words)
+              end))
+      | Graph_ir.Matmul ->
+        if device.Accel_device.regions = [] then
+          miss i nd "device-residency" "engine exposes no residency regions"
+      | Graph_ir.Residual_add | Graph_ir.Resize | Graph_ir.Transpose -> ())
+    g.g_nodes;
+  let plan =
+    {
+      pl_batch = batch;
+      pl_residency = true;
+      pl_decisions =
+        Array.init n (fun i ->
+            {
+              dc_node = i;
+              dc_stationary = stationary.(i);
+              dc_chain_in = chain_in.(i);
+              dc_keep_out = keep_out.(i);
+              dc_missed = List.rev missed.(i);
+            });
+    }
+  in
+  Metrics.incr "graph.nodes" ~by:(float_of_int n);
+  Metrics.incr "graph.chained_edges" ~by:(float_of_int (chained_edges plan));
+  Metrics.incr "graph.stationary_nodes" ~by:(float_of_int (stationary_nodes plan));
+  Metrics.incr "graph.fallback_nodes" ~by:(float_of_int (fallback_nodes g plan));
+  plan
+
+let to_json (g : Graph_ir.t) p =
+  let decision_json d =
+    Json.Obj
+      ([
+         ("node", Json.Int d.dc_node);
+         ("name", Json.String g.g_nodes.(d.dc_node).Graph_ir.nd_name);
+         ("stationary", Json.Bool d.dc_stationary);
+         ("chain_in", Json.Bool d.dc_chain_in);
+         ("keep_out", Json.Bool d.dc_keep_out);
+       ]
+      @
+      if d.dc_missed = [] then []
+      else
+        [
+          ( "missed",
+            Json.List
+              (List.map
+                 (fun (name, reason) ->
+                   Json.Obj
+                     [ ("name", Json.String name); ("reason", Json.String reason) ])
+                 d.dc_missed) );
+        ])
+  in
+  Json.Obj
+    [
+      ("batch", Json.Int p.pl_batch);
+      ("residency", Json.Bool p.pl_residency);
+      ("chained_edges", Json.Int (chained_edges p));
+      ("stationary_nodes", Json.Int (stationary_nodes p));
+      ("fallback_nodes", Json.Int (fallback_nodes g p));
+      ( "decisions",
+        Json.List (Array.to_list (Array.map decision_json p.pl_decisions)) );
+    ]

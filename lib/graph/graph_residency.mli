@@ -1,0 +1,60 @@
+(** The residency scheduler pass.
+
+    Walks a validated graph in topological order against one
+    accelerator device and decides, per node, which transfers the
+    executor may elide:
+
+    - {e weight-stationary} ([dc_stationary], batch > 1 only): the node
+      is driven filter-major across the whole batch, so each weight
+      slice is loaded once per batch instead of once per image. Fires
+      when the slice fits the device's ["weights"] region.
+    - {e accel->accel chaining} ([dc_keep_out] on the producer /
+      [dc_chain_in] on the consumer, batch = 1 only): a conv output
+      with exactly one consumer — a later conv reading it as its image
+      operand — stays in the device's ["activations"] region
+      ([Isa.cv_accept]) and the consumer streams patch {e coordinates}
+      ([Isa.cv_patch_resident]) instead of patch data; the intermediate
+      tensor never crosses the bus in either direction. The image slot
+      is single-tenant, so keep intervals must not overlap, and graph
+      outputs are never kept (the host must read them).
+
+    Every fired decision emits an [Applied] remark and every blocked
+    opportunity a [Missed] remark with the reason, both under the
+    ["graph-residency"] pass; the pass also bumps the [graph.nodes],
+    [graph.chained_edges], [graph.stationary_nodes] and
+    [graph.fallback_nodes] counters. Devices without regions (the
+    matmul engines) plan as all-fallback — the executor then behaves
+    exactly like the per-kernel path. *)
+
+val pass_name : string
+(** ["graph-residency"] — the pass every scheduler remark is filed
+    under. *)
+
+type decision = {
+  dc_node : int;
+  dc_stationary : bool;
+  dc_chain_in : bool;
+  dc_keep_out : bool;
+  dc_missed : (string * string) list;  (** (remark name, reason) *)
+}
+
+type plan = {
+  pl_batch : int;
+  pl_residency : bool;  (** false for {!baseline} plans *)
+  pl_decisions : decision array;  (** indexed by node id *)
+}
+
+val baseline : batch:int -> Graph_ir.t -> plan
+(** The per-kernel plan: no residency, every transfer explicit. *)
+
+val schedule : batch:int -> device:Accel_device.t -> Graph_ir.t -> plan
+(** The residency plan for [device] (emits remarks and metrics as
+    described above). *)
+
+val chained_edges : plan -> int
+val stationary_nodes : plan -> int
+
+val fallback_nodes : Graph_ir.t -> plan -> int
+(** Accelerated nodes with no residency decision at all. *)
+
+val to_json : Graph_ir.t -> plan -> Json.t

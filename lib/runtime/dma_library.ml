@@ -159,6 +159,17 @@ let flush_send t =
   if t.double_buffer then Dma_engine.send_staged_async t.engine
   else Dma_engine.send_staged t.engine
 
+(* The residency fast path: the driver looked the tensor up in a
+   device region and found it resident, so instead of staging + sending
+   it only pays the lookup branch. *)
+let skip_resident t ~words ~what =
+  Soc.alu t.soc 2;
+  Soc.branch t.soc 1;
+  Metrics.incr "runtime.dma_words_skipped"
+    ~by:(float_of_int words)
+    ~labels:[ ("what", what) ];
+  Dma_engine.note_skipped t.engine ~words ~what
+
 (* Copies from the DMA output region back into a memref. [data] holds
    the received words in row-major order. *)
 let generic_copy_in t view ~accumulate data =

@@ -85,6 +85,13 @@ val flush_send : t -> unit
 (** Transmit everything staged since the last flush (no-op when nothing
     is staged). *)
 
+val skip_resident : t -> words:int -> what:string -> unit
+(** Account for a transfer the residency planner elided because the
+    device region already holds the tensor: charges only the host-side
+    residency check (two ALU ops and a branch), bumps the
+    [runtime.dma_words_skipped] metric and leaves a marker on the DMA
+    trace track via {!Dma_engine.note_skipped}. No DMA words move. *)
+
 val recv_into : t -> Memref_view.t -> accumulate:bool -> unit
 (** Flush staged words, receive [num_elements] words from the
     accelerator and copy them into the view ([+=] when

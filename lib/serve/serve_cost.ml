@@ -1,9 +1,14 @@
 (* Service-time oracle: model name -> simulated cycles, through the
-   real compile+simulate pipeline, memoised per (layer, batch). *)
+   real compile+simulate pipeline, memoised per (engine-config, layer,
+   batch). *)
 
 type t = {
   oc_models : (string * Tune_workload.named list) list;
+  oc_graphs : (string * Graph_ir.t) list;
+  oc_graph_residency : bool;
   oc_memo : (string, float) Hashtbl.t;
+  mutable oc_hits : int;
+  mutable oc_misses : int;
 }
 
 let models_of_specs ?(rows = 2) ?(seq = 128) specs =
@@ -24,9 +29,19 @@ let models_of_specs ?(rows = 2) ?(seq = 128) specs =
   | [] -> Error "at least one workload spec is required"
   | _ -> go [] specs
 
-let create models = { oc_models = models; oc_memo = Hashtbl.create 16 }
+let create ?(graphs = []) ?(graph_residency = true) models =
+  {
+    oc_models = models;
+    oc_graphs = graphs;
+    oc_graph_residency = graph_residency;
+    oc_memo = Hashtbl.create 16;
+    oc_hits = 0;
+    oc_misses = 0;
+  }
 
-let models t = List.map fst t.oc_models
+let models t = List.map fst t.oc_models @ List.map fst t.oc_graphs
+
+let memo_stats t = (t.oc_hits, t.oc_misses)
 
 let layers t model =
   match List.assoc_opt model t.oc_models with
@@ -37,6 +52,43 @@ let layers t model =
          (String.concat ", " (models t)))
 
 let matmul_accel () = Presets.matmul ~version:Accel_matmul.V4 ~size:16 ()
+
+(* Engine-config fingerprints ({!Benchdiff.config_hash} over the
+   canonical config JSON): part of every memo key, so a memoised cycle
+   count can never be served for a measurement taken under a different
+   accelerator configuration. *)
+let matmul_fingerprint =
+  lazy (Benchdiff.config_hash (Accel_config.to_json (matmul_accel ())))
+
+let conv_fingerprint =
+  lazy (Benchdiff.config_hash (Accel_config.to_json (Presets.conv ~flow:"Os" ())))
+
+let fingerprint (w : Tune_workload.t) =
+  Lazy.force
+    (match w with
+    | Tune_workload.Matmul _ -> matmul_fingerprint
+    | Tune_workload.Conv _ -> conv_fingerprint)
+
+(* Canonical-shape memo key: engine fingerprint + the workload's
+   canonical dimension list + batch. *)
+let memo_key (w : Tune_workload.t) ~batch =
+  Printf.sprintf "%s|%s:%s@%d" (fingerprint w)
+    (if Tune_workload.is_conv w then "conv" else "matmul")
+    (String.concat "," (List.map string_of_int (Tune_workload.dims w)))
+    batch
+
+let memoised t key compute =
+  match Hashtbl.find_opt t.oc_memo key with
+  | Some c ->
+    t.oc_hits <- t.oc_hits + 1;
+    Metrics.incr "serve.oracle_hits";
+    c
+  | None ->
+    t.oc_misses <- t.oc_misses + 1;
+    Metrics.incr "serve.oracle_misses";
+    let c = compute () in
+    Hashtbl.add t.oc_memo key c;
+    c
 
 (* The Sec. IV-C "Best" selection, as exp_fig17 applies it: override
    flow and tiles when a feasible choice exists, otherwise let the
@@ -100,56 +152,60 @@ let measure_layer (named : Tune_workload.named) ~batch =
       (Printf.sprintf "serving oracle: %s (batch %d): %s" (Tune_workload.to_string w)
          batch msg)
 
+let graph_key t g ~batch =
+  Printf.sprintf "graph:%s|residency=%b@%d" g.Graph_ir.g_name t.oc_graph_residency
+    batch
+
+let measure_graph t g ~batch =
+  match Graph_exec.run ~batch ~residency:t.oc_graph_residency g with
+  | r -> r.Graph_exec.rs_counters.Perf_counters.cycles
+  | exception Failure msg ->
+    failwith
+      (Printf.sprintf "serving oracle: graph %s (batch %d): %s" g.Graph_ir.g_name
+         batch msg)
+
 let service t model ~batch =
   if batch < 1 then
     failwith (Printf.sprintf "serving oracle: batch must be >= 1 (got %d)" batch);
-  let layers = layers t model in
-  List.fold_left
-    (fun acc (named : Tune_workload.named) ->
-      let key =
-        Printf.sprintf "%s@%d" (Tune_workload.to_string named.Tune_workload.wl_workload)
-          batch
-      in
-      let cycles =
-        match Hashtbl.find_opt t.oc_memo key with
-        | Some c -> c
-        | None ->
-          let c = measure_layer named ~batch in
-          Hashtbl.add t.oc_memo key c;
-          c
-      in
-      acc +. cycles)
-    0.0 layers
+  match List.assoc_opt model t.oc_graphs with
+  | Some g -> memoised t (graph_key t g ~batch) (fun () -> measure_graph t g ~batch)
+  | None ->
+    let layers = layers t model in
+    List.fold_left
+      (fun acc (named : Tune_workload.named) ->
+        let w = named.Tune_workload.wl_workload in
+        acc +. memoised t (memo_key w ~batch) (fun () -> measure_layer named ~batch))
+      0.0 layers
 
 (* SJF only needs a ranking, not calibrated cycles: matmul layers get
    the cost model's real estimate ({!Heuristics.estimate_cycles} via
-   [best]); the conv engine has no Heuristics entry, so conv layers
-   use a MAC-count proxy scaled to the engine's DMA-bound regime
-   (~16 driver cycles per MAC on the row-sampled proxies — the Os flow
-   re-sends the input slice per output channel, so transfers dominate
-   the 3x3 granule's arithmetic). A residual conv bias merely reorders
-   the queue — every policy stays work-conserving. *)
-let conv_cycles_per_mac = 16.0
-
+   [best]); conv layers use {!Heuristics.estimate_conv_cycles}, the
+   calibrated cycles-per-MAC proxy for the engine's DMA-bound regime.
+   A residual conv bias merely reorders the queue — every policy stays
+   work-conserving. *)
 let predict_workload (w : Tune_workload.t) =
   match w with
   | Tune_workload.Matmul { m; n; k } -> (
     match Heuristics.best (matmul_accel ()) ~m ~n ~k with
     | Some c -> c.Heuristics.predicted_cycles
     | None -> 2.0 *. float_of_int (Tune_workload.macs w))
-  | Tune_workload.Conv _ -> conv_cycles_per_mac *. float_of_int (Tune_workload.macs w)
+  | Tune_workload.Conv _ -> Heuristics.estimate_conv_cycles ~macs:(Tune_workload.macs w)
+
+let predict_graph g =
+  Array.fold_left
+    (fun acc nd ->
+      match Graph_ir.node_workload g nd with
+      | Some w -> acc +. predict_workload w
+      | None -> acc)
+    0.0 g.Graph_ir.g_nodes
 
 let predict t model =
-  let layers = layers t model in
   let key = "predict:" ^ model in
-  match Hashtbl.find_opt t.oc_memo key with
-  | Some c -> c
-  | None ->
-    let c =
-      List.fold_left
-        (fun acc (named : Tune_workload.named) ->
-          acc +. predict_workload named.Tune_workload.wl_workload)
-        0.0 layers
-    in
-    Hashtbl.add t.oc_memo key c;
-    c
+  memoised t key (fun () ->
+      match List.assoc_opt model t.oc_graphs with
+      | Some g -> predict_graph g
+      | None ->
+        List.fold_left
+          (fun acc (named : Tune_workload.named) ->
+            acc +. predict_workload named.Tune_workload.wl_workload)
+          0.0 (layers t model))

@@ -38,11 +38,31 @@ val models_of_specs :
     and repeats (a repeated spec weights the request mix). [Error]
     names the offending spec. *)
 
-val create : (string * Tune_workload.named list) list -> t
-(** An oracle over the given models, with an empty memo table. *)
+val create :
+  ?graphs:(string * Graph_ir.t) list ->
+  ?graph_residency:bool ->
+  (string * Tune_workload.named list) list ->
+  t
+(** An oracle over the given models, with an empty memo table.
+
+    [graphs] adds {e whole-model} entries: a request for such a model
+    costs a full {!Graph_exec} forward pass (every layer, dataflow
+    edges and all) rather than a per-shape-class layer sum —
+    [graph_residency] (default true) selects the residency-planned
+    execution. Graph names shadow nothing: they are looked up before
+    the layer-list models. *)
 
 val models : t -> string list
-(** The model names, in [create] order (repeats preserved). *)
+(** The model names, in [create] order (repeats preserved; graph
+    models last). *)
+
+val memo_stats : t -> int * int
+(** [(hits, misses)] of the memo table across {!service} and
+    {!predict} calls — also exported as the [serve.oracle_hits] /
+    [serve.oracle_misses] metrics counters. Memo keys carry the
+    engine-config fingerprint ({!Benchdiff.config_hash}) and the
+    workload's canonical dimension list, so results can never leak
+    across configurations or shape aliases. *)
 
 val service : t -> string -> batch:int -> float
 (** Measured cycles for one invocation of the model serving [batch]

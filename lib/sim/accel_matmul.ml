@@ -189,4 +189,7 @@ let create ?(tracer = Trace.noop) ~version ~size () =
     drain;
     available = (fun () -> Queue.length st.out);
     reset_device = (fun () -> reset st);
+    (* every tile load overwrites the previous tile by construction, so
+       there is no host-managed residency to model *)
+    regions = [];
   }

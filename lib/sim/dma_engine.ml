@@ -90,6 +90,20 @@ let m_words_sent len = Metrics.incr "sim.dma_words_sent" ~by:(float_of_int len)
 let m_words_received len = Metrics.incr "sim.dma_words_received" ~by:(float_of_int len)
 let m_accel_busy cycles = Metrics.incr "sim.accel_busy_cycles" ~by:cycles
 
+(* A transfer the residency planner proved unnecessary: nothing is
+   staged, no words move, no counters are charged — the saving is a
+   genuinely absent transaction. This only leaves a marker on the DMA
+   channel's trace track (and a metric) so the timeline shows *why*
+   the words are missing. *)
+let note_skipped t ~words ~what =
+  Metrics.incr "sim.dma_words_skipped"
+    ~by:(float_of_int words)
+    ~labels:[ ("what", what) ];
+  Trace.instant t.tracer ~cat:"residency"
+    ~track:(Trace.dma_channel_track t.dma_id)
+    ~args:[ ("words", Trace.Int words); ("what", Trace.Str what) ]
+    "residency_skip"
+
 let stage t ~offset word =
   if offset < 0 || offset >= Array.length t.in_region then
     failwith

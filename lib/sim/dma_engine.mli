@@ -49,6 +49,13 @@ val stage : t -> offset:int -> Axi_word.t -> unit
 val staged_high_water : t -> int
 (** Highest staged offset + 1 since the last send (the batch length). *)
 
+val note_skipped : t -> words:int -> what:string -> unit
+(** Mark a transfer the residency planner elided: records an instant on
+    the DMA channel's trace track and a [sim.dma_words_skipped] metric.
+    No words move and no performance counters are charged — a skipped
+    transfer is genuinely absent from the timeline, this is only the
+    explanation marker. *)
+
 val start_send : t -> offset:int -> len_words:int -> unit
 (** Program an input transfer of [len_words] starting at word [offset].
     The device consumes the words when the transfer completes (at

@@ -13,9 +13,12 @@ let mm_set_tk = 0x12
 
 let cv_set_fhw = 0x20
 let cv_set_ic = 0x16
+let cv_set_stride = 0x17
 let cv_load_w = 0x01
 let cv_patch = 0x46
+let cv_patch_resident = 0x47
 let cv_drain = 0x08
+let cv_accept = 0x09
 
 let name code =
   if code = reset then "reset"
@@ -31,7 +34,10 @@ let name code =
   else if code = mm_set_tk then "mm_set_tk"
   else if code = cv_set_fhw then "cv_set_fhw"
   else if code = cv_set_ic then "cv_set_ic"
+  else if code = cv_set_stride then "cv_set_stride"
   else if code = cv_load_w then "cv_load_w"
   else if code = cv_patch then "cv_patch"
+  else if code = cv_patch_resident then "cv_patch_resident"
   else if code = cv_drain then "cv_drain"
+  else if code = cv_accept then "cv_accept"
   else Printf.sprintf "unknown(0x%X)" code

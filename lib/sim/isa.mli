@@ -34,9 +34,20 @@ val mm_set_tk : int  (* 0x12 + one word (v4 only) *)
 
 val cv_set_fhw : int  (* 0x20 + one word *)
 val cv_set_ic : int  (* 0x16 + one word *)
+val cv_set_stride : int  (* 0x17 + one word (resident-patch addressing) *)
 val cv_load_w : int  (* 0x01 + weight payload *)
 val cv_patch : int  (* 0x46 + patch payload *)
+val cv_patch_resident : int
+(* 0x47 + two words (y, x): assemble the patch from the resident
+   activation image instead of the stream — the accel->accel chaining
+   path; the dot product is computed in the same element order as
+   {!cv_patch}, so chained results are bit-identical *)
+
 val cv_drain : int  (* 0x08 *)
+val cv_accept : int
+(* 0x09 + three words (c, h, w): move exactly c*h*w pending output
+   elements into the resident activation image (channel-major, the
+   order an undrained per-channel pixel sweep produces them in) *)
 
 val name : int -> string
 (** Mnemonic for diagnostics; ["unknown(0x..)"] for others. *)

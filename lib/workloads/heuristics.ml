@@ -69,6 +69,25 @@ let estimate_cycles (config : Accel_config.t) ~(cost : Cost_model.t) ~flow ~m ~n
   +. compute_txns +. exposed_compute
   +. (f inner_iters *. 12.0)
 
+(* Conv service-time proxy: the engine has no tiling space to search
+   (one weight slice, one patch per output element), so ranking-level
+   predictions use a calibrated cycles-per-MAC constant instead of the
+   matmul transfer model above.
+
+   Derivation: under the Os flow every output element costs one full
+   patch transfer of iC*fHW*fHW words — exactly one bus word per MAC —
+   and on the default PYNQ-Z2 cost model a staged patch word costs
+   ~14-16 host cycles (cached load + uncached store + per-element copy
+   overhead + its share of the per-transaction DMA program/wait), while
+   the MAC itself is amortised to well under a cycle by the 64-wide
+   array. The constant is pinned by the "conv-proxy-calibration"
+   regression test against the measured pipeline on a row-sampled
+   ResNet-18 layer, so graph-level SJF/residency predictions cannot
+   silently drift away from the simulator. *)
+let conv_cycles_per_mac = 16.0
+
+let estimate_conv_cycles ~macs = conv_cycles_per_mac *. float_of_int macs
+
 let granularity (config : Accel_config.t) =
   match config.accel_dims with
   | g :: _ when g > 0 -> g

@@ -39,6 +39,22 @@ val estimate_cycles :
     transactions, streaming words, specialised copy costs, loop
     overheads and (overlapped) accelerator compute. *)
 
+val conv_cycles_per_mac : float
+(** Calibrated service-time proxy for the Conv2D engine: host driver
+    cycles per MAC under the Os flow with specialised copies (16.0).
+    The Os flow re-streams one patch word per MAC, and a staged word
+    costs ~14-16 host cycles on the default cost model, so transfers —
+    not arithmetic — set the rate. Pinned by the
+    "conv-proxy-calibration" regression test (the measured pipeline on
+    a row-sampled ResNet-18 layer must stay within a factor of two of
+    this constant, and the constant itself is asserted exactly), so
+    graph-level SJF and residency predictions cannot silently drift. *)
+
+val estimate_conv_cycles : macs:int -> float
+(** [conv_cycles_per_mac *. macs] — the conv analogue of
+    {!estimate_cycles}, used by the serving oracle's SJF ranking and
+    the graph scheduler's predictions. *)
+
 val square_tile :
   Accel_config.t -> flow:string -> m:int -> n:int -> k:int -> choice option
 (** [None] when no feasible square tile exists. *)

@@ -28,4 +28,5 @@ let () =
       ("tuner", Suite_tuner.tests);
       ("fuzz", Suite_fuzz.tests);
       ("serve", Suite_serve.tests);
+      ("graph", Suite_graph.tests);
     ]
