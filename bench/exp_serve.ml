@@ -155,6 +155,7 @@ let run () =
       rp_queue_cap = None;
       rp_batch_max = batch_max;
       rp_freq_mhz = freq_mhz;
+      rp_platform = None;
       rp_summaries = summaries;
     }
   in

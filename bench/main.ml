@@ -23,6 +23,7 @@ let experiments =
     ("exp_tune", "Autotuner: design-space exploration gates", Exp_tune.run);
     ("exp_serve", "Serving: multi-accelerator scheduling & tail latency", Exp_serve.run);
     ("exp_graph", "Whole-model graph: residency reuse vs per-kernel baseline", Exp_graph.run);
+    ("exp_platform", "Platform search: SoC co-design under an area budget", Exp_platform.run);
   ]
 
 (* ------------------------------------------------------------------ *)

@@ -14,15 +14,28 @@
 
 open Cmdliner
 
-let run_tool workloads graph rps accels policy_name requests seed queue_cap batch_max
-    rows seq window slo_specs dashboard telemetry_out assert_fired report_out json_out
-    trace_out remarks metrics_out =
+let run_tool workloads graph platform_file rps accels policy_name requests seed
+    queue_cap batch_max rows seq window slo_specs dashboard telemetry_out assert_fired
+    report_out json_out trace_out remarks metrics_out =
   Tool_common.with_observability ~remarks ~metrics:metrics_out @@ fun () ->
   let fail_on_error = function Ok v -> v | Error msg -> failwith msg in
   if workloads = [] then
     failwith
       "--workload is required (repeatable; e.g. --workload tinybert --workload \
        matmul:64,64,64)";
+  let platform =
+    match platform_file with
+    | None -> None
+    | Some path ->
+      if graph then
+        failwith
+          "--platform cannot be combined with --graph (whole-model graph costs are \
+           not engine-parameterised yet)";
+      Some (fail_on_error (Platform_ir.load_file path))
+  in
+  let accels =
+    match platform with Some p -> Platform_ir.n_instances p | None -> accels
+  in
   if not (rps > 0.0) then
     failwith (Printf.sprintf "--rps must be positive (got %g)" rps);
   if requests < 1 then
@@ -70,6 +83,24 @@ let run_tool workloads graph rps accels policy_name requests seed queue_cap batc
     else
       Serve_cost.create (fail_on_error (Serve_cost.models_of_specs ~rows ~seq workloads))
   in
+  let fleet =
+    match platform with
+    | None -> None
+    | Some p ->
+      Some
+        (Platform_serve.create ~platform:p
+           (fail_on_error (Serve_cost.models_of_specs ~rows ~seq workloads)))
+  in
+  let service, predict, service_at, predict_at =
+    match fleet with
+    | None -> (Serve_cost.service oracle, Serve_cost.predict oracle, None, None)
+    | Some f ->
+      ( (fun model ~batch -> Platform_serve.service_at f ~accel:0 model ~batch),
+        (fun model -> Platform_serve.predict_at f ~accel:0 model),
+        Some (fun ~accel model ~batch -> Platform_serve.service_at f ~accel model ~batch),
+        Some (fun ~accel model -> Platform_serve.predict_at f ~accel model) )
+  in
+  let engines = Option.map Platform_serve.engines fleet in
   let freq_mhz = Cost_model.default.Cost_model.cpu_freq_mhz in
   let mean_gap = freq_mhz *. 1e6 /. rps in
   let stream =
@@ -86,9 +117,7 @@ let run_tool workloads graph rps accels policy_name requests seed queue_cap batc
       (fun policy ->
         let outcome =
           fail_on_error
-            (Serve_sim.run
-               ~service:(Serve_cost.service oracle)
-               ~predict:(Serve_cost.predict oracle)
+            (Serve_sim.run ?service_at ?predict_at ~service ~predict
                { params with Serve_sim.sp_policy = policy }
                reqs)
         in
@@ -105,9 +134,11 @@ let run_tool workloads graph rps accels policy_name requests seed queue_cap batc
       rp_queue_cap = queue_cap;
       rp_batch_max = batch_max;
       rp_freq_mhz = freq_mhz;
+      rp_platform = Option.map Platform_ir.to_string platform;
       rp_summaries =
         List.map
-          (fun (policy, outcome) -> Serve_report.summarize ~freq_mhz policy outcome)
+          (fun (policy, outcome) ->
+            Serve_report.summarize ?engines ~freq_mhz policy outcome)
           outcomes;
     }
   in
@@ -136,9 +167,7 @@ let run_tool workloads graph rps accels policy_name requests seed queue_cap batc
           let telemetry = fail_on_error (Serve_telemetry.create ~window:width ~accels) in
           let outcome =
             fail_on_error
-              (Serve_sim.run ~telemetry
-                 ~service:(Serve_cost.service oracle)
-                 ~predict:(Serve_cost.predict oracle)
+              (Serve_sim.run ~telemetry ?service_at ?predict_at ~service ~predict
                  { params with Serve_sim.sp_policy = policy }
                  reqs)
           in
@@ -227,6 +256,17 @@ let graph =
            residency-planned forward pass through the model graph \
            (weight-stationary reuse and accel-to-accel chaining included) \
            instead of a per-shape-class layer sum.")
+
+let platform_file =
+  Arg.(
+    value & opt (some string) None
+    & info [ "platform" ] ~docv:"FILE"
+        ~doc:
+          "Serve on a platform description (axi4mlir-platform-v1 JSON, see \
+           $(b,axi4mlir-config --platform-preset)): the instance list replaces \
+           $(b,--accels), each slot is costed with its own engine, and the \
+           description's DMA channel count and AXI beat width scale the transfer \
+           share of every service time.")
 
 let rps =
   Arg.(
@@ -356,7 +396,8 @@ let cmd =
     (Cmd.info "axi4mlir-serve" ~doc)
     Term.(
       ret
-        (const run_tool $ workload $ graph $ rps $ accels $ policy $ requests $ seed
+        (const run_tool $ workload $ graph $ platform_file $ rps $ accels $ policy
+       $ requests $ seed
        $ queue_cap $ batch_max $ rows $ seq $ window $ slo $ dashboard
        $ telemetry_out $ assert_fired $ report_out $ json_out $ trace_out
        $ Tool_common.remarks_flag $ Tool_common.metrics_out))

@@ -19,11 +19,77 @@ let space_of_name = function
       (Printf.sprintf "unknown search space %S (valid spaces: default, fig13, quick)"
          other)
 
+let platform_space_of_name = function
+  | "default" -> Ok Platform_search.default_space
+  | "quick" -> Ok Platform_search.quick_space
+  | other ->
+    Error
+      (Printf.sprintf "unknown platform search space %S (valid spaces: default, quick)"
+         other)
+
+(* --platform-search: explore the SoC half of the co-design space —
+   engine mix, DMA channels, AXI beat width — under --area-budget,
+   scoring every candidate through the serving oracle on a fixed
+   request stream. *)
+let run_platform_search ~workload_spec ~space_name ~strategy_name ~seed ~budget
+    ~area_budget ~platform_out ~requests ~rps =
+  let fail_on_error = function Ok v -> v | Error msg -> failwith msg in
+  let spec =
+    match workload_spec with
+    | Some spec -> spec
+    | None ->
+      failwith
+        "--platform-search needs --workload (the request mix every candidate \
+         platform serves)"
+  in
+  if requests < 1 then
+    failwith (Printf.sprintf "--requests must be >= 1 (got %d)" requests);
+  if not (rps > 0.0) then failwith (Printf.sprintf "--rps must be positive (got %g)" rps);
+  let pspace = fail_on_error (platform_space_of_name space_name) in
+  let strategy = fail_on_error (Tune_strategy.of_string ~seed ?budget strategy_name) in
+  let models = fail_on_error (Serve_cost.models_of_specs [ spec ]) in
+  let freq_mhz = Cost_model.default.Cost_model.cpu_freq_mhz in
+  let reqs =
+    fail_on_error
+      (Serve_request.generate
+         {
+           Serve_request.st_seed = seed;
+           st_count = requests;
+           st_mean_gap = freq_mhz *. 1e6 /. rps;
+           st_models = [ spec ];
+         })
+  in
+  let measure =
+    Platform_search.default_measure ~policy:Serve_policy.Fifo ~models ~requests:reqs ()
+  in
+  let outcome =
+    fail_on_error (Platform_search.search ~strategy ?area_budget ~measure pspace)
+  in
+  print_string (Platform_search.render outcome);
+  (match platform_out with
+  | None -> ()
+  | Some path -> (
+    match Platform_search.pick_winner outcome with
+    | None ->
+      failwith
+        "--platform-out: no candidate beat the baseline on throughput-per-resource \
+         while holding p99 (nothing to write)"
+    | Some w ->
+      Platform_ir.write_file path w.Platform_search.pt_platform;
+      Printf.eprintf "platform     : %s (axi4mlir-platform-v1, %s)\n" path
+        (Platform_ir.to_string w.Platform_search.pt_platform)));
+  `Ok ()
+
 let run_tool workload_spec space_name strategy_name seed budget preset cache_path
     report_path trace_path list_space assert_warm remarks metrics_out doctor
-    critical_path seed_from_bottleneck =
+    critical_path seed_from_bottleneck platform_search area_budget platform_out
+    requests rps =
   Tool_common.with_observability ~remarks ~metrics:metrics_out @@ fun () ->
   let fail_on_error = function Ok v -> v | Error msg -> failwith msg in
+  if platform_search then
+    run_platform_search ~workload_spec ~space_name ~strategy_name ~seed ~budget
+      ~area_budget ~platform_out ~requests ~rps
+  else begin
   let space = fail_on_error (space_of_name space_name) in
   let space =
     match preset with
@@ -134,6 +200,7 @@ let run_tool workload_spec space_name strategy_name seed budget preset cache_pat
             evaluations )
     else `Ok ()
   end
+  end
 
 let workload =
   Arg.(value & opt (some string) None & info [ "workload" ] ~docv:"SPEC"
@@ -199,6 +266,40 @@ let seed_from_bottleneck =
                buffering earlier; host-bound: try the largest engines \
                earlier). No effect on warm-cache runs.")
 
+let platform_search_flag =
+  Arg.(value & flag & info [ "platform-search" ]
+         ~doc:"Search the $(i,platform) space instead of host-code knobs: which \
+               Table I engines the instance slots carry, how many DMA channels, \
+               how wide the AXI beat — every candidate scored by a serving run \
+               over a fixed request stream ($(b,--workload), $(b,--requests), \
+               $(b,--rps), $(b,--seed)) and reported as a Pareto front of \
+               throughput-per-resource vs p99. $(b,--space) selects \
+               $(b,default) or $(b,quick); $(b,--strategy)/$(b,--budget) pick \
+               the search strategy.")
+
+let area_budget =
+  Arg.(value & opt (some float) None & info [ "area-budget" ] ~docv:"UNITS"
+         ~doc:"Resource budget for $(b,--platform-search) in abstract FPGA \
+               units (see the resource model in DESIGN.md); candidates costing \
+               more are pruned statically, before any serving run. Must be \
+               positive.")
+
+let platform_out =
+  Arg.(value & opt (some string) None & info [ "platform-out" ] ~docv:"FILE"
+         ~doc:"Write the winning platform description (the highest \
+               throughput-per-resource Pareto point that ties-or-beats the \
+               homogeneous baseline's p99) as axi4mlir-platform-v1 JSON. Fails \
+               if nothing qualified.")
+
+let requests =
+  Arg.(value & opt int 24 & info [ "requests" ] ~docv:"N"
+         ~doc:"Request-stream length for $(b,--platform-search) candidates.")
+
+let rps =
+  Arg.(value & opt float 1000.0 & info [ "rps" ] ~docv:"RATE"
+         ~doc:"Offered load of the $(b,--platform-search) request stream \
+               (requests per second of simulated time).")
+
 let cmd =
   let doc = "design-space exploration over AXI4MLIR accelerator configurations" in
   Cmd.v
@@ -208,6 +309,7 @@ let cmd =
         (const run_tool $ workload $ space $ strategy $ seed $ budget $ preset $ cache
        $ report $ trace $ list_space $ assert_warm $ Tool_common.remarks_flag
        $ Tool_common.metrics_out $ Tool_common.doctor_flag
-       $ Tool_common.critical_path_out $ seed_from_bottleneck))
+       $ Tool_common.critical_path_out $ seed_from_bottleneck $ platform_search_flag
+       $ area_budget $ platform_out $ requests $ rps))
 
 let () = exit (Cmd.eval cmd)

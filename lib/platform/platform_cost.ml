@@ -1,0 +1,54 @@
+(* The resource model. Constants are documented in the interface and
+   pinned by calibration tests — change them deliberately, with the
+   pins re-blessed, never by accident. *)
+
+let dsp_units_per_pe = 1.0
+
+let version_factor = function
+  | Accel_matmul.V1 -> 1.0
+  | Accel_matmul.V2 -> 1.05
+  | Accel_matmul.V3 -> 1.1
+  | Accel_matmul.V4 -> 1.25
+
+let bram_bytes_per_unit = 2048.0
+let conv_sidecar_units = 24.0
+let channel_units = 8.0
+let beat_units_per_byte = 1.5
+
+let bytes_per_elem = 4.0 (* f32 *)
+
+let engine_units (config : Accel_config.t) =
+  match config.Accel_config.engine with
+  | Accel_config.Conv_engine ->
+    failwith
+      "Platform_cost.engine_units: instances carry matmul engines (the conv \
+       sidecar is a flat per-instance cost)"
+  | Accel_config.Matmul_engine (version, size) ->
+    let pes = float_of_int (size * size) in
+    let bram =
+      3.0
+      *. float_of_int config.Accel_config.buffer_capacity_elems
+      *. bytes_per_elem /. bram_bytes_per_unit
+    in
+    (pes *. dsp_units_per_pe *. version_factor version) +. bram +. conv_sidecar_units
+
+let resource_total (p : Platform_ir.t) =
+  let rec instances acc = function
+    | [] -> Ok acc
+    | inst :: rest -> (
+      match Platform_ir.engine_config inst with
+      | Error msg ->
+        Error (Printf.sprintf "resource model: instance %s: %s" inst.Platform_ir.in_id msg)
+      | Ok config -> instances (acc +. engine_units config) rest)
+  in
+  match instances 0.0 p.Platform_ir.pf_instances with
+  | Error _ as e -> e
+  | Ok engines ->
+    let channels = float_of_int p.Platform_ir.pf_dma_channels in
+    Ok
+      (engines
+      +. (channel_units *. channels)
+      +. (beat_units_per_byte *. float_of_int p.Platform_ir.pf_axi_beat_bytes *. channels))
+
+let resource_total_exn p =
+  match resource_total p with Ok r -> r | Error msg -> failwith msg

@@ -1,0 +1,60 @@
+(** The platform resource model: every platform description has a
+    scalar resource total, so architecture searches can run under an
+    [--area-budget].
+
+    Costs are abstract FPGA "units" in the spirit of a DSP/BRAM/LUT
+    budget, not calibrated against one device family — what matters
+    for the search is that the {e relative} costs follow the
+    mechanisms (a size-16 systolic array carries 4x the MACs of a
+    size-8 one; v4's flexible tiling pays datapath muxing; buffers pay
+    BRAM per byte; channels and wider beats pay interconnect). The
+    individual constants are documented here and pinned by calibration
+    tests in [test/suite_platform.ml], like the conv 16-cycles/MAC
+    proxy ({!Heuristics.conv_cycles_per_mac}) — an intentional change
+    must re-bless the pins.
+
+    The total is strictly monotone in every platform dimension —
+    adding an instance, a DMA channel, a byte of beat width or a
+    buffer element never makes a platform cheaper (a QCheck property
+    in the test suite). *)
+
+val dsp_units_per_pe : float
+(** 1.0 — one DSP-style unit per processing element of the size x size
+    compute array. *)
+
+val version_factor : Accel_matmul.version -> float
+(** Control/datapath overhead multiplier on the compute array: v1 1.0
+    (single fused opcode, minimal control), v2 1.05, v3 1.1 (separate
+    compute/drain sequencing), v4 1.25 (runtime-configurable tile
+    geometry muxes the whole datapath). *)
+
+val bram_bytes_per_unit : float
+(** 2048.0 — one BRAM-style unit per 2 KiB of tile-buffer storage;
+    every instance carries three per-operand buffers of
+    [buffer_capacity_elems] f32 elements. *)
+
+val conv_sidecar_units : float
+(** 24.0 — flat per-instance cost of the Sec. IV-D Conv2D sidecar
+    engine (fixed geometry, identical on every slot). *)
+
+val channel_units : float
+(** 8.0 — per DMA channel (descriptor engine + interconnect port). *)
+
+val beat_units_per_byte : float
+(** 1.5 — per byte of AXI beat width, {e per channel} (the data path
+    of every channel widens with the bus). *)
+
+val engine_units : Accel_config.t -> float
+(** One instance's cost: [size^2 * version_factor + 3 * capacity_elems
+    * 4 / bram_bytes_per_unit + conv_sidecar_units]. Raises [Failure]
+    on a conv-engine config (instances carry matmul engines; the conv
+    sidecar is priced by {!conv_sidecar_units}). *)
+
+val resource_total : Platform_ir.t -> (float, string) result
+(** The platform's scalar resource total: the sum of its instances'
+    {!engine_units} plus [channel_units * channels] plus
+    [beat_units_per_byte * beat_bytes * channels]. [Error] when an
+    instance fails {!Platform_ir.engine_config}. *)
+
+val resource_total_exn : Platform_ir.t -> float
+(** As {!resource_total}; raises [Failure]. *)

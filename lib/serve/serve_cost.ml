@@ -1,12 +1,16 @@
 (* Service-time oracle: model name -> simulated cycles, through the
    real compile+simulate pipeline, memoised per (engine-config, layer,
-   batch). *)
+   batch). The matmul engine is configurable so a heterogeneous
+   platform can cost each instance with its own engine; the conv
+   engine is the fixed Sec. IV-D sidecar on every instance. *)
 
 type t = {
+  oc_accel : Accel_config.t;  (** the matmul engine this oracle costs with *)
   oc_models : (string * Tune_workload.named list) list;
   oc_graphs : (string * Graph_ir.t) list;
   oc_graph_residency : bool;
-  oc_memo : (string, float) Hashtbl.t;
+  oc_memo : (string, float * float) Hashtbl.t;
+      (** key -> (cycles, dma_words moved by the measured run) *)
   mutable oc_hits : int;
   mutable oc_misses : int;
 }
@@ -29,8 +33,12 @@ let models_of_specs ?(rows = 2) ?(seq = 128) specs =
   | [] -> Error "at least one workload spec is required"
   | _ -> go [] specs
 
-let create ?(graphs = []) ?(graph_residency = true) models =
+let default_matmul_accel () = Presets.matmul ~version:Accel_matmul.V4 ~size:16 ()
+
+let create ?matmul_accel ?(graphs = []) ?(graph_residency = true) models =
   {
+    oc_accel =
+      (match matmul_accel with Some a -> a | None -> default_matmul_accel ());
     oc_models = models;
     oc_graphs = graphs;
     oc_graph_residency = graph_residency;
@@ -40,6 +48,8 @@ let create ?(graphs = []) ?(graph_residency = true) models =
   }
 
 let models t = List.map fst t.oc_models @ List.map fst t.oc_graphs
+
+let matmul_accel t = t.oc_accel
 
 let memo_stats t = (t.oc_hits, t.oc_misses)
 
@@ -51,28 +61,24 @@ let layers t model =
       (Printf.sprintf "serving oracle: unknown model %S (models: %s)" model
          (String.concat ", " (models t)))
 
-let matmul_accel () = Presets.matmul ~version:Accel_matmul.V4 ~size:16 ()
-
 (* Engine-config fingerprints ({!Benchdiff.config_hash} over the
    canonical config JSON): part of every memo key, so a memoised cycle
    count can never be served for a measurement taken under a different
    accelerator configuration. *)
-let matmul_fingerprint =
-  lazy (Benchdiff.config_hash (Accel_config.to_json (matmul_accel ())))
+let fingerprint_of config = Benchdiff.config_hash (Accel_config.to_json config)
 
 let conv_fingerprint =
-  lazy (Benchdiff.config_hash (Accel_config.to_json (Presets.conv ~flow:"Os" ())))
+  lazy (fingerprint_of (Presets.conv ~flow:"Os" ()))
 
-let fingerprint (w : Tune_workload.t) =
-  Lazy.force
-    (match w with
-    | Tune_workload.Matmul _ -> matmul_fingerprint
-    | Tune_workload.Conv _ -> conv_fingerprint)
+let fingerprint t (w : Tune_workload.t) =
+  match w with
+  | Tune_workload.Matmul _ -> fingerprint_of t.oc_accel
+  | Tune_workload.Conv _ -> Lazy.force conv_fingerprint
 
 (* Canonical-shape memo key: engine fingerprint + the workload's
    canonical dimension list + batch. *)
-let memo_key (w : Tune_workload.t) ~batch =
-  Printf.sprintf "%s|%s:%s@%d" (fingerprint w)
+let memo_key t (w : Tune_workload.t) ~batch =
+  Printf.sprintf "%s|%s:%s@%d" (fingerprint t w)
     (if Tune_workload.is_conv w then "conv" else "matmul")
     (String.concat "," (List.map string_of_int (Tune_workload.dims w)))
     batch
@@ -96,20 +102,27 @@ let memoised t key compute =
 let best_options accel ~m ~n ~k =
   match Heuristics.best accel ~m ~n ~k with
   | Some c ->
-    {
-      Axi4mlir.default_codegen with
-      flow = Some c.Heuristics.flow;
-      tiles = Some [ c.Heuristics.tm; c.Heuristics.tn; c.Heuristics.tk ];
-    }
+    (* tile overrides are a flexible-engine (v4) feature; fixed-geometry
+       engines always tile by their own size *)
+    let tiles =
+      if accel.Accel_config.flexible then
+        Some [ c.Heuristics.tm; c.Heuristics.tn; c.Heuristics.tk ]
+      else None
+    in
+    { Axi4mlir.default_codegen with flow = Some c.Heuristics.flow; tiles }
   | None -> Axi4mlir.default_codegen
 
-let measure_workload (w : Tune_workload.t) ~batch =
+let counter_parts (counters : Perf_counters.t) =
+  ( counters.Perf_counters.cycles,
+    counters.Perf_counters.dma_words_sent +. counters.Perf_counters.dma_words_received )
+
+let measure_workload t (w : Tune_workload.t) ~batch =
   match w with
   | Tune_workload.Matmul { m; n; k } ->
     (* batching stacks the batch's activation rows: m -> batch * m with
        the weight operand B shared across the batch *)
     let m = m * batch in
-    let accel = matmul_accel () in
+    let accel = t.oc_accel in
     let bench = Axi4mlir.create accel in
     let options = best_options accel ~m ~n ~k in
     let a, b, c = Axi4mlir.alloc_matmul_operands bench ~m ~n ~k in
@@ -117,7 +130,7 @@ let measure_workload (w : Tune_workload.t) ~batch =
     let counters =
       Axi4mlir.measure bench (fun () -> Axi4mlir.run_matmul bench ~options ir ~a ~b ~c)
     in
-    counters.Perf_counters.cycles
+    counter_parts counters
   | Tune_workload.Conv { ic; ih; iw; oc; fhw; stride } ->
     (* batching is the image dimension: n -> batch *)
     let n = batch in
@@ -133,12 +146,12 @@ let measure_workload (w : Tune_workload.t) ~batch =
             "conv_call"
             [ Interp.M i; Interp.M w_; Interp.M o ])
     in
-    counters.Perf_counters.cycles
+    counter_parts counters
 
-let measure_layer (named : Tune_workload.named) ~batch =
+let measure_layer t (named : Tune_workload.named) ~batch =
   let w = named.Tune_workload.wl_workload in
-  match measure_workload w ~batch with
-  | cycles -> cycles
+  match measure_workload t w ~batch with
+  | parts -> parts
   | exception Pass.Pass_failure { pass; message; _ } ->
     failwith
       (Printf.sprintf "serving oracle: %s (batch %d): pass %s: %s"
@@ -158,13 +171,13 @@ let graph_key t g ~batch =
 
 let measure_graph t g ~batch =
   match Graph_exec.run ~batch ~residency:t.oc_graph_residency g with
-  | r -> r.Graph_exec.rs_counters.Perf_counters.cycles
+  | r -> counter_parts r.Graph_exec.rs_counters
   | exception Failure msg ->
     failwith
       (Printf.sprintf "serving oracle: graph %s (batch %d): %s" g.Graph_ir.g_name
          batch msg)
 
-let service t model ~batch =
+let service_parts t model ~batch =
   if batch < 1 then
     failwith (Printf.sprintf "serving oracle: batch must be >= 1 (got %d)" batch);
   match List.assoc_opt model t.oc_graphs with
@@ -172,10 +185,15 @@ let service t model ~batch =
   | None ->
     let layers = layers t model in
     List.fold_left
-      (fun acc (named : Tune_workload.named) ->
+      (fun (cyc, words) (named : Tune_workload.named) ->
         let w = named.Tune_workload.wl_workload in
-        acc +. memoised t (memo_key w ~batch) (fun () -> measure_layer named ~batch))
-      0.0 layers
+        let c, dw =
+          memoised t (memo_key t w ~batch) (fun () -> measure_layer t named ~batch)
+        in
+        (cyc +. c, words +. dw))
+      (0.0, 0.0) layers
+
+let service t model ~batch = fst (service_parts t model ~batch)
 
 (* SJF only needs a ranking, not calibrated cycles: matmul layers get
    the cost model's real estimate ({!Heuristics.estimate_cycles} via
@@ -183,29 +201,33 @@ let service t model ~batch =
    calibrated cycles-per-MAC proxy for the engine's DMA-bound regime.
    A residual conv bias merely reorders the queue — every policy stays
    work-conserving. *)
-let predict_workload (w : Tune_workload.t) =
+let predict_workload t (w : Tune_workload.t) =
   match w with
   | Tune_workload.Matmul { m; n; k } -> (
-    match Heuristics.best (matmul_accel ()) ~m ~n ~k with
+    match Heuristics.best t.oc_accel ~m ~n ~k with
     | Some c -> c.Heuristics.predicted_cycles
     | None -> 2.0 *. float_of_int (Tune_workload.macs w))
   | Tune_workload.Conv _ -> Heuristics.estimate_conv_cycles ~macs:(Tune_workload.macs w)
 
-let predict_graph g =
+let predict_graph t g =
   Array.fold_left
     (fun acc nd ->
       match Graph_ir.node_workload g nd with
-      | Some w -> acc +. predict_workload w
+      | Some w -> acc +. predict_workload t w
       | None -> acc)
     0.0 g.Graph_ir.g_nodes
 
 let predict t model =
   let key = "predict:" ^ model in
-  memoised t key (fun () ->
-      match List.assoc_opt model t.oc_graphs with
-      | Some g -> predict_graph g
-      | None ->
-        List.fold_left
-          (fun acc (named : Tune_workload.named) ->
-            acc +. predict_workload named.Tune_workload.wl_workload)
-          0.0 (layers t model))
+  fst
+    (memoised t key (fun () ->
+         let p =
+           match List.assoc_opt model t.oc_graphs with
+           | Some g -> predict_graph t g
+           | None ->
+             List.fold_left
+               (fun acc (named : Tune_workload.named) ->
+                 acc +. predict_workload t named.Tune_workload.wl_workload)
+               0.0 (layers t model)
+         in
+         (p, 0.0)))

@@ -38,12 +38,24 @@ val models_of_specs :
     and repeats (a repeated spec weights the request mix). [Error]
     names the offending spec. *)
 
+val default_matmul_accel : unit -> Accel_config.t
+(** The engine used when [create] gets no [matmul_accel]: the flexible
+    v4_16 preset — the configuration every pre-platform serving run
+    used. *)
+
 val create :
+  ?matmul_accel:Accel_config.t ->
   ?graphs:(string * Graph_ir.t) list ->
   ?graph_residency:bool ->
   (string * Tune_workload.named list) list ->
   t
 (** An oracle over the given models, with an empty memo table.
+
+    [matmul_accel] is the matmul engine this oracle costs with
+    (default {!default_matmul_accel}) — a heterogeneous platform
+    builds one oracle per distinct engine configuration. The conv
+    engine is not configurable: every instance carries the same
+    Sec. IV-D sidecar.
 
     [graphs] adds {e whole-model} entries: a request for such a model
     costs a full {!Graph_exec} forward pass (every layer, dataflow
@@ -51,6 +63,9 @@ val create :
     [graph_residency] (default true) selects the residency-planned
     execution. Graph names shadow nothing: they are looked up before
     the layer-list models. *)
+
+val matmul_accel : t -> Accel_config.t
+(** The engine configuration this oracle was created with. *)
 
 val models : t -> string list
 (** The model names, in [create] order (repeats preserved; graph
@@ -69,6 +84,14 @@ val service : t -> string -> batch:int -> float
     coalesced requests (see batching semantics above). Memoised.
     Raises [Failure] for an unknown model, a non-positive batch, or a
     workload the pipeline rejects (the message names the layer). *)
+
+val service_parts : t -> string -> batch:int -> float * float
+(** [(cycles, dma_words)] for one invocation: the same measured cycles
+    as {!service}, plus the total DMA words the run moved
+    (send + receive perf counters). The words let a platform model
+    split a service time into its compute and transfer shares — the
+    share a wider AXI beat or a contended DMA channel scales.
+    Memoised under the same key as {!service}. *)
 
 val predict : t -> string -> float
 (** Cheap analytic estimate of [service ~batch:1], for the SJF policy:

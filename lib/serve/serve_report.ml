@@ -32,6 +32,7 @@ let dist_of xs =
 
 type accel_row = {
   ar_id : int;
+  ar_engine : string;
   ar_busy : float;
   ar_util : float;
   ar_requests : int;
@@ -52,7 +53,17 @@ type summary = {
   sm_accels : accel_row list;
 }
 
-let summarize ~freq_mhz policy (o : Serve_sim.outcome) =
+(* Engine preset names by accelerator index. Absent [engines] means
+   the pre-platform homogeneous fleet: every slot is the default
+   v4_16. A short [engines] list falls back the same way. *)
+let default_engine = "v4_16"
+
+let engine_at engines i =
+  match engines with
+  | None -> default_engine
+  | Some names -> ( match List.nth_opt names i with Some e -> e | None -> default_engine)
+
+let summarize ?engines ~freq_mhz policy (o : Serve_sim.outcome) =
   let completed = o.Serve_sim.oc_completed in
   let latencies =
     List.map
@@ -71,6 +82,7 @@ let summarize ~freq_mhz policy (o : Serve_sim.outcome) =
       (fun (a : Serve_sim.accel_stat) ->
         {
           ar_id = a.Serve_sim.ac_id;
+          ar_engine = engine_at engines a.Serve_sim.ac_id;
           ar_busy = a.ac_busy;
           ar_util = util a.ac_busy;
           ar_requests = a.ac_requests;
@@ -117,6 +129,7 @@ type t = {
   rp_queue_cap : int option;
   rp_batch_max : int;
   rp_freq_mhz : float;
+  rp_platform : string option;
   rp_summaries : summary list;
 }
 
@@ -136,6 +149,9 @@ let render rp =
        (match rp.rp_queue_cap with
        | None -> ""
        | Some cap -> Printf.sprintf ", queue cap %d" cap));
+  (match rp.rp_platform with
+  | None -> ()
+  | Some p -> Buffer.add_string buf (Printf.sprintf "platform: %s\n" p));
   let t =
     Tabulate.create
       [
@@ -180,9 +196,11 @@ let render rp =
       List.iter
         (fun a ->
           Buffer.add_string buf
-            (Printf.sprintf "  %-5s accel%d: %s busy, %d request(s) in %d kernel(s)\n"
+            (Printf.sprintf
+               "  %-5s accel%d [%s]: %s busy, %d request(s) in %d kernel(s)\n"
                (Serve_policy.to_string s.sm_policy)
-               a.ar_id (Tabulate.fmt_pct a.ar_util) a.ar_requests a.ar_dispatches))
+               a.ar_id a.ar_engine (Tabulate.fmt_pct a.ar_util) a.ar_requests
+               a.ar_dispatches))
         s.sm_accels)
     rp.rp_summaries;
   Buffer.contents buf
@@ -294,6 +312,8 @@ let summary_json s =
                    ("utilization", Json.Float a.ar_util);
                    ("requests", Json.Int a.ar_requests);
                    ("dispatches", Json.Int a.ar_dispatches);
+                   (* appended under the add-only rule *)
+                   ("engine", Json.String a.ar_engine);
                  ])
              s.sm_accels) );
     ]
@@ -312,6 +332,10 @@ let to_json rp =
       ("batch_max", Json.Int rp.rp_batch_max);
       ("cpu_freq_mhz", Json.Float rp.rp_freq_mhz);
       ("policies", Json.List (List.map summary_json rp.rp_summaries));
+      (* appended under the add-only rule: the platform description's
+         one-line summary, Null for a plain --accels run *)
+      ( "platform",
+        match rp.rp_platform with None -> Json.Null | Some p -> Json.String p );
     ]
 
 let write_file path rp =

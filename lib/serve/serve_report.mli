@@ -28,6 +28,9 @@ val dist_of : float list -> dist
 
 type accel_row = {
   ar_id : int;
+  ar_engine : string;
+      (** Table I engine preset name on this slot (["v4_16"] for the
+          pre-platform homogeneous fleet) *)
   ar_busy : float;  (** cycles serving *)
   ar_util : float;  (** busy / makespan; [0.] for an empty run *)
   ar_requests : int;
@@ -53,7 +56,14 @@ type summary = {
 }
 
 val summarize :
-  freq_mhz:float -> Serve_policy.t -> Serve_sim.outcome -> summary
+  ?engines:string list ->
+  freq_mhz:float ->
+  Serve_policy.t ->
+  Serve_sim.outcome ->
+  summary
+(** [engines] names the engine on each accelerator slot, by index (a
+    platform's {!Platform_ir.instance_names}); absent (or too short),
+    slots default to the homogeneous fleet's ["v4_16"]. *)
 
 type t = {
   rp_workloads : string list;  (** the CLI specs, repeats preserved *)
@@ -64,6 +74,11 @@ type t = {
   rp_queue_cap : int option;
   rp_batch_max : int;
   rp_freq_mhz : float;
+  rp_platform : string option;
+      (** the platform description's one-line summary when the run was
+          instantiated from one ([axi4mlir_serve --platform]); [None]
+          for a plain [--accels] run. Serialized as the add-only
+          ["platform"] field of the artifact. *)
   rp_summaries : summary list;
 }
 

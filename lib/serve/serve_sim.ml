@@ -113,10 +113,21 @@ let pick p ~predict queue =
     in
     take (max 1 (min p.sp_batch_max fair_count)) members
 
-let run ?telemetry ~service ~predict p (requests : Serve_request.t list) =
+let run ?telemetry ?service_at ?predict_at ~service ~predict p
+    (requests : Serve_request.t list) =
   match validate p with
   | Error _ as e -> e
   | Ok () -> (
+    (* Heterogeneity hooks: the accelerator index is known (earliest
+       free) before the policy picks, so a per-instance oracle slots in
+       at the dispatch site. Absent overrides fall back to the uniform
+       oracles — the homogeneous path runs the exact same code. *)
+    let service_for idx =
+      match service_at with None -> service | Some f -> f ~accel:idx
+    in
+    let predict_for idx =
+      match predict_at with None -> predict | Some f -> f ~accel:idx
+    in
     (* Zero-cost when disabled: one match on an immediate per hook site,
        exactly the Trace/Metrics discipline. Recording never feeds back
        into scheduling decisions. *)
@@ -199,7 +210,7 @@ let run ?telemetry ~service ~predict p (requests : Serve_request.t list) =
           in
           now := Float.max !now t_d;
           admit_up_to !now;
-          let batch = pick p ~predict !queue in
+          let batch = pick p ~predict:(predict_for idx) !queue in
           queue :=
             List.filter
               (fun (r : Serve_request.t) ->
@@ -210,7 +221,7 @@ let run ?telemetry ~service ~predict p (requests : Serve_request.t list) =
               !queue;
           let model = (List.hd batch).Serve_request.rq_model in
           let b = List.length batch in
-          let dur = service model ~batch:b in
+          let dur = service_for idx model ~batch:b in
           if not (dur > 0.0) then
             raise
               (Bad_service

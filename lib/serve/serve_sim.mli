@@ -70,6 +70,8 @@ val validate : params -> (unit, string) result
 
 val run :
   ?telemetry:Serve_telemetry.t ->
+  ?service_at:(accel:int -> string -> batch:int -> float) ->
+  ?predict_at:(accel:int -> string -> float) ->
   service:(string -> batch:int -> float) ->
   predict:(string -> float) ->
   params ->
@@ -82,6 +84,15 @@ val run :
     drive the scheduler with synthetic oracles; production callers
     pass {!Serve_cost.service}/{!Serve_cost.predict}. [Error] on
     invalid params or a non-positive service time.
+
+    [service_at] / [predict_at] make the fleet {e heterogeneous}: when
+    given, the dispatch site uses [f ~accel:idx] for the instance the
+    work-conserving rule just selected, so each slot can carry a
+    different engine (a {!Platform_ir} instance list). SJF ranking and
+    batch fair-share sizing then use the {e serving instance}'s
+    predictions. When absent, the uniform [service]/[predict] are used
+    unchanged — a homogeneous platform run takes the identical code
+    path and produces a bit-identical outcome.
 
     [telemetry], when given, receives every arrival, rejection,
     dispatch and completion as it happens on the simulated clock

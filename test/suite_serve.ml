@@ -209,6 +209,7 @@ let test_zero_completion_report () =
       rp_queue_cap = None;
       rp_batch_max = 1;
       rp_freq_mhz = 100.0;
+      rp_platform = None;
       rp_summaries = [ s ];
     }
   in
@@ -544,6 +545,7 @@ let golden_report ?(policies = Serve_policy.all) () =
     rp_queue_cap = None;
     rp_batch_max = 2;
     rp_freq_mhz = golden_freq_mhz;
+    rp_platform = None;
     rp_summaries = summaries;
   }
 
@@ -642,11 +644,20 @@ let test_artifact_schema () =
       "queue_cycles";
       "accels";
     ];
+  (* platform is Null for a plain --accels run, so check key presence *)
+  Alcotest.(check bool) "platform present (add-only)" true
+    (match doc with Json.Obj kvs -> List.mem_assoc "platform" kvs | _ -> false);
   List.iter
     (fun field ->
       Alcotest.(check bool) ("latency " ^ field ^ " present") true
         (Json.member_opt field (Json.member "latency_cycles" first) <> None))
     [ "mean"; "p50"; "p95"; "p99"; "max" ];
+  let first_accel = List.hd Json.(to_list (member "accels" first)) in
+  List.iter
+    (fun field ->
+      Alcotest.(check bool) ("accel " ^ field ^ " present") true
+        (Json.member_opt field first_accel <> None))
+    [ "id"; "busy_cycles"; "utilization"; "requests"; "dispatches"; "engine" ];
   (* and the rendering must re-parse *)
   let reparsed = Json.of_string (Json.to_string ~indent:1 doc) in
   Alcotest.(check string) "artifact re-parses" "axi4mlir-serve-v1"

@@ -29,4 +29,5 @@ let () =
       ("fuzz", Suite_fuzz.tests);
       ("serve", Suite_serve.tests);
       ("graph", Suite_graph.tests);
+      ("platform", Suite_platform.tests);
     ]
